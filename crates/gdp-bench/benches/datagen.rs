@@ -1,0 +1,48 @@
+//! Benchmarks of the synthetic workload generators.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gdp_datagen::zipf::ZipfSampler;
+use gdp_datagen::{models, DblpConfig, DblpGenerator};
+
+fn bench_datagen(c: &mut Criterion) {
+    c.bench_function("zipf_sample_1m_universe", |b| {
+        let z = ZipfSampler::new(1_000_000, 1.15).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        b.iter(|| black_box(z.sample(&mut rng)))
+    });
+
+    c.bench_function("dblp_laptop_scale_generate", |b| {
+        let gen = DblpGenerator::new(DblpConfig::laptop_scale());
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(13);
+            black_box(gen.generate(&mut rng))
+        })
+    });
+
+    c.bench_function("erdos_renyi_100k_edges", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(14);
+            black_box(models::erdos_renyi(&mut rng, 10_000, 10_000, 100_000))
+        })
+    });
+
+    c.bench_function("preferential_attachment_30k_edges", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(15);
+            black_box(models::preferential_attachment(&mut rng, 5_000, 10_000, 3))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_datagen
+);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Benchmarks of Phase 2 and the end-to-end pipeline — the full
+//! Figure-1 inner loop (specialize once, disclose repeatedly).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gdp_core::{
+    DisclosureConfig, MultiLevelDiscloser, NoiseMechanism, Query, SpecializationConfig,
+    Specializer,
+};
+use gdp_datagen::{DblpConfig, DblpGenerator};
+
+fn bench_disclosure(c: &mut Criterion) {
+    let config = DblpConfig {
+        authors: 10_000,
+        papers: 18_000,
+        mean_authors_per_paper: 2.8,
+        max_authors_per_paper: 24,
+        zipf_exponent: 1.15,
+        max_papers_per_author: 20,
+    };
+    let graph = DblpGenerator::new(config).generate(&mut StdRng::seed_from_u64(7));
+    let hierarchy = Specializer::new(SpecializationConfig::median(8).unwrap())
+        .specialize(&graph, &mut StdRng::seed_from_u64(8))
+        .unwrap();
+
+    let mut group = c.benchmark_group("disclose_10_levels");
+    for mech in [
+        NoiseMechanism::GaussianClassic,
+        NoiseMechanism::GaussianAnalytic,
+        NoiseMechanism::Laplace,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mech:?}")),
+            &mech,
+            |b, &mech| {
+                let discloser = MultiLevelDiscloser::new(
+                    DisclosureConfig::count_only(0.5, 1e-6)
+                        .unwrap()
+                        .with_mechanism(mech),
+                );
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(9);
+                    black_box(discloser.disclose(&graph, &hierarchy, &mut rng).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+
+    c.bench_function("disclose_with_vector_queries", |b| {
+        let discloser = MultiLevelDiscloser::new(
+            DisclosureConfig::count_only(0.5, 1e-6)
+                .unwrap()
+                .with_queries(vec![
+                    Query::TotalAssociations,
+                    Query::PerGroupCounts,
+                    Query::LeftDegreeHistogram { max_degree: 32 },
+                ]),
+        );
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(10);
+            black_box(discloser.disclose(&graph, &hierarchy, &mut rng).unwrap())
+        })
+    });
+
+    c.bench_function("end_to_end_pipeline", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(11);
+            let h = Specializer::new(SpecializationConfig::paper_default(6).unwrap())
+                .specialize(&graph, &mut rng)
+                .unwrap();
+            let discloser =
+                MultiLevelDiscloser::new(DisclosureConfig::count_only(0.5, 1e-6).unwrap());
+            black_box(discloser.disclose(&graph, &h, &mut rng).unwrap())
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_disclosure
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Benchmarks of the graph substrate: CSR construction, degree scans,
+//! partition edge accounting.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gdp_datagen::models::erdos_renyi;
+use gdp_graph::{GraphStats, PairCounts, Side, SidePartition};
+
+fn bench_graph(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let graph = erdos_renyi(&mut rng, 20_000, 20_000, 200_000);
+
+    c.bench_function("graph_build_200k_edges", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(erdos_renyi(&mut rng, 20_000, 20_000, 200_000))
+        })
+    });
+
+    c.bench_function("graph_stats_200k_edges", |b| {
+        b.iter(|| black_box(GraphStats::compute(&graph)))
+    });
+
+    let left = SidePartition::new(
+        Side::Left,
+        (0..20_000u32).map(|i| i % 64).collect(),
+        64,
+    )
+    .unwrap();
+    let right = SidePartition::new(
+        Side::Right,
+        (0..20_000u32).map(|i| i % 64).collect(),
+        64,
+    )
+    .unwrap();
+
+    c.bench_function("incident_edge_counts_64_blocks", |b| {
+        b.iter(|| black_box(left.incident_edge_counts(&graph)))
+    });
+
+    c.bench_function("pair_counts_64x64", |b| {
+        b.iter(|| black_box(PairCounts::compute(&graph, &left, &right)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_graph
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Micro-benchmarks of the DP primitives: per-sample cost of each noise
+//! mechanism and of the analytic Gaussian calibration search.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gdp_mechanisms::{
+    Delta, Epsilon, ExponentialMechanism, GaussianMechanism, GeometricMechanism, L1Sensitivity,
+    L2Sensitivity, LaplaceMechanism,
+};
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let eps = Epsilon::new(0.5).unwrap();
+    let delta = Delta::new(1e-6).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let laplace = LaplaceMechanism::new(eps, L1Sensitivity::new(10.0).unwrap()).unwrap();
+    c.bench_function("laplace_randomize", |b| {
+        b.iter(|| laplace.randomize(black_box(1000.0), &mut rng))
+    });
+
+    let gaussian =
+        GaussianMechanism::classic(eps, delta, L2Sensitivity::new(10.0).unwrap()).unwrap();
+    c.bench_function("gaussian_randomize", |b| {
+        b.iter(|| gaussian.randomize(black_box(1000.0), &mut rng))
+    });
+
+    let geometric = GeometricMechanism::new(eps, L1Sensitivity::new(10.0).unwrap()).unwrap();
+    c.bench_function("geometric_randomize", |b| {
+        b.iter(|| geometric.randomize(black_box(1000), &mut rng))
+    });
+
+    let expo = ExponentialMechanism::new(eps, L1Sensitivity::unit()).unwrap();
+    let utilities: Vec<f64> = (0..64).map(|i| -((i as f64) - 32.0).abs()).collect();
+    c.bench_function("exponential_select_64", |b| {
+        b.iter(|| expo.select(black_box(&utilities), &mut rng).unwrap())
+    });
+
+    c.bench_function("analytic_gaussian_calibration", |b| {
+        b.iter(|| {
+            GaussianMechanism::analytic(
+                black_box(eps),
+                black_box(delta),
+                L2Sensitivity::new(1234.5).unwrap(),
+            )
+            .unwrap()
+            .sigma()
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_mechanisms
+);
+criterion_main!(benches);

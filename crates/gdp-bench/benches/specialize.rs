@@ -1,0 +1,64 @@
+//! Benchmarks of Phase 1: specialization cost per strategy and depth.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gdp_core::{SpecializationConfig, Specializer, SplitStrategy};
+use gdp_datagen::{DblpConfig, DblpGenerator};
+
+fn bench_specialize(c: &mut Criterion) {
+    let config = DblpConfig {
+        authors: 10_000,
+        papers: 18_000,
+        mean_authors_per_paper: 2.8,
+        max_authors_per_paper: 24,
+        zipf_exponent: 1.15,
+        max_papers_per_author: 20,
+    };
+    let graph = DblpGenerator::new(config).generate(&mut StdRng::seed_from_u64(4));
+
+    let mut group = c.benchmark_group("specialize_50k_edges");
+    for strategy in [
+        SplitStrategy::Exponential,
+        SplitStrategy::Median,
+        SplitStrategy::Random,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &strategy,
+            |b, &strategy| {
+                let mut cfg = SpecializationConfig::paper_default(8).unwrap();
+                cfg.strategy = strategy;
+                let spec = Specializer::new(cfg);
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(5);
+                    black_box(spec.specialize(&graph, &mut rng).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("specialize_depth");
+    for rounds in [4u32, 8, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(rounds), &rounds, |b, &r| {
+            let spec = Specializer::new(SpecializationConfig::median(r).unwrap());
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(6);
+                black_box(spec.specialize(&graph, &mut rng).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_specialize
+);
+criterion_main!(benches);

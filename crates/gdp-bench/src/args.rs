@@ -1,0 +1,95 @@
+//! Minimal shared argument parsing for the experiment binaries — flags
+//! only, no positional arguments, no external dependency.
+
+use gdp_datagen::DblpConfig;
+
+/// Arguments common to every experiment binary.
+#[derive(Debug, Clone)]
+pub struct CommonArgs {
+    /// Use the full paper-scale dataset instead of the 1:100 preset.
+    pub paper_scale: bool,
+    /// Noise trials to average RER over.
+    pub trials: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl CommonArgs {
+    /// Parses `--paper-scale`, `--trials N`, `--seed N` from the process
+    /// arguments; exits with a usage message on anything unknown.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Self {
+            paper_scale: false,
+            trials: 25,
+            seed: 42,
+        };
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--paper-scale" => out.paper_scale = true,
+                "--trials" => out.trials = expect_num(iter.next(), "--trials"),
+                "--seed" => out.seed = expect_num(iter.next(), "--seed"),
+                "--help" | "-h" => {
+                    eprintln!("flags: [--paper-scale] [--trials N] [--seed N]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    }
+
+    /// The dataset preset selected by the flags.
+    pub fn dblp_config(&self) -> DblpConfig {
+        if self.paper_scale {
+            DblpConfig::paper_scale()
+        } else {
+            DblpConfig::laptop_scale()
+        }
+    }
+}
+
+fn expect_num<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
+    match value.and_then(|v| v.parse().ok()) {
+        Some(v) => v,
+        None => {
+            eprintln!("{flag} needs a numeric argument");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> CommonArgs {
+        CommonArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert!(!a.paper_scale);
+        assert_eq!(a.trials, 25);
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.dblp_config().authors, DblpConfig::laptop_scale().authors);
+    }
+
+    #[test]
+    fn flags_parse() {
+        let a = parse(&["--paper-scale", "--trials", "7", "--seed", "99"]);
+        assert!(a.paper_scale);
+        assert_eq!(a.trials, 7);
+        assert_eq!(a.seed, 99);
+        assert_eq!(a.dblp_config().authors, 1_295_100);
+    }
+}

@@ -1,0 +1,50 @@
+//! Ablation A2 — δ. The paper never states the Gaussian δ; this
+//! experiment sweeps δ over five decades and shows the RER ladder only
+//! shifts by the √ln(1/δ) factor — the Figure-1 *shape* is δ-insensitive,
+//! which is why the reproduction fixes δ = 1e-6.
+//!
+//! ```text
+//! cargo run -p gdp-bench --release --bin ablation_delta [-- --trials 25]
+//! ```
+
+use gdp_bench::args::CommonArgs;
+use gdp_bench::fig1::{run, Fig1Config};
+use gdp_bench::table::{fmt_f64, Table};
+use gdp_bench::{build_context, ExperimentContext};
+use gdp_core::{NoiseMechanism, SplitStrategy};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let ExperimentContext { graph, hierarchy } =
+        build_context(args.dblp_config(), 6, SplitStrategy::Exponential, args.seed);
+
+    let mut table = Table::new(["delta", "rer_L1", "rer_L3", "rer_L5"]);
+    for delta in [1e-8, 1e-7, 1e-6, 1e-5, 1e-4] {
+        eprintln!("ablation_delta: delta = {delta:e}");
+        let config = Fig1Config {
+            epsilons: vec![0.5],
+            delta,
+            levels: vec![1, 3, 5],
+            trials: args.trials,
+            mechanism: NoiseMechanism::GaussianClassic,
+            seed: args.seed ^ 0xA2,
+        };
+        let rows = run(&graph, &hierarchy, &config);
+        let rer = &rows[0].rer_by_level;
+        table.push_row([
+            format!("{delta:e}"),
+            fmt_f64(rer[0]),
+            fmt_f64(rer[1]),
+            fmt_f64(rer[2]),
+        ]);
+    }
+
+    println!("Ablation A2 — delta sweep (eps_g = 0.5, classic Gaussian)");
+    println!();
+    print!("{}", table.render());
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|_| std::fs::write("results/ablation_delta.csv", table.to_csv()))
+    {
+        eprintln!("warning: could not write results/ablation_delta.csv: {e}");
+    }
+}

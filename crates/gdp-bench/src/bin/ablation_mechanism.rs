@@ -1,0 +1,58 @@
+//! Ablation A4 — noise mechanism. Compares the paper's classic Gaussian
+//! against the analytic Gaussian (tighter σ at equal `(ε, δ)`) and the
+//! Laplace mechanism (pure ε-DP, L1-calibrated) across the εg sweep at a
+//! mid hierarchy level.
+//!
+//! ```text
+//! cargo run -p gdp-bench --release --bin ablation_mechanism [-- --trials 25]
+//! ```
+
+use gdp_bench::args::CommonArgs;
+use gdp_bench::fig1::{paper_epsilons, run, Fig1Config};
+use gdp_bench::table::{fmt_f64, Table};
+use gdp_bench::{build_context, ExperimentContext};
+use gdp_core::{NoiseMechanism, SplitStrategy};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let ExperimentContext { graph, hierarchy } =
+        build_context(args.dblp_config(), 6, SplitStrategy::Exponential, args.seed);
+    let level = 3usize;
+
+    let mut table = Table::new(["eps_g", "gauss_classic", "gauss_analytic", "laplace"]);
+    let mut columns: Vec<Vec<f64>> = Vec::new();
+    for mech in [
+        NoiseMechanism::GaussianClassic,
+        NoiseMechanism::GaussianAnalytic,
+        NoiseMechanism::Laplace,
+    ] {
+        eprintln!("ablation_mechanism: {mech:?}");
+        let config = Fig1Config {
+            epsilons: paper_epsilons(),
+            delta: 1e-6,
+            levels: vec![level],
+            trials: args.trials,
+            mechanism: mech,
+            seed: args.seed ^ 0xA4,
+        };
+        let rows = run(&graph, &hierarchy, &config);
+        columns.push(rows.iter().map(|r| r.rer_by_level[0]).collect());
+    }
+    for (i, eps) in paper_epsilons().iter().enumerate() {
+        table.push_row([
+            fmt_f64(*eps),
+            fmt_f64(columns[0][i]),
+            fmt_f64(columns[1][i]),
+            fmt_f64(columns[2][i]),
+        ]);
+    }
+
+    println!("Ablation A4 — mechanism comparison (RER at level {level}, delta = 1e-6)");
+    println!();
+    print!("{}", table.render());
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|_| std::fs::write("results/ablation_mechanism.csv", table.to_csv()))
+    {
+        eprintln!("warning: could not write results/ablation_mechanism.csv: {e}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Reproduces the paper's inline dataset-statistics table (§III): author
+//! count, paper count and association count of the evaluation graph,
+//! paper-reported vs. generated (both presets).
+//!
+//! ```text
+//! cargo run -p gdp-bench --release --bin table1 [-- --paper-scale --seed 42]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gdp_bench::args::CommonArgs;
+use gdp_bench::table::Table;
+use gdp_datagen::{DblpConfig, DblpGenerator};
+use gdp_graph::GraphStats;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let mut table = Table::new([
+        "dataset",
+        "authors",
+        "papers",
+        "associations",
+        "max_deg_L",
+        "max_deg_R",
+    ]);
+    table.push_row([
+        "DBLP (paper)".to_string(),
+        "1295100".to_string(),
+        "2281341".to_string(),
+        "6384117".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+    ]);
+
+    let configs: Vec<(&str, DblpConfig)> = if args.paper_scale {
+        vec![
+            ("synthetic (paper scale)", DblpConfig::paper_scale()),
+            ("synthetic (laptop 1:100)", DblpConfig::laptop_scale()),
+        ]
+    } else {
+        vec![("synthetic (laptop 1:100)", DblpConfig::laptop_scale())]
+    };
+
+    for (label, config) in configs {
+        eprintln!("table1: generating {label}...");
+        let mut rng = StdRng::seed_from_u64(args.seed);
+        let graph = DblpGenerator::new(config).generate(&mut rng);
+        let stats = GraphStats::compute(&graph);
+        table.push_row([
+            label.to_string(),
+            stats.left_nodes.to_string(),
+            stats.right_nodes.to_string(),
+            stats.edges.to_string(),
+            stats.max_left_degree.to_string(),
+            stats.max_right_degree.to_string(),
+        ]);
+    }
+
+    println!("Table 1 — evaluation dataset statistics (paper vs generated)");
+    println!();
+    print!("{}", table.render());
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|_| std::fs::write("results/table1.csv", table.to_csv()))
+    {
+        eprintln!("warning: could not write results/table1.csv: {e}");
+    } else {
+        eprintln!("wrote results/table1.csv");
+    }
+}

@@ -1,0 +1,248 @@
+//! Implementation of the `gdp` subcommands.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gdp_core::{
+    DisclosureConfig, MultiLevelDiscloser, NoiseMechanism, Query, SpecializationConfig,
+    Specializer, SplitStrategy,
+};
+use gdp_datagen::{DblpConfig, DblpGenerator};
+use gdp_graph::{io as graph_io, GraphStats};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+gdp — group differential privacy for association graphs
+
+commands:
+  generate --out FILE [--scale tiny|laptop|paper] [--seed N]
+      generate a DBLP-like association graph and write it as an edge list
+  stats --in FILE
+      print dataset statistics for an edge-list graph
+  disclose --in FILE [--rounds N] [--eps E] [--delta D]
+           [--strategy exponential|median|random]
+           [--mechanism gaussian|analytic|laplace|geometric]
+           [--seed N] [--csv FILE]
+      run the two-phase group-private disclosure pipeline and print the
+      per-level noisy association counts
+  help
+      show this message
+";
+
+type CmdResult = Result<(), String>;
+
+/// Parses `--key value` pairs (and bare `--flag` as `"true"`).
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        let key = arg
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got `{arg}`"))?;
+        let value = match iter.peek() {
+            Some(next) if !next.starts_with("--") => iter.next().unwrap().clone(),
+            _ => "true".to_string(),
+        };
+        map.insert(key.to_string(), value);
+    }
+    Ok(map)
+}
+
+fn get_num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} expects a number, got `{v}`")),
+    }
+}
+
+fn scale_config(flags: &HashMap<String, String>) -> Result<DblpConfig, String> {
+    match flags.get("scale").map(String::as_str).unwrap_or("laptop") {
+        "tiny" => Ok(DblpConfig::tiny()),
+        "laptop" => Ok(DblpConfig::laptop_scale()),
+        "paper" => Ok(DblpConfig::paper_scale()),
+        other => Err(format!("unknown scale `{other}` (tiny|laptop|paper)")),
+    }
+}
+
+/// `gdp generate`.
+pub fn generate(args: &[String]) -> CmdResult {
+    let flags = parse_flags(args)?;
+    let out = flags.get("out").ok_or("generate requires --out FILE")?;
+    let config = scale_config(&flags)?;
+    let seed: u64 = get_num(&flags, "seed", 42)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    eprintln!(
+        "generating {} authors × {} papers (seed {seed})...",
+        config.authors, config.papers
+    );
+    let graph = DblpGenerator::new(config).generate(&mut rng);
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    graph_io::write_edge_list(&graph, BufWriter::new(file))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!("wrote {} edges to {out}", graph.edge_count());
+    Ok(())
+}
+
+/// `gdp stats`.
+pub fn stats(args: &[String]) -> CmdResult {
+    let flags = parse_flags(args)?;
+    let input = flags.get("in").ok_or("stats requires --in FILE")?;
+    let file = File::open(input).map_err(|e| format!("cannot open {input}: {e}"))?;
+    let graph =
+        graph_io::read_edge_list(BufReader::new(file)).map_err(|e| format!("{input}: {e}"))?;
+    println!("{}", GraphStats::compute(&graph));
+    Ok(())
+}
+
+/// `gdp disclose`.
+pub fn disclose(args: &[String]) -> CmdResult {
+    let flags = parse_flags(args)?;
+    let input = flags.get("in").ok_or("disclose requires --in FILE")?;
+    let rounds: u32 = get_num(&flags, "rounds", 8)?;
+    let eps: f64 = get_num(&flags, "eps", 0.5)?;
+    let delta: f64 = get_num(&flags, "delta", 1e-6)?;
+    let seed: u64 = get_num(&flags, "seed", 42)?;
+    let strategy = match flags
+        .get("strategy")
+        .map(String::as_str)
+        .unwrap_or("exponential")
+    {
+        "exponential" => SplitStrategy::Exponential,
+        "median" => SplitStrategy::Median,
+        "random" => SplitStrategy::Random,
+        other => return Err(format!("unknown strategy `{other}`")),
+    };
+    let mechanism = match flags
+        .get("mechanism")
+        .map(String::as_str)
+        .unwrap_or("gaussian")
+    {
+        "gaussian" => NoiseMechanism::GaussianClassic,
+        "analytic" => NoiseMechanism::GaussianAnalytic,
+        "laplace" => NoiseMechanism::Laplace,
+        "geometric" => NoiseMechanism::Geometric,
+        other => return Err(format!("unknown mechanism `{other}`")),
+    };
+
+    let file = File::open(input).map_err(|e| format!("cannot open {input}: {e}"))?;
+    let graph =
+        graph_io::read_edge_list(BufReader::new(file)).map_err(|e| format!("{input}: {e}"))?;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut spec_config =
+        SpecializationConfig::paper_default(rounds).map_err(|e| e.to_string())?;
+    spec_config.strategy = strategy;
+    eprintln!("phase 1: specializing {rounds} rounds ({strategy:?})...");
+    let hierarchy = Specializer::new(spec_config)
+        .specialize(&graph, &mut rng)
+        .map_err(|e| e.to_string())?;
+
+    eprintln!("phase 2: disclosing {} levels ({mechanism:?})...", hierarchy.level_count());
+    let disclosure = DisclosureConfig::count_only(eps, delta)
+        .map_err(|e| e.to_string())?
+        .with_mechanism(mechanism)
+        .with_queries(vec![Query::TotalAssociations]);
+    let release = MultiLevelDiscloser::new(disclosure)
+        .disclose(&graph, &hierarchy, &mut rng)
+        .map_err(|e| e.to_string())?;
+
+    let true_total = graph.edge_count() as f64;
+    println!("level  groups      sensitivity  noisy_total      rer");
+    for level in release.levels() {
+        let q = &level.queries[0];
+        let noisy = q.scalar().unwrap_or(f64::NAN);
+        println!(
+            "{:>5}  {:>10}  {:>11}  {:>11.1}  {:>7.4}",
+            level.level,
+            level.group_count,
+            q.sensitivity.l2,
+            noisy,
+            gdp_core::relative_error(noisy, true_total)
+        );
+    }
+
+    if let Some(csv_path) = flags.get("csv") {
+        std::fs::write(csv_path, release.total_count_csv())
+            .map_err(|e| format!("cannot write {csv_path}: {e}"))?;
+        eprintln!("wrote {csv_path}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(args: &[&str]) -> HashMap<String, String> {
+        parse_flags(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parse_flag_pairs_and_bare_flags() {
+        let f = flags(&["--out", "x.txt", "--paper", "--seed", "7"]);
+        assert_eq!(f.get("out").unwrap(), "x.txt");
+        assert_eq!(f.get("paper").unwrap(), "true");
+        assert_eq!(f.get("seed").unwrap(), "7");
+    }
+
+    #[test]
+    fn reject_positional_arguments() {
+        let args = vec!["positional".to_string()];
+        assert!(parse_flags(&args).is_err());
+    }
+
+    #[test]
+    fn numeric_defaults_and_errors() {
+        let f = flags(&["--eps", "0.7"]);
+        assert_eq!(get_num(&f, "eps", 0.5).unwrap(), 0.7);
+        assert_eq!(get_num(&f, "delta", 1e-6).unwrap(), 1e-6);
+        let f = flags(&["--eps", "abc"]);
+        assert!(get_num::<f64>(&f, "eps", 0.5).is_err());
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(scale_config(&flags(&[])).unwrap().authors, 12_951);
+        assert_eq!(
+            scale_config(&flags(&["--scale", "tiny"])).unwrap().authors,
+            120
+        );
+        assert!(scale_config(&flags(&["--scale", "galaxy"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_generate_stats_disclose() {
+        let dir = std::env::temp_dir().join(format!("gdp-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        let path_s = path.to_str().unwrap().to_string();
+        generate(&[
+            "--out".into(),
+            path_s.clone(),
+            "--scale".into(),
+            "tiny".into(),
+        ])
+        .unwrap();
+        stats(&["--in".into(), path_s.clone()]).unwrap();
+        disclose(&[
+            "--in".into(),
+            path_s,
+            "--rounds".into(),
+            "3".into(),
+            "--strategy".into(),
+            "median".into(),
+        ])
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,43 @@
+//! `gdp` — command-line driver for the group-dp workspace.
+//!
+//! ```text
+//! gdp generate --out graph.txt [--scale tiny|laptop|paper] [--seed N]
+//! gdp stats    --in graph.txt
+//! gdp disclose --in graph.txt [--rounds N] [--eps E] [--delta D]
+//!              [--strategy exponential|median|random]
+//!              [--mechanism gaussian|analytic|laplace|geometric]
+//!              [--seed N] [--csv out.csv]
+//! ```
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let command = match args.next() {
+        Some(c) => c,
+        None => {
+            eprint!("{}", commands::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    let rest: Vec<String> = args.collect();
+    let result = match command.as_str() {
+        "generate" => commands::generate(&rest),
+        "stats" => commands::stats(&rest),
+        "disclose" => commands::disclose(&rest),
+        "help" | "--help" | "-h" => {
+            print!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`; try `gdp help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,254 @@
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::release::{LevelRelease, MultiLevelRelease};
+use crate::Result;
+
+/// A reader's clearance: the **finest** hierarchy level whose release
+/// they may read.
+///
+/// Privilege 0 is full clearance (individual-level release `I_{L,0}`);
+/// the paper's "users with lowest privilege, who can only get information
+/// of `I_{9,7}`" hold `Privilege::new(7)`. A reader may always also read
+/// *coarser* (noisier) levels than their finest — withholding the noisy
+/// version of something they already know more precisely protects
+/// nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Privilege(usize);
+
+impl Privilege {
+    /// Creates a privilege whose finest readable level is `finest_level`.
+    pub fn new(finest_level: usize) -> Self {
+        Self(finest_level)
+    }
+
+    /// Full clearance: may read every level including the finest.
+    pub fn full() -> Self {
+        Self(0)
+    }
+
+    /// The finest level this privilege may read.
+    pub fn finest_level(self) -> usize {
+        self.0
+    }
+}
+
+/// Maps privilege ranks onto the levels of one release bundle.
+///
+/// The policy is *monotone by construction*: privilege `p` reads levels
+/// `p ..= level_count − 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessPolicy {
+    level_count: usize,
+}
+
+impl AccessPolicy {
+    /// A policy over a hierarchy of `level_count` levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when `level_count == 0`.
+    pub fn new(level_count: usize) -> Result<Self> {
+        if level_count == 0 {
+            return Err(CoreError::InvalidConfig(
+                "access policy needs at least one level".to_string(),
+            ));
+        }
+        Ok(Self { level_count })
+    }
+
+    /// Number of levels governed.
+    pub fn level_count(&self) -> usize {
+        self.level_count
+    }
+
+    /// Whether `privilege` may read `level`.
+    pub fn allows(&self, privilege: Privilege, level: usize) -> bool {
+        level >= privilege.finest_level() && level < self.level_count
+    }
+
+    /// The range of levels `privilege` may read (clamped to the
+    /// hierarchy; empty if the privilege is finer than any level).
+    pub fn accessible_levels(&self, privilege: Privilege) -> std::ops::Range<usize> {
+        privilege.finest_level().min(self.level_count)..self.level_count
+    }
+
+    /// Checks an access request.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::LevelOutOfRange`] for unknown levels.
+    /// * [`CoreError::AccessDenied`] when the level is finer than the
+    ///   privilege allows.
+    pub fn check(&self, privilege: Privilege, level: usize) -> Result<()> {
+        if level >= self.level_count {
+            return Err(CoreError::LevelOutOfRange {
+                level,
+                level_count: self.level_count,
+            });
+        }
+        if level < privilege.finest_level() {
+            return Err(CoreError::AccessDenied {
+                privilege: privilege.finest_level(),
+                requested_level: level,
+                finest_allowed: privilege.finest_level(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A [`MultiLevelRelease`] wrapped with its [`AccessPolicy`] — the
+/// deployment artifact: consumers present a privilege and receive only
+/// the level releases they are entitled to.
+///
+/// ```
+/// # use gdp_core::{AccessControlled, Privilege};
+/// # use gdp_core::{DisclosureConfig, MultiLevelDiscloser, SpecializationConfig, Specializer};
+/// # use gdp_datagen::{DblpConfig, DblpGenerator};
+/// # use rand::SeedableRng;
+/// # fn main() -> Result<(), gdp_core::CoreError> {
+/// # let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// # let graph = DblpGenerator::new(DblpConfig::tiny()).generate(&mut rng);
+/// # let hierarchy = Specializer::new(SpecializationConfig::median(2)?)
+/// #     .specialize(&graph, &mut rng)?;
+/// # let release = MultiLevelDiscloser::new(DisclosureConfig::count_only(0.5, 1e-6)?)
+/// #     .disclose(&graph, &hierarchy, &mut rng)?;
+/// let gated = AccessControlled::new(release)?;
+/// // A low-privilege reader sees only the coarsest levels.
+/// let coarse_only = gated.view(Privilege::new(2));
+/// assert!(coarse_only.iter().all(|l| l.level >= 2));
+/// // Reading a finer level than cleared is denied.
+/// assert!(gated.level(Privilege::new(2), 0).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessControlled {
+    release: MultiLevelRelease,
+    policy: AccessPolicy,
+}
+
+impl AccessControlled {
+    /// Wraps a release with the monotone policy over its levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an empty release.
+    pub fn new(release: MultiLevelRelease) -> Result<Self> {
+        let policy = AccessPolicy::new(release.levels().len())?;
+        Ok(Self { release, policy })
+    }
+
+    /// The governing policy.
+    pub fn policy(&self) -> &AccessPolicy {
+        &self.policy
+    }
+
+    /// Every level release `privilege` may read (finest allowed first).
+    pub fn view(&self, privilege: Privilege) -> Vec<&LevelRelease> {
+        self.policy
+            .accessible_levels(privilege)
+            .filter_map(|i| self.release.level(i).ok())
+            .collect()
+    }
+
+    /// One level release, enforcing the policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AccessPolicy::check`] failures.
+    pub fn level(&self, privilege: Privilege, level: usize) -> Result<&LevelRelease> {
+        self.policy.check(privilege, level)?;
+        self.release.level(level)
+    }
+
+    /// Unwraps the underlying release (for the data owner, not readers).
+    pub fn into_inner(self) -> MultiLevelRelease {
+        self.release
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disclosure::NoiseMechanism;
+    use crate::queries::Query;
+    use crate::release::QueryRelease;
+    use crate::sensitivity::LevelSensitivity;
+    use gdp_mechanisms::{Delta, Epsilon, PrivacyBudget};
+
+    fn release(levels: usize) -> MultiLevelRelease {
+        let mk = |i: usize| LevelRelease {
+            level: i,
+            group_count: 2,
+            max_group_size: 1,
+            budget: PrivacyBudget {
+                epsilon: Epsilon::new(0.5).unwrap(),
+                delta: Delta::new(1e-6).unwrap(),
+            },
+            queries: vec![QueryRelease {
+                query: Query::TotalAssociations,
+                noisy_values: vec![i as f64],
+                noise_scale: 1.0,
+                sensitivity: LevelSensitivity { l1: 1.0, l2: 1.0 },
+            }],
+        };
+        MultiLevelRelease::new(
+            NoiseMechanism::GaussianClassic,
+            0.5,
+            1e-6,
+            (0..levels).map(mk).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn policy_monotonicity() {
+        let p = AccessPolicy::new(5).unwrap();
+        let priv2 = Privilege::new(2);
+        assert!(!p.allows(priv2, 0));
+        assert!(!p.allows(priv2, 1));
+        assert!(p.allows(priv2, 2));
+        assert!(p.allows(priv2, 4));
+        assert!(!p.allows(priv2, 5));
+        assert_eq!(p.accessible_levels(priv2), 2..5);
+        assert_eq!(p.accessible_levels(Privilege::full()), 0..5);
+        // Privilege finer than the hierarchy: empty view, not a panic.
+        assert!(p.accessible_levels(Privilege::new(9)).is_empty());
+    }
+
+    #[test]
+    fn check_errors_distinguish_cases() {
+        let p = AccessPolicy::new(3).unwrap();
+        assert!(matches!(
+            p.check(Privilege::new(1), 5),
+            Err(CoreError::LevelOutOfRange { .. })
+        ));
+        assert!(matches!(
+            p.check(Privilege::new(1), 0),
+            Err(CoreError::AccessDenied {
+                requested_level: 0,
+                ..
+            })
+        ));
+        assert!(p.check(Privilege::new(1), 1).is_ok());
+    }
+
+    #[test]
+    fn gated_views() {
+        let gated = AccessControlled::new(release(4)).unwrap();
+        assert_eq!(gated.view(Privilege::full()).len(), 4);
+        assert_eq!(gated.view(Privilege::new(3)).len(), 1);
+        assert_eq!(gated.view(Privilege::new(9)).len(), 0);
+        let l = gated.level(Privilege::new(1), 2).unwrap();
+        assert_eq!(l.level, 2);
+        assert!(gated.level(Privilege::new(3), 1).is_err());
+        assert_eq!(gated.into_inner().levels().len(), 4);
+    }
+
+    #[test]
+    fn zero_level_policy_rejected() {
+        assert!(AccessPolicy::new(0).is_err());
+    }
+}

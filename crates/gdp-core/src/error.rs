@@ -1,0 +1,108 @@
+use std::error::Error;
+use std::fmt;
+
+use gdp_graph::GraphError;
+use gdp_mechanisms::MechanismError;
+
+/// Errors produced by the group-privacy pipeline.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A privacy-mechanism parameter or operation failed.
+    Mechanism(MechanismError),
+    /// A graph-layer operation failed.
+    Graph(GraphError),
+    /// A configuration was rejected at construction.
+    InvalidConfig(String),
+    /// A hierarchy failed validation (refinement broken, size mismatch…).
+    InvalidHierarchy(String),
+    /// A level index exceeded the hierarchy height.
+    LevelOutOfRange {
+        /// Requested level.
+        level: usize,
+        /// Number of levels available.
+        level_count: usize,
+    },
+    /// An access request exceeded the caller's privilege.
+    AccessDenied {
+        /// The privilege rank presented.
+        privilege: usize,
+        /// The level that was requested.
+        requested_level: usize,
+        /// The finest level the privilege may read.
+        finest_allowed: usize,
+    },
+    /// The graph is too small for the requested operation (e.g. cannot
+    /// specialize an empty side).
+    GraphTooSmall(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Mechanism(e) => write!(f, "mechanism error: {e}"),
+            Self::Graph(e) => write!(f, "graph error: {e}"),
+            Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Self::InvalidHierarchy(msg) => write!(f, "invalid hierarchy: {msg}"),
+            Self::LevelOutOfRange { level, level_count } => {
+                write!(f, "level {level} out of range (hierarchy has {level_count})")
+            }
+            Self::AccessDenied {
+                privilege,
+                requested_level,
+                finest_allowed,
+            } => write!(
+                f,
+                "privilege {privilege} may not read level {requested_level} \
+                 (finest allowed: {finest_allowed})"
+            ),
+            Self::GraphTooSmall(msg) => write!(f, "graph too small: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Mechanism(e) => Some(e),
+            Self::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MechanismError> for CoreError {
+    fn from(e: MechanismError) -> Self {
+        Self::Mechanism(e)
+    }
+}
+
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> Self {
+        Self::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::from(MechanismError::InvalidEpsilon(-1.0));
+        assert!(e.to_string().contains("mechanism"));
+        assert!(e.source().is_some());
+
+        let e = CoreError::LevelOutOfRange {
+            level: 9,
+            level_count: 4,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

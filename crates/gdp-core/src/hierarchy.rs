@@ -1,0 +1,316 @@
+use serde::{Deserialize, Serialize};
+
+use gdp_graph::{BipartiteGraph, Side, SidePartition};
+
+use crate::error::CoreError;
+use crate::Result;
+
+/// One level of the group hierarchy: a partition of the left nodes and a
+/// partition of the right nodes. The level's *groups* are the union of
+/// both sides' blocks (a group never mixes sides, matching the paper's
+/// "two sub groups correspond to the left side nodes … the other two …
+/// the right side").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupLevel {
+    left: SidePartition,
+    right: SidePartition,
+}
+
+impl GroupLevel {
+    /// Creates a level from one partition per side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidHierarchy`] if the partitions' sides
+    /// are wrong.
+    pub fn new(left: SidePartition, right: SidePartition) -> Result<Self> {
+        if left.side() != Side::Left {
+            return Err(CoreError::InvalidHierarchy(
+                "left partition is not Side::Left".to_string(),
+            ));
+        }
+        if right.side() != Side::Right {
+            return Err(CoreError::InvalidHierarchy(
+                "right partition is not Side::Right".to_string(),
+            ));
+        }
+        Ok(Self { left, right })
+    }
+
+    /// The left-side partition.
+    pub fn left(&self) -> &SidePartition {
+        &self.left
+    }
+
+    /// The right-side partition.
+    pub fn right(&self) -> &SidePartition {
+        &self.right
+    }
+
+    /// Total number of groups at this level (left blocks + right blocks).
+    pub fn group_count(&self) -> u64 {
+        self.left.block_count() as u64 + self.right.block_count() as u64
+    }
+
+    /// Largest group size (in nodes) across both sides.
+    pub fn max_group_size(&self) -> u32 {
+        let l = self.left.block_sizes().into_iter().max().unwrap_or(0);
+        let r = self.right.block_sizes().into_iter().max().unwrap_or(0);
+        l.max(r)
+    }
+
+    /// Incident-edge count of every group: left blocks first, then right
+    /// blocks. Removing a group removes exactly its incident edges, so
+    /// these are the per-group count-query sensitivities.
+    pub fn incident_edges(&self, graph: &BipartiteGraph) -> Vec<u64> {
+        let mut out = self.left.incident_edge_counts(graph);
+        out.extend(self.right.incident_edge_counts(graph));
+        out
+    }
+
+    /// The largest incident-edge count over all groups — the group-level
+    /// L1 sensitivity of the total association count at this level.
+    pub fn max_incident_edges(&self, graph: &BipartiteGraph) -> u64 {
+        self.incident_edges(graph).into_iter().max().unwrap_or(0)
+    }
+
+    /// Whether `finer` refines this level on both sides.
+    pub fn is_refined_by(&self, finer: &GroupLevel) -> bool {
+        self.left.is_refined_by(&finer.left) && self.right.is_refined_by(&finer.right)
+    }
+}
+
+/// A multi-level group hierarchy over a bipartite graph's nodes.
+///
+/// `levels[0]` is the **finest** level (in the paper's experiment, the
+/// individual level: every node its own group) and
+/// `levels[level_count − 1]` the **coarsest** (one group per side — "the
+/// entire dataset"). Every level must be refined by the level below it.
+///
+/// Index semantics follow the paper: the release `I_{L,i}` protects the
+/// groups of `hierarchy.level(i)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupHierarchy {
+    levels: Vec<GroupLevel>,
+}
+
+impl GroupHierarchy {
+    /// Creates a hierarchy from levels ordered finest → coarsest,
+    /// validating side sizes and the refinement chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidHierarchy`] when `levels` is empty,
+    /// the levels disagree on node counts, or some level is not refined
+    /// by its finer neighbour.
+    pub fn new(levels: Vec<GroupLevel>) -> Result<Self> {
+        if levels.is_empty() {
+            return Err(CoreError::InvalidHierarchy(
+                "hierarchy needs at least one level".to_string(),
+            ));
+        }
+        let (nl, nr) = (
+            levels[0].left().node_count(),
+            levels[0].right().node_count(),
+        );
+        for (i, level) in levels.iter().enumerate() {
+            if level.left().node_count() != nl || level.right().node_count() != nr {
+                return Err(CoreError::InvalidHierarchy(format!(
+                    "level {i} covers a different node set"
+                )));
+            }
+        }
+        for i in 1..levels.len() {
+            if !levels[i].is_refined_by(&levels[i - 1]) {
+                return Err(CoreError::InvalidHierarchy(format!(
+                    "level {i} is not refined by level {}",
+                    i - 1
+                )));
+            }
+        }
+        Ok(Self { levels })
+    }
+
+    /// Number of levels.
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The level at index `i` (0 = finest).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::LevelOutOfRange`] for `i ≥ level_count`.
+    pub fn level(&self, i: usize) -> Result<&GroupLevel> {
+        self.levels.get(i).ok_or(CoreError::LevelOutOfRange {
+            level: i,
+            level_count: self.levels.len(),
+        })
+    }
+
+    /// All levels, finest first.
+    pub fn levels(&self) -> &[GroupLevel] {
+        &self.levels
+    }
+
+    /// The finest level.
+    pub fn finest(&self) -> &GroupLevel {
+        &self.levels[0]
+    }
+
+    /// The coarsest level.
+    pub fn coarsest(&self) -> &GroupLevel {
+        &self.levels[self.levels.len() - 1]
+    }
+
+    /// Group counts per level, finest first — the paper's
+    /// `4^{L−i}`-style fanout numbers when built by the specializer.
+    pub fn group_counts(&self) -> Vec<u64> {
+        self.levels.iter().map(GroupLevel::group_count).collect()
+    }
+
+    /// Count-query sensitivity (max incident edges over groups) at every
+    /// level, finest first. Monotone non-decreasing by construction —
+    /// merging groups can only grow incident-edge mass.
+    pub fn sensitivities(&self, graph: &BipartiteGraph) -> Vec<u64> {
+        self.levels
+            .iter()
+            .map(|l| l.max_incident_edges(graph))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_graph::{GraphBuilder, LeftId, RightId};
+
+    fn graph() -> BipartiteGraph {
+        // 4 left, 4 right, 6 edges.
+        let mut b = GraphBuilder::new(4, 4);
+        for (l, r) in [(0, 0), (0, 1), (1, 1), (2, 2), (3, 3), (3, 2)] {
+            b.add_edge(LeftId::new(l), RightId::new(r)).unwrap();
+        }
+        b.build()
+    }
+
+    fn two_level_hierarchy() -> GroupHierarchy {
+        let fine = GroupLevel::new(
+            SidePartition::new(Side::Left, vec![0, 0, 1, 1], 2).unwrap(),
+            SidePartition::new(Side::Right, vec![0, 0, 1, 1], 2).unwrap(),
+        )
+        .unwrap();
+        let coarse = GroupLevel::new(
+            SidePartition::whole(Side::Left, 4).unwrap(),
+            SidePartition::whole(Side::Right, 4).unwrap(),
+        )
+        .unwrap();
+        GroupHierarchy::new(vec![fine, coarse]).unwrap()
+    }
+
+    #[test]
+    fn level_construction_checks_sides() {
+        let wrong = GroupLevel::new(
+            SidePartition::new(Side::Right, vec![0], 1).unwrap(),
+            SidePartition::new(Side::Right, vec![0], 1).unwrap(),
+        );
+        assert!(matches!(wrong, Err(CoreError::InvalidHierarchy(_))));
+    }
+
+    #[test]
+    fn group_count_sums_both_sides() {
+        let h = two_level_hierarchy();
+        assert_eq!(h.level(0).unwrap().group_count(), 4);
+        assert_eq!(h.level(1).unwrap().group_count(), 2);
+        assert_eq!(h.group_counts(), vec![4, 2]);
+    }
+
+    #[test]
+    fn refinement_validation_rejects_crossers() {
+        let fine = GroupLevel::new(
+            SidePartition::new(Side::Left, vec![0, 1, 0, 1], 2).unwrap(),
+            SidePartition::new(Side::Right, vec![0, 0, 1, 1], 2).unwrap(),
+        )
+        .unwrap();
+        let coarse = GroupLevel::new(
+            SidePartition::new(Side::Left, vec![0, 0, 1, 1], 2).unwrap(),
+            SidePartition::whole(Side::Right, 4).unwrap(),
+        )
+        .unwrap();
+        // fine's left crosses coarse's left blocks → invalid.
+        let err = GroupHierarchy::new(vec![fine, coarse]).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidHierarchy(_)));
+    }
+
+    #[test]
+    fn node_count_mismatch_rejected() {
+        let a = GroupLevel::new(
+            SidePartition::whole(Side::Left, 4).unwrap(),
+            SidePartition::whole(Side::Right, 4).unwrap(),
+        )
+        .unwrap();
+        let b = GroupLevel::new(
+            SidePartition::whole(Side::Left, 3).unwrap(),
+            SidePartition::whole(Side::Right, 4).unwrap(),
+        )
+        .unwrap();
+        assert!(GroupHierarchy::new(vec![a, b]).is_err());
+    }
+
+    #[test]
+    fn sensitivities_monotone_with_level() {
+        let g = graph();
+        let h = two_level_hierarchy();
+        let sens = h.sensitivities(&g);
+        assert_eq!(sens.len(), 2);
+        assert!(sens[0] <= sens[1]);
+        // Coarsest: one group holds all 6 edges.
+        assert_eq!(sens[1], 6);
+        // Finest here: left blocks {0,1} (deg 2+1=3), {2,3} (1+2=3);
+        // right blocks {0,1} (1+2=3), {2,3} (2+1=3).
+        assert_eq!(sens[0], 3);
+    }
+
+    #[test]
+    fn incident_edges_lists_left_then_right() {
+        let g = graph();
+        let h = two_level_hierarchy();
+        let inc = h.level(0).unwrap().incident_edges(&g);
+        assert_eq!(inc, vec![3, 3, 3, 3]);
+        let total_left: u64 = inc[..2].iter().sum();
+        assert_eq!(total_left, g.edge_count());
+    }
+
+    #[test]
+    fn level_out_of_range() {
+        let h = two_level_hierarchy();
+        assert!(matches!(
+            h.level(2),
+            Err(CoreError::LevelOutOfRange {
+                level: 2,
+                level_count: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn accessors() {
+        let h = two_level_hierarchy();
+        assert_eq!(h.level_count(), 2);
+        assert_eq!(h.finest().group_count(), 4);
+        assert_eq!(h.coarsest().group_count(), 2);
+        assert_eq!(h.levels().len(), 2);
+    }
+
+    #[test]
+    fn max_group_size() {
+        let h = two_level_hierarchy();
+        assert_eq!(h.finest().max_group_size(), 2);
+        assert_eq!(h.coarsest().max_group_size(), 4);
+    }
+
+    #[test]
+    fn empty_hierarchy_rejected() {
+        assert!(GroupHierarchy::new(vec![]).is_err());
+    }
+}

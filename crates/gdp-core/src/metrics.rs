@@ -1,0 +1,151 @@
+use serde::{Deserialize, Serialize};
+
+/// The paper's utility metric: **relative error rate**
+/// `RER = |P − T| / T` for perturbed answer `P` and true answer `T`.
+///
+/// For `T = 0` (possible on empty subgraphs) the absolute error `|P|` is
+/// returned instead of dividing by zero — callers comparing series at
+/// fixed workloads are unaffected, and the value stays finite.
+///
+/// ```
+/// use gdp_core::relative_error;
+/// assert_eq!(relative_error(110.0, 100.0), 0.1);
+/// assert_eq!(relative_error(90.0, 100.0), 0.1);
+/// assert_eq!(relative_error(3.0, 0.0), 3.0);
+/// ```
+pub fn relative_error(perturbed: f64, true_value: f64) -> f64 {
+    if true_value == 0.0 {
+        perturbed.abs()
+    } else {
+        (perturbed - true_value).abs() / true_value.abs()
+    }
+}
+
+/// Mean RER over `(perturbed, true)` pairs; 0 for an empty iterator.
+pub fn mean_relative_error<I>(pairs: I) -> f64
+where
+    I: IntoIterator<Item = (f64, f64)>,
+{
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (p, t) in pairs {
+        sum += relative_error(p, t);
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Summary statistics over a set of error observations (RERs, absolute
+/// errors, …) — what the experiment harness prints per configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorSummary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (lower of the two middles for even counts).
+    pub median: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Root mean square.
+    pub rmse: f64,
+}
+
+impl ErrorSummary {
+    /// Summarizes raw error observations. Returns `None` for an empty
+    /// slice (there is no meaningful summary of nothing).
+    pub fn from_errors(errors: &[f64]) -> Option<Self> {
+        if errors.is_empty() {
+            return None;
+        }
+        let mut sorted = errors.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("errors must not be NaN"));
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let rmse = (sorted.iter().map(|e| e * e).sum::<f64>() / n as f64).sqrt();
+        Some(Self {
+            count: n,
+            mean,
+            median: sorted[(n - 1) / 2],
+            min: sorted[0],
+            max: sorted[n - 1],
+            rmse,
+        })
+    }
+
+    /// Summarizes RERs computed from `(perturbed, true)` pairs.
+    pub fn from_pairs<I>(pairs: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = (f64, f64)>,
+    {
+        let errors: Vec<f64> = pairs
+            .into_iter()
+            .map(|(p, t)| relative_error(p, t))
+            .collect();
+        Self::from_errors(&errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rer_definition() {
+        assert_eq!(relative_error(100.0, 100.0), 0.0);
+        assert_eq!(relative_error(135.0, 100.0), 0.35);
+        assert_eq!(relative_error(65.0, 100.0), 0.35);
+        // Negative true values use |T|.
+        assert_eq!(relative_error(-90.0, -100.0), 0.1);
+    }
+
+    #[test]
+    fn zero_truth_falls_back_to_absolute() {
+        assert_eq!(relative_error(7.5, 0.0), 7.5);
+        assert_eq!(relative_error(-7.5, 0.0), 7.5);
+    }
+
+    #[test]
+    fn mean_rer() {
+        let pairs = [(110.0, 100.0), (80.0, 100.0)];
+        assert!((mean_relative_error(pairs) - 0.15).abs() < 1e-12);
+        assert_eq!(mean_relative_error(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = ErrorSummary::from_errors(&[0.1, 0.3, 0.2, 0.4]).unwrap();
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 0.25).abs() < 1e-12);
+        assert_eq!(s.median, 0.2);
+        assert_eq!(s.min, 0.1);
+        assert_eq!(s.max, 0.4);
+        let want_rmse = ((0.01f64 + 0.09 + 0.04 + 0.16) / 4.0).sqrt();
+        assert!((s.rmse - want_rmse).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(ErrorSummary::from_errors(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_from_pairs() {
+        let s = ErrorSummary::from_pairs([(110.0, 100.0), (120.0, 100.0)]).unwrap();
+        assert!((s.mean - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_observation_summary() {
+        let s = ErrorSummary::from_errors(&[0.5]).unwrap();
+        assert_eq!(s.median, 0.5);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 0.5);
+    }
+}

@@ -1,0 +1,372 @@
+//! Post-processing of multi-level releases — utility improvements that
+//! cost **zero** additional privacy budget (post-processing invariance of
+//! DP).
+//!
+//! Two estimators:
+//!
+//! * [`fuse_total_estimates`] — every level releases a noisy copy of the
+//!   *same* total association count with a known noise variance;
+//!   inverse-variance weighting fuses the levels a reader may access
+//!   into a single estimate strictly better than any one of them.
+//! * [`ConsistentCounts`] — the per-group counts of two adjacent levels
+//!   are linked ("children sum to their parent"); a bottom-up
+//!   inverse-variance pass followed by a top-down adjustment (the
+//!   Hay et al. boosting scheme generalized to per-level variances)
+//!   returns counts that are exactly consistent across the two levels
+//!   and lower-variance than the raw release.
+//!
+//! Both are implemented over released artifacts only — no access to the
+//! private graph — so they can run on the *consumer* side.
+
+use gdp_graph::SidePartition;
+
+use crate::error::CoreError;
+use crate::queries::Query;
+use crate::release::MultiLevelRelease;
+use crate::Result;
+
+/// Inverse-variance fusion of the noisy total counts of `levels`.
+///
+/// Returns `(estimate, variance)` of the fused estimator. Levels are
+/// weighted by `1/σ²` using each release's recorded noise scale, which
+/// is exact for Gaussian noise and a good approximation for Laplace
+/// (variance `2b²`).
+///
+/// # Errors
+///
+/// * [`CoreError::LevelOutOfRange`] for an unknown level index.
+/// * [`CoreError::InvalidConfig`] when `levels` is empty or a level did
+///   not release the total-count query.
+pub fn fuse_total_estimates(
+    release: &MultiLevelRelease,
+    levels: &[usize],
+) -> Result<(f64, f64)> {
+    if levels.is_empty() {
+        return Err(CoreError::InvalidConfig(
+            "fusion needs at least one level".to_string(),
+        ));
+    }
+    let mut weight_sum = 0.0;
+    let mut weighted_value = 0.0;
+    for &i in levels {
+        let level = release.level(i)?;
+        let q = level.query(Query::TotalAssociations).ok_or_else(|| {
+            CoreError::InvalidConfig(format!("level {i} did not release the total count"))
+        })?;
+        let variance = variance_of(release, q.noise_scale);
+        let w = 1.0 / variance;
+        weight_sum += w;
+        weighted_value += w * q.scalar().expect("total count is scalar");
+    }
+    Ok((weighted_value / weight_sum, 1.0 / weight_sum))
+}
+
+/// Noise variance implied by a release's scale under its mechanism.
+fn variance_of(release: &MultiLevelRelease, scale: f64) -> f64 {
+    use crate::disclosure::NoiseMechanism;
+    match release.mechanism() {
+        NoiseMechanism::GaussianClassic | NoiseMechanism::GaussianAnalytic => scale * scale,
+        NoiseMechanism::Laplace => 2.0 * scale * scale,
+        // Two-sided geometric with decay α: Var = 2α/(1−α)².
+        NoiseMechanism::Geometric => 2.0 * scale / ((1.0 - scale) * (1.0 - scale)),
+    }
+}
+
+/// Consistent per-group counts across one parent/child level pair of a
+/// hierarchy side.
+///
+/// Input: noisy counts `child[j]` (variance `var_child` each) for the
+/// finer level's blocks and `parent[i]` (variance `var_parent`) for the
+/// coarser level's blocks, plus the two partitions (the finer must
+/// refine the coarser). Output: adjusted counts where
+/// `Σ_{j ∈ children(i)} child[j] = parent[i]` holds exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsistentCounts {
+    /// Adjusted parent-level counts.
+    pub parent: Vec<f64>,
+    /// Adjusted child-level counts (consistent with `parent`).
+    pub child: Vec<f64>,
+    /// Variance of each adjusted parent estimate (uniform).
+    pub parent_variance: f64,
+}
+
+impl ConsistentCounts {
+    /// Runs the two-pass estimator.
+    ///
+    /// Bottom-up: for each parent block, fuse its own noisy count with
+    /// the sum of its children's (inverse-variance weights). Top-down:
+    /// spread each parent's residual `parent − Σ children` uniformly over
+    /// its children so the hierarchy constraint holds exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when lengths mismatch the
+    /// partitions, variances are not positive, or `finer` does not refine
+    /// `coarser`.
+    pub fn new(
+        coarser: &SidePartition,
+        finer: &SidePartition,
+        parent_noisy: &[f64],
+        child_noisy: &[f64],
+        var_parent: f64,
+        var_child: f64,
+    ) -> Result<Self> {
+        if !coarser.is_refined_by(finer) {
+            return Err(CoreError::InvalidConfig(
+                "finer partition does not refine coarser".to_string(),
+            ));
+        }
+        if parent_noisy.len() != coarser.block_count() as usize
+            || child_noisy.len() != finer.block_count() as usize
+        {
+            return Err(CoreError::InvalidConfig(
+                "count vector lengths do not match partitions".to_string(),
+            ));
+        }
+        if var_parent <= 0.0 || var_child <= 0.0 {
+            return Err(CoreError::InvalidConfig(
+                "variances must be positive".to_string(),
+            ));
+        }
+
+        // children(i): finer blocks inside coarser block i.
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); parent_noisy.len()];
+        let mut child_parent = vec![0usize; child_noisy.len()];
+        for node in 0..finer.node_count() {
+            let cb = finer.block_of(node) as usize;
+            let pb = coarser.block_of(node) as usize;
+            child_parent[cb] = pb;
+        }
+        for (cb, &pb) in child_parent.iter().enumerate() {
+            children[pb].push(cb);
+        }
+
+        // Bottom-up fusion per parent.
+        let mut parent = Vec::with_capacity(parent_noisy.len());
+        let mut parent_variance = 0.0f64;
+        for (i, &z_parent) in parent_noisy.iter().enumerate() {
+            let k = children[i].len() as f64;
+            let child_sum: f64 = children[i].iter().map(|&j| child_noisy[j]).sum();
+            if k == 0.0 {
+                parent.push(z_parent);
+                parent_variance = parent_variance.max(var_parent);
+                continue;
+            }
+            // Two independent estimates of the same quantity:
+            // z_parent (var vp) and child_sum (var k·vc).
+            let w_parent = 1.0 / var_parent;
+            let w_children = 1.0 / (k * var_child);
+            let fused = (w_parent * z_parent + w_children * child_sum) / (w_parent + w_children);
+            parent.push(fused);
+            parent_variance = parent_variance.max(1.0 / (w_parent + w_children));
+        }
+
+        // Top-down: distribute each parent's residual over its children.
+        let mut child = child_noisy.to_vec();
+        for (i, kids) in children.iter().enumerate() {
+            if kids.is_empty() {
+                continue;
+            }
+            let child_sum: f64 = kids.iter().map(|&j| child[j]).sum();
+            let residual = (parent[i] - child_sum) / kids.len() as f64;
+            for &j in kids {
+                child[j] += residual;
+            }
+        }
+
+        Ok(Self {
+            parent,
+            child,
+            parent_variance,
+        })
+    }
+
+    /// Maximum absolute violation of the hierarchy constraint (≈ 0 after
+    /// processing; exposed for tests and sanity checks).
+    pub fn max_violation(&self, coarser: &SidePartition, finer: &SidePartition) -> f64 {
+        let mut child_sum = vec![0f64; self.parent.len()];
+        let mut seen_child = vec![false; self.child.len()];
+        for node in 0..finer.node_count() {
+            let cb = finer.block_of(node) as usize;
+            if !seen_child[cb] {
+                seen_child[cb] = true;
+                child_sum[coarser.block_of(node) as usize] += self.child[cb];
+            }
+        }
+        self.parent
+            .iter()
+            .zip(&child_sum)
+            .map(|(p, s)| (p - s).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Clamps noisy counts to be non-negative — valid post-processing that
+/// strictly reduces error for count queries (the truth is non-negative).
+pub fn clamp_non_negative(values: &mut [f64]) {
+    for v in values {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disclosure::{DisclosureConfig, MultiLevelDiscloser};
+    use crate::specialize::{SpecializationConfig, Specializer};
+    use gdp_datagen::{DblpConfig, DblpGenerator};
+    use gdp_graph::Side;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (gdp_graph::BipartiteGraph, crate::GroupHierarchy, MultiLevelRelease) {
+        let mut rng = StdRng::seed_from_u64(40);
+        let graph = DblpGenerator::new(DblpConfig::tiny()).generate(&mut rng);
+        let hierarchy = Specializer::new(SpecializationConfig::median(3).unwrap())
+            .specialize(&graph, &mut rng)
+            .unwrap();
+        let release =
+            MultiLevelDiscloser::new(DisclosureConfig::count_only(0.5, 1e-6).unwrap())
+                .disclose(&graph, &hierarchy, &mut rng)
+                .unwrap();
+        (graph, hierarchy, release)
+    }
+
+    #[test]
+    fn fused_estimate_beats_every_single_level_in_variance() {
+        let (_, h, release) = setup();
+        let all: Vec<usize> = (0..h.level_count()).collect();
+        let (_, fused_var) = fuse_total_estimates(&release, &all).unwrap();
+        for i in &all {
+            let q = release.level(*i).unwrap().queries[0].clone();
+            let lvl_var = q.noise_scale * q.noise_scale;
+            assert!(
+                fused_var < lvl_var,
+                "fused var {fused_var} not below level {i} var {lvl_var}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_estimate_is_statistically_closer() {
+        // Over repeated disclosures, the fused estimate's mean error must
+        // be below the coarsest level's mean error.
+        let mut rng = StdRng::seed_from_u64(41);
+        let graph = DblpGenerator::new(DblpConfig::tiny()).generate(&mut rng);
+        let hierarchy = Specializer::new(SpecializationConfig::median(3).unwrap())
+            .specialize(&graph, &mut rng)
+            .unwrap();
+        let discloser =
+            MultiLevelDiscloser::new(DisclosureConfig::count_only(0.5, 1e-6).unwrap());
+        let truth = graph.edge_count() as f64;
+        let trials = 60;
+        let mut err_fused = 0.0;
+        let mut err_coarse = 0.0;
+        let top = hierarchy.level_count() - 1;
+        for _ in 0..trials {
+            let release = discloser.disclose(&graph, &hierarchy, &mut rng).unwrap();
+            let (fused, _) =
+                fuse_total_estimates(&release, &(0..=top).collect::<Vec<_>>()).unwrap();
+            err_fused += (fused - truth).abs();
+            err_coarse +=
+                (release.level(top).unwrap().total_associations().unwrap() - truth).abs();
+        }
+        assert!(
+            err_fused < err_coarse,
+            "fusion did not help: {err_fused} vs {err_coarse}"
+        );
+    }
+
+    #[test]
+    fn fusion_input_validation() {
+        let (_, _, release) = setup();
+        assert!(fuse_total_estimates(&release, &[]).is_err());
+        assert!(fuse_total_estimates(&release, &[99]).is_err());
+    }
+
+    #[test]
+    fn consistency_enforced_exactly() {
+        let coarser = SidePartition::new(Side::Left, vec![0, 0, 1, 1, 1], 2).unwrap();
+        let finer = SidePartition::new(Side::Left, vec![0, 1, 2, 2, 3], 4).unwrap();
+        let parent = [10.0, 21.0];
+        let child = [4.0, 4.0, 12.0, 6.0];
+        let cc = ConsistentCounts::new(&coarser, &finer, &parent, &child, 1.0, 1.0).unwrap();
+        assert!(cc.max_violation(&coarser, &finer) < 1e-9);
+        // Parent 0 fuses 10 with (4+4): between the two inputs.
+        assert!(cc.parent[0] > 8.0 && cc.parent[0] < 10.0);
+        // Children of parent 0 still sum to parent 0.
+        assert!((cc.child[0] + cc.child[1] - cc.parent[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn consistency_rejects_bad_inputs() {
+        let coarser = SidePartition::new(Side::Left, vec![0, 0, 1, 1], 2).unwrap();
+        let finer = SidePartition::new(Side::Left, vec![0, 1, 2, 3], 4).unwrap();
+        // Wrong lengths.
+        assert!(ConsistentCounts::new(&coarser, &finer, &[1.0], &[1.0; 4], 1.0, 1.0).is_err());
+        // Non-positive variance.
+        assert!(
+            ConsistentCounts::new(&coarser, &finer, &[1.0; 2], &[1.0; 4], 0.0, 1.0).is_err()
+        );
+        // Non-refining pair.
+        let crossing = SidePartition::new(Side::Left, vec![0, 1, 0, 1], 2).unwrap();
+        assert!(
+            ConsistentCounts::new(&crossing, &finer, &[1.0; 2], &[1.0; 4], 1.0, 1.0).is_ok()
+                // singletons refine anything, so use reversed roles to break it:
+        );
+        assert!(
+            ConsistentCounts::new(&finer, &crossing, &[1.0; 4], &[1.0; 2], 1.0, 1.0).is_err()
+        );
+    }
+
+    #[test]
+    fn consistency_reduces_error_statistically() {
+        // True counts with exact hierarchy; add Gaussian noise; the
+        // processed estimates must beat the raw ones on average.
+        let coarser = SidePartition::new(Side::Left, vec![0, 0, 0, 1, 1, 1], 2).unwrap();
+        let finer = SidePartition::new(Side::Left, vec![0, 0, 1, 2, 3, 3], 4).unwrap();
+        let true_parent = [30.0, 24.0];
+        let true_child = [18.0, 12.0, 8.0, 16.0];
+        let sigma = 4.0;
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 400;
+        let mut raw_err = 0.0;
+        let mut adj_err = 0.0;
+        for _ in 0..trials {
+            let noisy_parent: Vec<f64> = true_parent
+                .iter()
+                .map(|t| t + gdp_mechanisms::sampling::gaussian(&mut rng, sigma))
+                .collect();
+            let noisy_child: Vec<f64> = true_child
+                .iter()
+                .map(|t| t + gdp_mechanisms::sampling::gaussian(&mut rng, sigma))
+                .collect();
+            let cc = ConsistentCounts::new(
+                &coarser,
+                &finer,
+                &noisy_parent,
+                &noisy_child,
+                sigma * sigma,
+                sigma * sigma,
+            )
+            .unwrap();
+            for i in 0..2 {
+                raw_err += (noisy_parent[i] - true_parent[i]).abs();
+                adj_err += (cc.parent[i] - true_parent[i]).abs();
+            }
+        }
+        assert!(
+            adj_err < raw_err,
+            "consistency pass did not reduce parent error: {adj_err} vs {raw_err}"
+        );
+    }
+
+    #[test]
+    fn clamp_only_touches_negatives() {
+        let mut v = [-3.0, 0.0, 2.5, -0.1];
+        clamp_non_negative(&mut v);
+        assert_eq!(v, [0.0, 0.0, 2.5, 0.0]);
+    }
+}

@@ -1,0 +1,250 @@
+use rand::Rng;
+
+use gdp_graph::BipartiteGraph;
+use gdp_mechanisms::{
+    Delta, GaussianRdpAccountant, PrivacyAccountant, PrivacyBudget,
+};
+
+use crate::disclosure::{DisclosureConfig, MultiLevelDiscloser, NoiseMechanism};
+use crate::error::CoreError;
+use crate::hierarchy::GroupHierarchy;
+use crate::release::MultiLevelRelease;
+use crate::Result;
+
+/// A budget-enforced, repeatable disclosure session — the "weekly
+/// release" deployment story.
+///
+/// The paper's pipeline publishes once; a real service re-publishes as
+/// data or audiences change, and the cumulative privacy loss **to the
+/// same audience** must stay within an authorized total. `DisclosureSession`
+/// owns that accounting:
+///
+/// * every disclosure is charged to a [`PrivacyAccountant`] under
+///   sequential composition (the enforced, worst-case ledger), and
+/// * Gaussian disclosures are *also* tracked by a
+///   [`GaussianRdpAccountant`], whose tighter `(ε, δ)` conversion is
+///   reported for comparison — letting operators see how much budget the
+///   simple ledger over-counts.
+///
+/// One disclosure of the multi-level bundle charges `εg` **once**, not
+/// once per level: the levels partition their audiences in the paper's
+/// model, and within a release each level is a separate output of the
+/// same mechanism run (see `release` docs). Sessions model the repeated
+/// exposure of the *whole bundle* over time.
+///
+/// ```
+/// use gdp_core::{DisclosureConfig, DisclosureSession, SpecializationConfig, Specializer};
+/// use gdp_datagen::{DblpConfig, DblpGenerator};
+/// use gdp_mechanisms::PrivacyBudget;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), gdp_core::CoreError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let graph = DblpGenerator::new(DblpConfig::tiny()).generate(&mut rng);
+/// let hierarchy = Specializer::new(SpecializationConfig::median(2)?)
+///     .specialize(&graph, &mut rng)?;
+///
+/// let total = PrivacyBudget::new(1.0, 1e-5)?;
+/// let config = DisclosureConfig::count_only(0.4, 1e-6)?;
+/// let mut session = DisclosureSession::new(graph, hierarchy, total);
+/// session.disclose(&config, &mut rng)?; // spends (0.4, 1e-6)
+/// session.disclose(&config, &mut rng)?; // spends (0.8, 2e-6) total
+/// // A third disclosure would exceed ε = 1.0 and is refused.
+/// assert!(session.disclose(&config, &mut rng).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DisclosureSession {
+    graph: BipartiteGraph,
+    hierarchy: GroupHierarchy,
+    accountant: PrivacyAccountant,
+    rdp: GaussianRdpAccountant,
+    releases_made: usize,
+}
+
+impl DisclosureSession {
+    /// Opens a session over a fixed graph and hierarchy with an
+    /// authorized total budget.
+    pub fn new(
+        graph: BipartiteGraph,
+        hierarchy: GroupHierarchy,
+        total: PrivacyBudget,
+    ) -> Self {
+        Self {
+            graph,
+            hierarchy,
+            accountant: PrivacyAccountant::new(total),
+            rdp: GaussianRdpAccountant::new(),
+            releases_made: 0,
+        }
+    }
+
+    /// The sequential-composition ledger.
+    pub fn accountant(&self) -> &PrivacyAccountant {
+        &self.accountant
+    }
+
+    /// Number of successful disclosures so far.
+    pub fn releases_made(&self) -> usize {
+        self.releases_made
+    }
+
+    /// Budget still spendable under sequential composition.
+    pub fn remaining(&self) -> Option<PrivacyBudget> {
+        self.accountant.remaining()
+    }
+
+    /// Runs one multi-level disclosure, charging the session first.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Mechanism`] with `BudgetExhausted` if the charge
+    ///   would exceed the authorized total (nothing is released).
+    /// * Any disclosure error (the charge **is** recorded in that case —
+    ///   a failed randomized release must still be assumed observed).
+    pub fn disclose<R: Rng + ?Sized>(
+        &mut self,
+        config: &DisclosureConfig,
+        rng: &mut R,
+    ) -> Result<MultiLevelRelease> {
+        let charge = PrivacyBudget {
+            epsilon: config.epsilon_g,
+            delta: if config.mechanism.uses_delta() {
+                config.delta
+            } else {
+                Delta::ZERO
+            },
+        };
+        self.accountant
+            .charge(charge, format!("disclosure #{}", self.releases_made + 1))?;
+        let release = MultiLevelDiscloser::new(config.clone()).disclose(
+            &self.graph,
+            &self.hierarchy,
+            rng,
+        )?;
+        // Track Gaussian releases in the RDP ledger too (tightest level
+        // dominates: each level is calibrated to its own sensitivity, so
+        // per-release RDP is that of noise-multiplier σ/Δ, identical for
+        // every level by construction).
+        if matches!(
+            config.mechanism,
+            NoiseMechanism::GaussianClassic | NoiseMechanism::GaussianAnalytic
+        ) {
+            if let Some(level) = release.levels().first() {
+                if let Some(q) = level.queries.first() {
+                    // σ/Δ is constant across levels; use level 0's pair.
+                    self.rdp
+                        .observe_gaussian(q.noise_scale, q.sensitivity.l2)
+                        .map_err(CoreError::Mechanism)?;
+                }
+            }
+        }
+        self.releases_made += 1;
+        Ok(release)
+    }
+
+    /// The tighter `(ε, δ)` bound on everything disclosed so far per the
+    /// RDP ledger (Gaussian releases only), for comparison against the
+    /// enforced sequential ledger.
+    ///
+    /// # Errors
+    ///
+    /// Propagates conversion errors (e.g. no Gaussian release yet).
+    pub fn rdp_bound(&self, delta: Delta) -> Result<PrivacyBudget> {
+        Ok(self.rdp.to_budget(delta)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specialize::{SpecializationConfig, Specializer};
+    use gdp_datagen::{DblpConfig, DblpGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn session(total_eps: f64) -> DisclosureSession {
+        let mut rng = StdRng::seed_from_u64(60);
+        let graph = DblpGenerator::new(DblpConfig::tiny()).generate(&mut rng);
+        let hierarchy = Specializer::new(SpecializationConfig::median(2).unwrap())
+            .specialize(&graph, &mut rng)
+            .unwrap();
+        DisclosureSession::new(
+            graph,
+            hierarchy,
+            PrivacyBudget::new(total_eps, 1e-4).unwrap(),
+        )
+    }
+
+    #[test]
+    fn budget_enforced_across_disclosures() {
+        let mut s = session(1.0);
+        let config = DisclosureConfig::count_only(0.4, 1e-6).unwrap();
+        let mut rng = StdRng::seed_from_u64(61);
+        assert!(s.disclose(&config, &mut rng).is_ok());
+        assert!(s.disclose(&config, &mut rng).is_ok());
+        let err = s.disclose(&config, &mut rng).unwrap_err();
+        assert!(matches!(err, CoreError::Mechanism(_)));
+        assert_eq!(s.releases_made(), 2);
+        assert!((s.accountant().spent_epsilon() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remaining_shrinks_per_release() {
+        let mut s = session(1.0);
+        let config = DisclosureConfig::count_only(0.3, 1e-6).unwrap();
+        let mut rng = StdRng::seed_from_u64(62);
+        let before = s.remaining().unwrap().epsilon.get();
+        s.disclose(&config, &mut rng).unwrap();
+        let after = s.remaining().unwrap().epsilon.get();
+        assert!((before - after - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rdp_bound_tighter_than_ledger_for_many_releases() {
+        let mut s = session(10.0);
+        let config = DisclosureConfig::count_only(0.3, 1e-7).unwrap();
+        let mut rng = StdRng::seed_from_u64(63);
+        for _ in 0..20 {
+            s.disclose(&config, &mut rng).unwrap();
+        }
+        let ledger_eps = s.accountant().spent_epsilon(); // 6.0
+        let rdp = s.rdp_bound(Delta::new(1e-5).unwrap()).unwrap();
+        assert!(
+            rdp.epsilon.get() < ledger_eps,
+            "RDP ε {} not tighter than ledger ε {ledger_eps}",
+            rdp.epsilon.get()
+        );
+    }
+
+    #[test]
+    fn laplace_releases_do_not_touch_rdp_ledger() {
+        let mut s = session(2.0);
+        let config = DisclosureConfig::count_only(0.5, 1e-6)
+            .unwrap()
+            .with_mechanism(NoiseMechanism::Laplace);
+        let mut rng = StdRng::seed_from_u64(64);
+        s.disclose(&config, &mut rng).unwrap();
+        // No Gaussian observed → conversion fails on ρ = 0.
+        assert!(s.rdp_bound(Delta::new(1e-5).unwrap()).is_err());
+        // And Laplace charges pure ε.
+        assert_eq!(s.accountant().spent_delta(), 0.0);
+    }
+
+    #[test]
+    fn ledger_labels_disclosures_in_order() {
+        let mut s = session(2.0);
+        let config = DisclosureConfig::count_only(0.5, 1e-6).unwrap();
+        let mut rng = StdRng::seed_from_u64(65);
+        s.disclose(&config, &mut rng).unwrap();
+        s.disclose(&config, &mut rng).unwrap();
+        let labels: Vec<&str> = s
+            .accountant()
+            .ledger()
+            .iter()
+            .map(|e| e.label.as_str())
+            .collect();
+        assert_eq!(labels, vec!["disclosure #1", "disclosure #2"]);
+    }
+}

@@ -1,0 +1,197 @@
+//! The movie-rating scenario from the paper's introduction: viewers
+//! (left) rating movies (right). Genre-level viewing aggregates (e.g.
+//! how much a demographic group watches a stigmatized genre) are the
+//! group-sensitive statistics here.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use gdp_graph::{BipartiteGraph, GraphBuilder, LeftId, RightId};
+
+use crate::zipf::ZipfSampler;
+
+/// Movie genre; a coarse label for group-level statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Genre {
+    /// Action & adventure.
+    Action,
+    /// Comedy.
+    Comedy,
+    /// Drama.
+    Drama,
+    /// Documentary.
+    Documentary,
+    /// Adult-rated content — the stigmatized genre in the examples.
+    Adult,
+}
+
+impl Genre {
+    /// All genres in fixed order.
+    pub fn all() -> [Genre; 5] {
+        [
+            Genre::Action,
+            Genre::Comedy,
+            Genre::Drama,
+            Genre::Documentary,
+            Genre::Adult,
+        ]
+    }
+}
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MovieConfig {
+    /// Number of viewers (left nodes).
+    pub viewers: u32,
+    /// Number of movies (right nodes).
+    pub movies: u32,
+    /// Mean ratings per viewer.
+    pub mean_ratings: f64,
+    /// Zipf exponent of movie popularity (blockbusters vs. long tail).
+    pub popularity_exponent: f64,
+}
+
+impl Default for MovieConfig {
+    fn default() -> Self {
+        Self {
+            viewers: 8_000,
+            movies: 1_200,
+            mean_ratings: 15.0,
+            popularity_exponent: 1.05,
+        }
+    }
+}
+
+/// A movie-rating dataset: association graph plus genre labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MovieDataset {
+    /// Viewers × movies association graph.
+    pub graph: BipartiteGraph,
+    /// Genre of each movie, indexed by `RightId`.
+    pub genres: Vec<Genre>,
+}
+
+impl MovieDataset {
+    /// Total ratings given to movies of `genre`.
+    pub fn genre_ratings(&self, genre: Genre) -> u64 {
+        self.genres
+            .iter()
+            .enumerate()
+            .filter(|(_, &g)| g == genre)
+            .map(|(r, _)| self.graph.right_degree(RightId::new(r as u32)) as u64)
+            .sum()
+    }
+
+    /// Number of distinct viewers who rated at least one movie of
+    /// `genre` — a linkage statistic group privacy protects.
+    pub fn viewers_of_genre(&self, genre: Genre) -> u64 {
+        let mut count = 0u64;
+        for l in 0..self.graph.left_count() {
+            let touched = self
+                .graph
+                .neighbors_of_left(LeftId::new(l))
+                .iter()
+                .any(|r| self.genres[r.as_usize()] == genre);
+            if touched {
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+/// Generates a movie-rating dataset with Zipf movie popularity and
+/// geometric per-viewer rating counts.
+///
+/// # Panics
+///
+/// Panics on degenerate configurations.
+pub fn generate<R: Rng + ?Sized>(rng: &mut R, config: &MovieConfig) -> MovieDataset {
+    assert!(config.viewers > 0 && config.movies > 0);
+    assert!(config.mean_ratings >= 1.0);
+    let zipf = ZipfSampler::new(config.movies as u64, config.popularity_exponent)
+        .expect("validated parameters");
+
+    let weights = [0.28f64, 0.27, 0.25, 0.12, 0.08];
+    let mut genres = Vec::with_capacity(config.movies as usize);
+    for _ in 0..config.movies {
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        let mut chosen = Genre::Action;
+        for (g, w) in Genre::all().into_iter().zip(weights) {
+            acc += w;
+            if u < acc {
+                chosen = g;
+                break;
+            }
+        }
+        genres.push(chosen);
+    }
+
+    let p = 1.0 / config.mean_ratings;
+    let mut builder = GraphBuilder::with_capacity(
+        config.viewers,
+        config.movies,
+        (config.viewers as f64 * config.mean_ratings) as usize,
+    );
+    for viewer in 0..config.viewers {
+        let mut ratings = 1u32;
+        while rng.gen::<f64>() > p && ratings < 500 {
+            ratings += 1;
+        }
+        for _ in 0..ratings {
+            let movie = (zipf.sample(rng) - 1) as u32;
+            builder
+                .add_edge(LeftId::new(viewer), RightId::new(movie))
+                .expect("in range");
+        }
+    }
+    MovieDataset {
+        graph: builder.build(),
+        genres,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset() -> MovieDataset {
+        generate(&mut StdRng::seed_from_u64(11), &MovieConfig::default())
+    }
+
+    #[test]
+    fn shapes_match_config() {
+        let d = dataset();
+        assert_eq!(d.graph.left_count(), 8_000);
+        assert_eq!(d.graph.right_count(), 1_200);
+        assert_eq!(d.genres.len(), 1_200);
+    }
+
+    #[test]
+    fn genre_ratings_partition_edges() {
+        let d = dataset();
+        let total: u64 = Genre::all().into_iter().map(|g| d.genre_ratings(g)).sum();
+        assert_eq!(total, d.graph.edge_count());
+    }
+
+    #[test]
+    fn viewers_of_genre_bounded_by_viewer_count() {
+        let d = dataset();
+        for g in Genre::all() {
+            let v = d.viewers_of_genre(g);
+            assert!(v <= d.graph.left_count() as u64);
+        }
+        // Popular genres reach most viewers with mean 15 ratings.
+        assert!(d.viewers_of_genre(Genre::Action) > d.graph.left_count() as u64 / 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&mut StdRng::seed_from_u64(2), &MovieConfig::default());
+        let b = generate(&mut StdRng::seed_from_u64(2), &MovieConfig::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,249 @@
+//! The pharmacy scenario from the paper's introduction: patients (left)
+//! purchasing drugs (right), where *"the total number of 'Psychiatric'
+//! drugs made by buyers in a given neighborhood"* is itself sensitive.
+//!
+//! [`PharmacyDataset`] carries, besides the association graph, the labels
+//! that make the group-privacy story concrete: a drug category per right
+//! node and a neighborhood per left node, so examples can build group
+//! hierarchies from real attributes instead of synthetic splits.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use gdp_graph::{BipartiteGraph, GraphBuilder, LeftId, RightId};
+
+use crate::zipf::ZipfSampler;
+
+/// Therapeutic category of a drug; `Psychiatric` is the paper's example
+/// of a category whose *aggregate* purchase counts are sensitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DrugCategory {
+    /// Common over-the-counter medication.
+    OverTheCounter,
+    /// Antibiotics and anti-infectives.
+    Antibiotic,
+    /// Cardiovascular medication.
+    Cardiac,
+    /// Diabetes medication (the paper's "insulin" example).
+    Diabetes,
+    /// Psychiatric medication — the paper's sensitive category.
+    Psychiatric,
+}
+
+impl DrugCategory {
+    /// All categories, in a fixed order.
+    pub fn all() -> [DrugCategory; 5] {
+        [
+            DrugCategory::OverTheCounter,
+            DrugCategory::Antibiotic,
+            DrugCategory::Cardiac,
+            DrugCategory::Diabetes,
+            DrugCategory::Psychiatric,
+        ]
+    }
+
+    /// Whether aggregate statistics over this category are treated as
+    /// sensitive in the examples.
+    pub fn is_sensitive(self) -> bool {
+        matches!(self, DrugCategory::Psychiatric)
+    }
+}
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PharmacyConfig {
+    /// Number of patients (left nodes).
+    pub patients: u32,
+    /// Number of distinct drugs (right nodes).
+    pub drugs: u32,
+    /// Number of neighborhoods patients are spread over.
+    pub neighborhoods: u32,
+    /// Mean purchases per patient.
+    pub mean_purchases: f64,
+    /// Zipf exponent of drug popularity.
+    pub popularity_exponent: f64,
+}
+
+impl Default for PharmacyConfig {
+    fn default() -> Self {
+        Self {
+            patients: 5_000,
+            drugs: 400,
+            neighborhoods: 25,
+            mean_purchases: 6.0,
+            popularity_exponent: 1.1,
+        }
+    }
+}
+
+/// A pharmacy purchase dataset: the association graph plus the attribute
+/// labels that group-privacy policies are written against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PharmacyDataset {
+    /// Patients × drugs association graph.
+    pub graph: BipartiteGraph,
+    /// Category of each drug, indexed by `RightId`.
+    pub drug_categories: Vec<DrugCategory>,
+    /// Neighborhood of each patient, indexed by `LeftId`.
+    pub neighborhoods: Vec<u32>,
+    /// Number of neighborhoods.
+    pub neighborhood_count: u32,
+}
+
+impl PharmacyDataset {
+    /// Total purchases of drugs in `category` — the sensitive aggregate
+    /// from the paper's motivating example.
+    pub fn category_purchases(&self, category: DrugCategory) -> u64 {
+        let mut total = 0u64;
+        for (r, &cat) in self.drug_categories.iter().enumerate() {
+            if cat == category {
+                total += self.graph.right_degree(RightId::new(r as u32)) as u64;
+            }
+        }
+        total
+    }
+
+    /// Purchases of `category` drugs by patients of one neighborhood —
+    /// exactly the paper's "Psychiatric drugs bought in a given zipcode".
+    pub fn neighborhood_category_purchases(
+        &self,
+        neighborhood: u32,
+        category: DrugCategory,
+    ) -> u64 {
+        let mut total = 0u64;
+        for (l, &nb) in self.neighborhoods.iter().enumerate() {
+            if nb != neighborhood {
+                continue;
+            }
+            for &r in self.graph.neighbors_of_left(LeftId::new(l as u32)) {
+                if self.drug_categories[r.as_usize()] == category {
+                    total += 1;
+                }
+            }
+        }
+        total
+    }
+}
+
+/// Generates a pharmacy dataset: drug popularity is Zipf, patients are
+/// assigned round-robin-with-jitter to neighborhoods, purchase counts are
+/// geometric with the configured mean.
+///
+/// # Panics
+///
+/// Panics on degenerate configurations (zero sizes, non-positive mean).
+pub fn generate<R: Rng + ?Sized>(rng: &mut R, config: &PharmacyConfig) -> PharmacyDataset {
+    assert!(config.patients > 0 && config.drugs > 0 && config.neighborhoods > 0);
+    assert!(config.mean_purchases >= 1.0);
+    let zipf = ZipfSampler::new(config.drugs as u64, config.popularity_exponent)
+        .expect("validated parameters");
+
+    // Assign drug categories with a fixed marginal distribution; the
+    // sensitive category is deliberately a minority.
+    let weights = [0.35f64, 0.25, 0.18, 0.12, 0.10];
+    let mut drug_categories = Vec::with_capacity(config.drugs as usize);
+    for _ in 0..config.drugs {
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        let mut chosen = DrugCategory::OverTheCounter;
+        for (cat, w) in DrugCategory::all().into_iter().zip(weights) {
+            acc += w;
+            if u < acc {
+                chosen = cat;
+                break;
+            }
+        }
+        drug_categories.push(chosen);
+    }
+
+    let neighborhoods: Vec<u32> = (0..config.patients)
+        .map(|_| rng.gen_range(0..config.neighborhoods))
+        .collect();
+
+    let p = 1.0 / config.mean_purchases;
+    let mut builder = GraphBuilder::with_capacity(
+        config.patients,
+        config.drugs,
+        (config.patients as f64 * config.mean_purchases) as usize,
+    );
+    for patient in 0..config.patients {
+        let mut purchases = 1u32;
+        while rng.gen::<f64>() > p && purchases < 200 {
+            purchases += 1;
+        }
+        for _ in 0..purchases {
+            let drug = (zipf.sample(rng) - 1) as u32;
+            builder
+                .add_edge(LeftId::new(patient), RightId::new(drug))
+                .expect("in range");
+        }
+    }
+    PharmacyDataset {
+        graph: builder.build(),
+        drug_categories,
+        neighborhoods,
+        neighborhood_count: config.neighborhoods,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset() -> PharmacyDataset {
+        generate(&mut StdRng::seed_from_u64(5), &PharmacyConfig::default())
+    }
+
+    #[test]
+    fn shapes_match_config() {
+        let d = dataset();
+        assert_eq!(d.graph.left_count(), 5_000);
+        assert_eq!(d.graph.right_count(), 400);
+        assert_eq!(d.drug_categories.len(), 400);
+        assert_eq!(d.neighborhoods.len(), 5_000);
+        assert!(d.neighborhoods.iter().all(|&n| n < 25));
+    }
+
+    #[test]
+    fn all_categories_present() {
+        let d = dataset();
+        for cat in DrugCategory::all() {
+            assert!(d.drug_categories.contains(&cat), "missing {cat:?}");
+        }
+    }
+
+    #[test]
+    fn category_purchases_partition_the_edges() {
+        let d = dataset();
+        let total: u64 = DrugCategory::all()
+            .into_iter()
+            .map(|c| d.category_purchases(c))
+            .sum();
+        assert_eq!(total, d.graph.edge_count());
+    }
+
+    #[test]
+    fn neighborhood_category_counts_sum_to_category_total() {
+        let d = dataset();
+        let cat = DrugCategory::Psychiatric;
+        let by_neighborhood: u64 = (0..d.neighborhood_count)
+            .map(|nb| d.neighborhood_category_purchases(nb, cat))
+            .sum();
+        assert_eq!(by_neighborhood, d.category_purchases(cat));
+    }
+
+    #[test]
+    fn sensitivity_flag() {
+        assert!(DrugCategory::Psychiatric.is_sensitive());
+        assert!(!DrugCategory::OverTheCounter.is_sensitive());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&mut StdRng::seed_from_u64(1), &PharmacyConfig::default());
+        let b = generate(&mut StdRng::seed_from_u64(1), &PharmacyConfig::default());
+        assert_eq!(a, b);
+    }
+}

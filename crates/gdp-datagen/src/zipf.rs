@@ -1,0 +1,236 @@
+//! A Zipf (power-law rank) sampler over `{1, …, n}` with exponent `s > 0`:
+//! `P[X = k] ∝ k^{−s}`.
+//!
+//! Implemented with the rejection-inversion method of Hörmann &
+//! Derflinger ("Rejection-inversion to generate variates from monotone
+//! discrete distributions", 1996) — O(1) per sample regardless of `n`,
+//! which matters because the DBLP-scale generator draws millions of
+//! author ranks from a universe of a million authors.
+
+use rand::Rng;
+
+/// O(1)-per-sample Zipf sampler (see module docs).
+///
+/// ```
+/// use gdp_datagen::zipf::ZipfSampler;
+/// use rand::SeedableRng;
+///
+/// let z = ZipfSampler::new(1_000, 1.2).expect("valid parameters");
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let k = z.sample(&mut rng);
+/// assert!((1..=1_000).contains(&k));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    n: u64,
+    s: f64,
+    h_x1: f64,
+    h_half: f64,
+    hx0: f64,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `{1, …, n}` with exponent `s`.
+    ///
+    /// Returns `None` when `n == 0` or `s` is not finite and positive
+    /// (the method also supports `s = 1` via its log branch).
+    pub fn new(n: u64, s: f64) -> Option<Self> {
+        if n == 0 || !s.is_finite() || s <= 0.0 {
+            return None;
+        }
+        let h = |x: f64| -> f64 { h_integral(x, s) };
+        Some(Self {
+            n,
+            s,
+            h_x1: h(1.5) - 1.0,
+            h_half: h(0.5),
+            hx0: h(n as f64 + 0.5),
+        })
+    }
+
+    /// The support upper bound `n`.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Draws one rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        // Rejection-inversion over the envelope H.
+        loop {
+            let u = self.hx0 + rng.gen::<f64>() * (self.h_half - self.hx0);
+            let x = h_integral_inverse(u, self.s);
+            let k64 = x.clamp(1.0, self.n as f64);
+            let k = (k64 + 0.5) as u64;
+            let k = k.clamp(1, self.n);
+            let kf = k as f64;
+            if u >= h_integral(kf + 0.5, self.s) - (-self.s * kf.ln()).exp() {
+                return k;
+            }
+            // Shortcut acceptance for the head of the distribution.
+            if u >= self.h_x1 {
+                return 1;
+            }
+        }
+    }
+
+    /// The normalized probability `P[X = k]`, computed by brute force —
+    /// O(n); intended for tests and small `n` only.
+    pub fn pmf(&self, k: u64) -> f64 {
+        if k == 0 || k > self.n {
+            return 0.0;
+        }
+        let z: f64 = (1..=self.n).map(|i| (i as f64).powf(-self.s)).sum();
+        (k as f64).powf(-self.s) / z
+    }
+}
+
+/// `H(x) = ∫ x^{−s} dx`: `(x^{1−s} − 1)/(1 − s)` for `s ≠ 1`, `ln x` else.
+/// Written with `exp_m1`/`ln_1p` for precision near `s = 1`.
+fn h_integral(x: f64, s: f64) -> f64 {
+    let log_x = x.ln();
+    helper2((1.0 - s) * log_x) * log_x
+}
+
+/// Inverse of [`h_integral`].
+fn h_integral_inverse(u: f64, s: f64) -> f64 {
+    let mut t = u * (1.0 - s);
+    if t < -1.0 {
+        // Clamp round-off below the smallest representable branch value.
+        t = -1.0;
+    }
+    (helper1(t) * u).exp()
+}
+
+/// `helper1(x) = ln(1+x)/x`, extended continuously to 1 at 0.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+/// `helper2(x) = (e^x − 1)/x`, extended continuously to 1 at 0.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(ZipfSampler::new(0, 1.0).is_none());
+        assert!(ZipfSampler::new(10, 0.0).is_none());
+        assert!(ZipfSampler::new(10, -1.0).is_none());
+        assert!(ZipfSampler::new(10, f64::NAN).is_none());
+    }
+
+    #[test]
+    fn samples_stay_in_support() {
+        let z = ZipfSampler::new(50, 1.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=50).contains(&k));
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_pmf() {
+        let z = ZipfSampler::new(20, 1.3).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 400_000;
+        let mut counts = [0u64; 21];
+        for _ in 0..n {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for k in 1..=20u64 {
+            let freq = counts[k as usize] as f64 / n as f64;
+            let want = z.pmf(k);
+            assert!(
+                (freq - want).abs() < 0.01,
+                "k={k}: freq {freq} vs pmf {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponent_one_works() {
+        let z = ZipfSampler::new(100, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u64; 101];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        // P[1]/P[2] = 2 under s = 1.
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 2.0).abs() < 0.15, "ratio {ratio}");
+    }
+
+    #[test]
+    fn heavier_tail_with_smaller_exponent() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let tail_mass = |s: f64, rng: &mut StdRng| {
+            let z = ZipfSampler::new(1000, s).unwrap();
+            (0..n).filter(|_| z.sample(rng) > 100).count() as f64 / n as f64
+        };
+        let heavy = tail_mass(0.8, &mut rng);
+        let light = tail_mass(2.0, &mut rng);
+        assert!(
+            heavy > light + 0.05,
+            "expected heavier tail: {heavy} vs {light}"
+        );
+    }
+
+    #[test]
+    fn singleton_support() {
+        let z = ZipfSampler::new(1, 1.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+        assert!((z.pmf(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = ZipfSampler::new(30, 1.7).unwrap();
+        let total: f64 = (1..=30).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(z.pmf(0), 0.0);
+        assert_eq!(z.pmf(31), 0.0);
+    }
+
+    #[test]
+    fn large_n_is_fast_and_valid() {
+        let z = ZipfSampler::new(2_000_000, 1.05).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..10_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=2_000_000).contains(&k));
+        }
+    }
+
+    #[test]
+    fn helpers_are_continuous_at_zero() {
+        assert!((helper1(1e-12) - 1.0).abs() < 1e-9);
+        assert!((helper2(1e-12) - 1.0).abs() < 1e-9);
+        assert!((helper1(0.1) - (1.1f64).ln() / 0.1).abs() < 1e-12);
+        assert!((helper2(0.1) - (0.1f64.exp() - 1.0) / 0.1).abs() < 1e-12);
+    }
+}

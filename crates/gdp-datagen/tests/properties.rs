@@ -1,0 +1,81 @@
+//! Property-based tests for the workload generators.
+
+use proptest::prelude::*;
+
+use gdp_datagen::zipf::ZipfSampler;
+use gdp_datagen::{models, DblpConfig, DblpGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn zipf_samples_in_support(n in 1u64..5000, s in 0.3f64..3.0, seed in 0u64..1000) {
+        let z = ZipfSampler::new(n, s).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let k = z.sample(&mut rng);
+            prop_assert!((1..=n).contains(&k));
+        }
+    }
+
+    #[test]
+    fn zipf_pmf_is_normalized(n in 1u64..60, s in 0.3f64..3.0) {
+        let z = ZipfSampler::new(n, s).unwrap();
+        let total: f64 = (1..=n).map(|k| z.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        // Monotone decreasing in rank.
+        for k in 1..n {
+            prop_assert!(z.pmf(k) >= z.pmf(k + 1));
+        }
+    }
+
+    #[test]
+    fn dblp_respects_structural_bounds(
+        authors in 50u32..400,
+        papers in 50u32..400,
+        seed in 0u64..50,
+    ) {
+        let config = DblpConfig {
+            authors,
+            papers,
+            mean_authors_per_paper: 2.5,
+            max_authors_per_paper: 6,
+            zipf_exponent: 1.1,
+            max_papers_per_author: 50,
+        };
+        let g = DblpGenerator::new(config).generate(&mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g.left_count(), authors);
+        prop_assert_eq!(g.right_count(), papers);
+        prop_assert!(g.max_right_degree() <= 6);
+        prop_assert!(g.max_left_degree() <= 50);
+        // Every paper has at least one author slot drawn.
+        prop_assert!(g.edge_count() >= papers as u64 / 2);
+    }
+
+    #[test]
+    fn erdos_renyi_bounds(left in 1u32..100, right in 1u32..100, m in 0usize..500, seed in 0u64..50) {
+        let g = models::erdos_renyi(&mut StdRng::seed_from_u64(seed), left, right, m);
+        prop_assert!(g.edge_count() <= m as u64);
+        prop_assert!(g.edge_count() <= left as u64 * right as u64);
+    }
+
+    #[test]
+    fn preferential_attachment_shape(left in 2u32..50, right in 2u32..50, k in 1u32..4, seed in 0u64..50) {
+        let g = models::preferential_attachment(&mut StdRng::seed_from_u64(seed), left, right, k);
+        prop_assert_eq!(g.right_count(), right);
+        // Each right node drew k slots; dedup may merge some.
+        prop_assert!(g.max_right_degree() <= k);
+        prop_assert!(g.edge_count() <= (right * k) as u64);
+    }
+
+    #[test]
+    fn planted_blocks_valid(blocks in 1u32..6, per in 1u32..5, seed in 0u64..50) {
+        let n = blocks * 10;
+        let g = models::planted_blocks(
+            &mut StdRng::seed_from_u64(seed), n, n, blocks, per, 0.8);
+        prop_assert_eq!(g.left_count(), n);
+        prop_assert!(g.edge_count() <= (n * per) as u64);
+    }
+}

@@ -1,0 +1,329 @@
+use serde::{Deserialize, Serialize};
+
+use crate::node::{LeftId, NodeId, RightId, Side};
+
+/// An immutable bipartite association graph in CSR form, adjacency stored
+/// in **both** directions so degree and neighbourhood queries are O(1)/
+/// O(deg) from either side.
+///
+/// Construct via [`crate::GraphBuilder`]; multi-edges are merged during
+/// construction, neighbour lists are sorted, and the structure is
+/// immutable afterwards — matching the paper's setting of a static
+/// dataset being disclosed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BipartiteGraph {
+    left_offsets: Vec<usize>,
+    left_neighbors: Vec<RightId>,
+    right_offsets: Vec<usize>,
+    right_neighbors: Vec<LeftId>,
+}
+
+impl BipartiteGraph {
+    /// Internal constructor used by the builder; inputs must already be
+    /// valid CSR (offsets monotone, neighbour lists sorted and deduped).
+    pub(crate) fn from_csr(
+        left_offsets: Vec<usize>,
+        left_neighbors: Vec<RightId>,
+        right_offsets: Vec<usize>,
+        right_neighbors: Vec<LeftId>,
+    ) -> Self {
+        debug_assert_eq!(*left_offsets.last().unwrap(), left_neighbors.len());
+        debug_assert_eq!(*right_offsets.last().unwrap(), right_neighbors.len());
+        debug_assert_eq!(left_neighbors.len(), right_neighbors.len());
+        Self {
+            left_offsets,
+            left_neighbors,
+            right_offsets,
+            right_neighbors,
+        }
+    }
+
+    /// An empty graph with the given side sizes and no associations.
+    pub fn empty(left_count: u32, right_count: u32) -> Self {
+        Self {
+            left_offsets: vec![0; left_count as usize + 1],
+            left_neighbors: Vec::new(),
+            right_offsets: vec![0; right_count as usize + 1],
+            right_neighbors: Vec::new(),
+        }
+    }
+
+    /// Number of left-side nodes.
+    pub fn left_count(&self) -> u32 {
+        (self.left_offsets.len() - 1) as u32
+    }
+
+    /// Number of right-side nodes.
+    pub fn right_count(&self) -> u32 {
+        (self.right_offsets.len() - 1) as u32
+    }
+
+    /// Number of nodes on `side`.
+    pub fn side_count(&self, side: Side) -> u32 {
+        match side {
+            Side::Left => self.left_count(),
+            Side::Right => self.right_count(),
+        }
+    }
+
+    /// Total node count across both sides.
+    pub fn node_count(&self) -> u64 {
+        self.left_count() as u64 + self.right_count() as u64
+    }
+
+    /// Number of associations (edges).
+    pub fn edge_count(&self) -> u64 {
+        self.left_neighbors.len() as u64
+    }
+
+    /// Degree of a left node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn left_degree(&self, l: LeftId) -> u32 {
+        let i = l.as_usize();
+        (self.left_offsets[i + 1] - self.left_offsets[i]) as u32
+    }
+
+    /// Degree of a right node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn right_degree(&self, r: RightId) -> u32 {
+        let i = r.as_usize();
+        (self.right_offsets[i + 1] - self.right_offsets[i]) as u32
+    }
+
+    /// Degree of any node.
+    pub fn degree(&self, node: NodeId) -> u32 {
+        match node {
+            NodeId::Left(l) => self.left_degree(l),
+            NodeId::Right(r) => self.right_degree(r),
+        }
+    }
+
+    /// Sorted right-side neighbours of a left node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn neighbors_of_left(&self, l: LeftId) -> &[RightId] {
+        let i = l.as_usize();
+        &self.left_neighbors[self.left_offsets[i]..self.left_offsets[i + 1]]
+    }
+
+    /// Sorted left-side neighbours of a right node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn neighbors_of_right(&self, r: RightId) -> &[LeftId] {
+        let i = r.as_usize();
+        &self.right_neighbors[self.right_offsets[i]..self.right_offsets[i + 1]]
+    }
+
+    /// Whether the association `(l, r)` exists (binary search, O(log deg)).
+    pub fn has_edge(&self, l: LeftId, r: RightId) -> bool {
+        self.neighbors_of_left(l).binary_search(&r).is_ok()
+    }
+
+    /// Maximum degree on the left side (0 for an empty side).
+    pub fn max_left_degree(&self) -> u32 {
+        (0..self.left_count())
+            .map(|i| self.left_degree(LeftId::new(i)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maximum degree on the right side (0 for an empty side).
+    pub fn max_right_degree(&self) -> u32 {
+        (0..self.right_count())
+            .map(|i| self.right_degree(RightId::new(i)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maximum degree over all nodes.
+    pub fn max_degree(&self) -> u32 {
+        self.max_left_degree().max(self.max_right_degree())
+    }
+
+    /// Edge density: `m / (n_left · n_right)`; 0 when either side is empty.
+    pub fn density(&self) -> f64 {
+        let cells = self.left_count() as f64 * self.right_count() as f64;
+        if cells == 0.0 {
+            0.0
+        } else {
+            self.edge_count() as f64 / cells
+        }
+    }
+
+    /// Iterates over all associations as `(LeftId, RightId)` pairs, in
+    /// left-node order.
+    pub fn edges(&self) -> EdgeIter<'_> {
+        EdgeIter {
+            graph: self,
+            left: 0,
+            pos: 0,
+        }
+    }
+
+    /// The degrees of every left node, indexed by `LeftId`.
+    pub fn left_degrees(&self) -> Vec<u32> {
+        (0..self.left_count())
+            .map(|i| self.left_degree(LeftId::new(i)))
+            .collect()
+    }
+
+    /// The degrees of every right node, indexed by `RightId`.
+    pub fn right_degrees(&self) -> Vec<u32> {
+        (0..self.right_count())
+            .map(|i| self.right_degree(RightId::new(i)))
+            .collect()
+    }
+}
+
+/// Iterator over all associations of a [`BipartiteGraph`].
+///
+/// Produced by [`BipartiteGraph::edges`].
+#[derive(Debug, Clone)]
+pub struct EdgeIter<'a> {
+    graph: &'a BipartiteGraph,
+    left: u32,
+    pos: usize,
+}
+
+impl Iterator for EdgeIter<'_> {
+    type Item = (LeftId, RightId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.left < self.graph.left_count() {
+            let end = self.graph.left_offsets[self.left as usize + 1];
+            if self.pos < end {
+                let r = self.graph.left_neighbors[self.pos];
+                self.pos += 1;
+                return Some((LeftId::new(self.left), r));
+            }
+            self.left += 1;
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.graph.left_neighbors.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for EdgeIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle() -> BipartiteGraph {
+        // L0-R0, L0-R1, L2-R1
+        let mut b = GraphBuilder::new(3, 2);
+        b.add_edge(LeftId::new(0), RightId::new(0)).unwrap();
+        b.add_edge(LeftId::new(0), RightId::new(1)).unwrap();
+        b.add_edge(LeftId::new(2), RightId::new(1)).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn counts() {
+        let g = triangle();
+        assert_eq!(g.left_count(), 3);
+        assert_eq!(g.right_count(), 2);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.side_count(Side::Left), 3);
+        assert_eq!(g.side_count(Side::Right), 2);
+    }
+
+    #[test]
+    fn degrees_both_sides() {
+        let g = triangle();
+        assert_eq!(g.left_degree(LeftId::new(0)), 2);
+        assert_eq!(g.left_degree(LeftId::new(1)), 0);
+        assert_eq!(g.left_degree(LeftId::new(2)), 1);
+        assert_eq!(g.right_degree(RightId::new(0)), 1);
+        assert_eq!(g.right_degree(RightId::new(1)), 2);
+        assert_eq!(g.degree(NodeId::Left(LeftId::new(0))), 2);
+        assert_eq!(g.degree(NodeId::Right(RightId::new(1))), 2);
+    }
+
+    #[test]
+    fn neighbors_sorted_and_consistent() {
+        let g = triangle();
+        assert_eq!(
+            g.neighbors_of_left(LeftId::new(0)),
+            &[RightId::new(0), RightId::new(1)]
+        );
+        assert_eq!(
+            g.neighbors_of_right(RightId::new(1)),
+            &[LeftId::new(0), LeftId::new(2)]
+        );
+        assert!(g.neighbors_of_left(LeftId::new(1)).is_empty());
+    }
+
+    #[test]
+    fn has_edge_binary_search() {
+        let g = triangle();
+        assert!(g.has_edge(LeftId::new(0), RightId::new(1)));
+        assert!(!g.has_edge(LeftId::new(1), RightId::new(0)));
+        assert!(!g.has_edge(LeftId::new(2), RightId::new(0)));
+    }
+
+    #[test]
+    fn max_degrees_and_density() {
+        let g = triangle();
+        assert_eq!(g.max_left_degree(), 2);
+        assert_eq!(g.max_right_degree(), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.density() - 3.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_iterator_yields_all_edges_in_order() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(
+            edges,
+            vec![
+                (LeftId::new(0), RightId::new(0)),
+                (LeftId::new(0), RightId::new(1)),
+                (LeftId::new(2), RightId::new(1)),
+            ]
+        );
+        assert_eq!(g.edges().len(), 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraph::empty(4, 7);
+        assert_eq!(g.left_count(), 4);
+        assert_eq!(g.right_count(), 7);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.density(), 0.0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn zero_sided_graph_density_defined() {
+        let g = BipartiteGraph::empty(0, 0);
+        assert_eq!(g.density(), 0.0);
+        assert_eq!(g.node_count(), 0);
+    }
+
+    #[test]
+    fn degree_vectors() {
+        let g = triangle();
+        assert_eq!(g.left_degrees(), vec![2, 0, 1]);
+        assert_eq!(g.right_degrees(), vec![1, 2]);
+    }
+}

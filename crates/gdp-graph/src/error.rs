@@ -1,0 +1,116 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph construction, partitioning and IO.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge referenced a left node outside `0..left_count`.
+    LeftNodeOutOfRange {
+        /// The offending index.
+        index: u32,
+        /// Number of left nodes in the graph.
+        left_count: u32,
+    },
+    /// An edge referenced a right node outside `0..right_count`.
+    RightNodeOutOfRange {
+        /// The offending index.
+        index: u32,
+        /// Number of right nodes in the graph.
+        right_count: u32,
+    },
+    /// A partition's block assignment vector had the wrong length.
+    PartitionLengthMismatch {
+        /// Length of the supplied assignment vector.
+        got: usize,
+        /// Expected length (node count on that side).
+        want: usize,
+    },
+    /// A partition assigned a node to a block id ≥ the declared count.
+    BlockOutOfRange {
+        /// The offending block id.
+        block: u32,
+        /// Declared number of blocks.
+        block_count: u32,
+    },
+    /// A partition declared blocks that no node belongs to.
+    EmptyBlock {
+        /// The first empty block id found.
+        block: u32,
+    },
+    /// A text edge-list could not be parsed.
+    Parse {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// An underlying IO failure while reading/writing an edge list.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::LeftNodeOutOfRange { index, left_count } => {
+                write!(f, "left node {index} out of range (left count {left_count})")
+            }
+            Self::RightNodeOutOfRange { index, right_count } => write!(
+                f,
+                "right node {index} out of range (right count {right_count})"
+            ),
+            Self::PartitionLengthMismatch { got, want } => write!(
+                f,
+                "partition assignment length {got} does not match node count {want}"
+            ),
+            Self::BlockOutOfRange { block, block_count } => {
+                write!(f, "block id {block} out of range (block count {block_count})")
+            }
+            Self::EmptyBlock { block } => write!(f, "partition block {block} is empty"),
+            Self::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            Self::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl Error for GraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::LeftNodeOutOfRange {
+            index: 9,
+            left_count: 5,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn io_error_source_preserved() {
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = GraphError::from(inner);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

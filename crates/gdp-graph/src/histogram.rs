@@ -1,0 +1,166 @@
+use serde::{Deserialize, Serialize};
+
+/// A histogram over node degrees (or any non-negative integer quantity).
+///
+/// Used by [`crate::GraphStats`] for degree-distribution summaries and by
+/// the `gdp-core` degree-histogram query, whose noisy release is one of
+/// the per-level disclosures.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegreeHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl DegreeHistogram {
+    /// Builds a histogram from raw degree values. Bin `d` counts the
+    /// number of nodes with degree exactly `d`.
+    pub fn from_degrees(degrees: &[u32]) -> Self {
+        let max = degrees.iter().copied().max().unwrap_or(0) as usize;
+        let mut counts = vec![0u64; max + 1];
+        for &d in degrees {
+            counts[d as usize] += 1;
+        }
+        Self {
+            counts,
+            total: degrees.len() as u64,
+        }
+    }
+
+    /// Number of nodes with degree exactly `d` (0 beyond the max bin).
+    pub fn count(&self, d: u32) -> u64 {
+        self.counts.get(d as usize).copied().unwrap_or(0)
+    }
+
+    /// The per-degree counts, indexed by degree.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest observed degree (0 for an empty histogram).
+    pub fn max_degree(&self) -> u32 {
+        (self.counts.len().saturating_sub(1)) as u32
+    }
+
+    /// Mean degree (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(d, c)| d as u64 * c)
+            .sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// The `q`-quantile of the degree distribution (`q ∈ [0, 1]`),
+    /// computed by cumulative counting. Returns 0 for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u32 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+        if self.total == 0 {
+            return 0;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (d, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return d as u32;
+            }
+        }
+        self.max_degree()
+    }
+
+    /// Number of observations with degree 0 (isolated nodes).
+    pub fn zero_count(&self) -> u64 {
+        self.count(0)
+    }
+
+    /// The complementary cumulative distribution `P[deg ≥ d]` for each
+    /// `d` in `0..=max_degree`, useful for log-log power-law plots.
+    pub fn ccdf(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.counts.len());
+        let mut tail: u64 = self.total;
+        for &c in &self.counts {
+            out.push(tail as f64 / self.total as f64);
+            tail -= c;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_counts() {
+        let h = DegreeHistogram::from_degrees(&[0, 1, 1, 3]);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(2), 0);
+        assert_eq!(h.count(3), 1);
+        assert_eq!(h.count(99), 0);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.max_degree(), 3);
+        assert_eq!(h.zero_count(), 1);
+    }
+
+    #[test]
+    fn mean_matches_direct_computation() {
+        let degrees = [0u32, 1, 1, 3, 5];
+        let h = DegreeHistogram::from_degrees(&degrees);
+        let want = degrees.iter().sum::<u32>() as f64 / degrees.len() as f64;
+        assert!((h.mean() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles() {
+        let h = DegreeHistogram::from_degrees(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.quantile(1.0), 10);
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(0.91), 10);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let h = DegreeHistogram::from_degrees(&[]);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert!(h.ccdf().is_empty());
+    }
+
+    #[test]
+    fn ccdf_is_monotone_and_starts_at_one() {
+        let h = DegreeHistogram::from_degrees(&[0, 1, 1, 2, 5]);
+        let c = h.ccdf();
+        assert!((c[0] - 1.0).abs() < 1e-12);
+        for w in c.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        // P[deg ≥ 5] = 1/5.
+        assert!((c[5] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn quantile_rejects_out_of_range() {
+        DegreeHistogram::from_degrees(&[1]).quantile(1.5);
+    }
+}

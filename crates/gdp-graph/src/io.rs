@@ -1,0 +1,182 @@
+//! Plain-text edge-list serialization.
+//!
+//! Format (whitespace-separated, `#`-prefixed comment lines ignored):
+//!
+//! ```text
+//! # optional comments
+//! <left_count> <right_count> <edge_count>
+//! <left_index> <right_index>
+//! ...
+//! ```
+//!
+//! The declared `edge_count` is advisory (used for pre-allocation); the
+//! actual number of parsed edges wins. This mirrors common graph-dataset
+//! distribution formats so that real edge lists (e.g. an actual DBLP
+//! export) can be dropped in for the synthetic generator.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::bipartite::BipartiteGraph;
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::node::{LeftId, RightId};
+use crate::Result;
+
+/// Writes a graph as a text edge list.
+///
+/// A `&mut` reference to any `Write` can be passed as the writer.
+///
+/// # Errors
+///
+/// Propagates IO failures from the writer.
+pub fn write_edge_list<W: Write>(graph: &BipartiteGraph, mut writer: W) -> Result<()> {
+    writeln!(
+        writer,
+        "{} {} {}",
+        graph.left_count(),
+        graph.right_count(),
+        graph.edge_count()
+    )?;
+    for (l, r) in graph.edges() {
+        writeln!(writer, "{} {}", l.index(), r.index())?;
+    }
+    Ok(())
+}
+
+/// Reads a graph from a text edge list.
+///
+/// A `&mut` reference to any `Read` can be passed as the reader.
+///
+/// # Errors
+///
+/// * [`GraphError::Parse`] for malformed headers or edge lines.
+/// * [`GraphError::LeftNodeOutOfRange`] / [`GraphError::RightNodeOutOfRange`]
+///   when an edge exceeds the header's declared side sizes.
+/// * [`GraphError::Io`] for underlying reader failures.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<BipartiteGraph> {
+    let reader = BufReader::new(reader);
+    let mut lines = reader.lines();
+    let mut line_no = 0usize;
+
+    // Header: first non-comment, non-empty line.
+    let header = loop {
+        line_no += 1;
+        match lines.next() {
+            None => {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    message: "missing header line".to_string(),
+                })
+            }
+            Some(line) => {
+                let line = line?;
+                let trimmed = line.trim();
+                if trimmed.is_empty() || trimmed.starts_with('#') {
+                    continue;
+                }
+                break trimmed.to_string();
+            }
+        }
+    };
+    let mut parts = header.split_whitespace();
+    let parse_u32 = |tok: Option<&str>, what: &str, line: usize| -> Result<u32> {
+        tok.ok_or_else(|| GraphError::Parse {
+            line,
+            message: format!("missing {what} in header"),
+        })?
+        .parse::<u32>()
+        .map_err(|e| GraphError::Parse {
+            line,
+            message: format!("bad {what}: {e}"),
+        })
+    };
+    let left_count = parse_u32(parts.next(), "left count", line_no)?;
+    let right_count = parse_u32(parts.next(), "right count", line_no)?;
+    let declared_edges = parse_u32(parts.next(), "edge count", line_no)? as usize;
+
+    let mut builder = GraphBuilder::with_capacity(left_count, right_count, declared_edges);
+    for line in lines {
+        line_no += 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let l = parse_u32(parts.next(), "left index", line_no)?;
+        let r = parse_u32(parts.next(), "right index", line_no)?;
+        if parts.next().is_some() {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: "trailing tokens on edge line".to_string(),
+            });
+        }
+        builder.add_edge(LeftId::new(l), RightId::new(r))?;
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BipartiteGraph {
+        let mut b = GraphBuilder::new(3, 2);
+        for (l, r) in [(0, 0), (0, 1), (2, 1)] {
+            b.add_edge(LeftId::new(l), RightId::new(r)).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# a comment\n\n3 2 2\n# another\n0 0\n\n2 1\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(LeftId::new(2), RightId::new(1)));
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let err = read_edge_list("# only comments\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn malformed_edge_lines_rejected() {
+        for bad in ["2 2 1\n0\n", "2 2 1\n0 x\n", "2 2 1\n0 0 7\n"] {
+            let err = read_edge_list(bad.as_bytes()).unwrap_err();
+            assert!(matches!(err, GraphError::Parse { .. }), "input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_edges_rejected_with_graph_error() {
+        let err = read_edge_list("2 2 1\n5 0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::LeftNodeOutOfRange { .. }));
+    }
+
+    #[test]
+    fn header_parse_errors_name_the_field() {
+        let err = read_edge_list("2 2\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("edge count"));
+    }
+
+    #[test]
+    fn written_form_is_stable() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, "3 2 3\n0 0\n0 1\n2 1\n");
+    }
+}

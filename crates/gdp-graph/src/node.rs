@@ -1,0 +1,204 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Which side of the bipartite graph a node lives on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Side {
+    /// Left-side entities (authors, patients, viewers, …).
+    Left,
+    /// Right-side entities (papers, drugs, movies, …).
+    Right,
+}
+
+impl Side {
+    /// The opposite side.
+    pub fn other(self) -> Side {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+
+    /// Both sides, left first — handy for iteration.
+    pub fn both() -> [Side; 2] {
+        [Side::Left, Side::Right]
+    }
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Side::Left => write!(f, "left"),
+            Side::Right => write!(f, "right"),
+        }
+    }
+}
+
+/// Index of a node on the **left** side of a bipartite graph.
+///
+/// A distinct type from [`RightId`] so that left and right indices can
+/// never be confused at compile time.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct LeftId(u32);
+
+impl LeftId {
+    /// Wraps a raw index.
+    pub fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// The raw index as `usize`, for slice indexing.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LeftId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl From<u32> for LeftId {
+    fn from(v: u32) -> Self {
+        Self(v)
+    }
+}
+
+/// Index of a node on the **right** side of a bipartite graph.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct RightId(u32);
+
+impl RightId {
+    /// Wraps a raw index.
+    pub fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// The raw index as `usize`, for slice indexing.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RightId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl From<u32> for RightId {
+    fn from(v: u32) -> Self {
+        Self(v)
+    }
+}
+
+/// A node on either side of the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NodeId {
+    /// A left-side node.
+    Left(LeftId),
+    /// A right-side node.
+    Right(RightId),
+}
+
+impl NodeId {
+    /// The side this node lives on.
+    pub fn side(self) -> Side {
+        match self {
+            NodeId::Left(_) => Side::Left,
+            NodeId::Right(_) => Side::Right,
+        }
+    }
+
+    /// The raw index within its side.
+    pub fn index(self) -> u32 {
+        match self {
+            NodeId::Left(l) => l.index(),
+            NodeId::Right(r) => r.index(),
+        }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::Left(l) => write!(f, "{l}"),
+            NodeId::Right(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+impl From<LeftId> for NodeId {
+    fn from(v: LeftId) -> Self {
+        NodeId::Left(v)
+    }
+}
+
+impl From<RightId> for NodeId {
+    fn from(v: RightId) -> Self {
+        NodeId::Right(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn side_other_flips() {
+        assert_eq!(Side::Left.other(), Side::Right);
+        assert_eq!(Side::Right.other(), Side::Left);
+        assert_eq!(Side::both(), [Side::Left, Side::Right]);
+    }
+
+    #[test]
+    fn ids_round_trip() {
+        let l = LeftId::new(7);
+        assert_eq!(l.index(), 7);
+        assert_eq!(l.as_usize(), 7);
+        let r = RightId::new(9);
+        assert_eq!(r.index(), 9);
+    }
+
+    #[test]
+    fn node_id_carries_side() {
+        let n: NodeId = LeftId::new(3).into();
+        assert_eq!(n.side(), Side::Left);
+        assert_eq!(n.index(), 3);
+        let n: NodeId = RightId::new(4).into();
+        assert_eq!(n.side(), Side::Right);
+        assert_eq!(n.index(), 4);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(LeftId::new(1).to_string(), "L1");
+        assert_eq!(RightId::new(2).to_string(), "R2");
+        assert_eq!(NodeId::from(LeftId::new(1)).to_string(), "L1");
+        assert_eq!(Side::Left.to_string(), "left");
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        assert!(LeftId::new(1) < LeftId::new(2));
+        assert!(RightId::new(0) < RightId::new(10));
+    }
+}

@@ -1,0 +1,410 @@
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bipartite::BipartiteGraph;
+use crate::error::GraphError;
+use crate::node::{LeftId, RightId, Side};
+use crate::Result;
+
+/// A partition of the nodes of **one side** of a bipartite graph into
+/// consecutive block ids `0..block_count`.
+///
+/// This is the structural half of the paper's notion of *groups*: every
+/// hierarchy level consists of one `SidePartition` per side, and the
+/// group-level sensitivity of a query at that level is computed from each
+/// block's **incident-edge count** (removing a whole group removes
+/// exactly its incident associations).
+///
+/// ```
+/// use gdp_graph::{GraphBuilder, LeftId, RightId, Side, SidePartition};
+///
+/// # fn main() -> Result<(), gdp_graph::GraphError> {
+/// let mut b = GraphBuilder::new(4, 2);
+/// b.add_edge(LeftId::new(0), RightId::new(0))?;
+/// b.add_edge(LeftId::new(1), RightId::new(0))?;
+/// b.add_edge(LeftId::new(2), RightId::new(1))?;
+/// let g = b.build();
+/// // Blocks {0,1} and {2,3}.
+/// let p = SidePartition::new(Side::Left, vec![0, 0, 1, 1], 2)?;
+/// assert_eq!(p.incident_edge_counts(&g), vec![2, 1]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SidePartition {
+    side: Side,
+    assignment: Vec<u32>,
+    block_count: u32,
+}
+
+impl SidePartition {
+    /// Creates a partition from a per-node block assignment.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::BlockOutOfRange`] if any assignment is
+    ///   ≥ `block_count`.
+    /// * [`GraphError::EmptyBlock`] if some block id in
+    ///   `0..block_count` has no member (partitions must be surjective so
+    ///   block statistics are well-defined).
+    pub fn new(side: Side, assignment: Vec<u32>, block_count: u32) -> Result<Self> {
+        let mut seen = vec![false; block_count as usize];
+        for &b in &assignment {
+            if b >= block_count {
+                return Err(GraphError::BlockOutOfRange {
+                    block: b,
+                    block_count,
+                });
+            }
+            seen[b as usize] = true;
+        }
+        if let Some(block) = seen.iter().position(|s| !s) {
+            return Err(GraphError::EmptyBlock {
+                block: block as u32,
+            });
+        }
+        Ok(Self {
+            side,
+            assignment,
+            block_count,
+        })
+    }
+
+    /// The single-block partition of `n` nodes (the top of a hierarchy).
+    ///
+    /// Returns `None` when `n == 0` (a partition needs at least one node
+    /// to populate its one block).
+    pub fn whole(side: Side, n: u32) -> Option<Self> {
+        if n == 0 {
+            return None;
+        }
+        Some(Self {
+            side,
+            assignment: vec![0; n as usize],
+            block_count: 1,
+        })
+    }
+
+    /// The singletons partition of `n` nodes (the bottom of a hierarchy,
+    /// i.e. individual-level privacy).
+    pub fn singletons(side: Side, n: u32) -> Self {
+        Self {
+            side,
+            assignment: (0..n).collect(),
+            block_count: n,
+        }
+    }
+
+    /// Which side of the graph this partition applies to.
+    pub fn side(&self) -> Side {
+        self.side
+    }
+
+    /// Number of nodes covered.
+    pub fn node_count(&self) -> u32 {
+        self.assignment.len() as u32
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> u32 {
+        self.block_count
+    }
+
+    /// The block containing node `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn block_of(&self, index: u32) -> u32 {
+        self.assignment[index as usize]
+    }
+
+    /// The raw assignment slice, indexed by node.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// The number of nodes in each block.
+    pub fn block_sizes(&self) -> Vec<u32> {
+        let mut sizes = vec![0u32; self.block_count as usize];
+        for &b in &self.assignment {
+            sizes[b as usize] += 1;
+        }
+        sizes
+    }
+
+    /// The members of each block, in node order.
+    pub fn block_members(&self) -> Vec<Vec<u32>> {
+        let mut members = vec![Vec::new(); self.block_count as usize];
+        for (node, &b) in self.assignment.iter().enumerate() {
+            members[b as usize].push(node as u32);
+        }
+        members
+    }
+
+    /// The number of graph edges **incident** to each block.
+    ///
+    /// For a block of left nodes this is the sum of their degrees (each
+    /// edge touches exactly one left node, so no double counting); same
+    /// on the right. This quantity *is* the group-level L1 sensitivity of
+    /// the association-count query for that block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition length does not match the graph's side
+    /// size — construct partitions against the same graph you query.
+    pub fn incident_edge_counts(&self, graph: &BipartiteGraph) -> Vec<u64> {
+        assert_eq!(
+            self.assignment.len() as u32,
+            graph.side_count(self.side),
+            "partition does not match graph side size"
+        );
+        let mut counts = vec![0u64; self.block_count as usize];
+        match self.side {
+            Side::Left => {
+                for (node, &b) in self.assignment.iter().enumerate() {
+                    counts[b as usize] += graph.left_degree(LeftId::new(node as u32)) as u64;
+                }
+            }
+            Side::Right => {
+                for (node, &b) in self.assignment.iter().enumerate() {
+                    counts[b as usize] += graph.right_degree(RightId::new(node as u32)) as u64;
+                }
+            }
+        }
+        counts
+    }
+
+    /// The largest incident-edge count over blocks — the group-level L1
+    /// sensitivity of the total association count at this partition.
+    pub fn max_incident_edges(&self, graph: &BipartiteGraph) -> u64 {
+        self.incident_edge_counts(graph)
+            .into_iter()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Checks that `finer` refines `self`: every block of `finer` lies
+    /// entirely inside one block of `self`.
+    pub fn is_refined_by(&self, finer: &SidePartition) -> bool {
+        if finer.assignment.len() != self.assignment.len() || finer.side != self.side {
+            return false;
+        }
+        // Map each finer block to the coarse block of its first member,
+        // then verify all members agree.
+        let mut coarse_of: Vec<Option<u32>> = vec![None; finer.block_count as usize];
+        for (node, &fb) in finer.assignment.iter().enumerate() {
+            let cb = self.assignment[node];
+            match coarse_of[fb as usize] {
+                None => coarse_of[fb as usize] = Some(cb),
+                Some(prev) if prev != cb => return false,
+                _ => {}
+            }
+        }
+        true
+    }
+}
+
+/// Sparse per-(left-block, right-block) association counts under a pair
+/// of side partitions — the "subgraphs induced by each group level" that
+/// the paper's Phase 2 perturbs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairCounts {
+    counts: HashMap<(u32, u32), u64>,
+    left_blocks: u32,
+    right_blocks: u32,
+}
+
+impl PairCounts {
+    /// Counts associations between every (left-block, right-block) pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either partition does not match the graph's side sizes
+    /// or sides.
+    pub fn compute(
+        graph: &BipartiteGraph,
+        left: &SidePartition,
+        right: &SidePartition,
+    ) -> Self {
+        assert_eq!(left.side(), Side::Left, "left partition must be Side::Left");
+        assert_eq!(
+            right.side(),
+            Side::Right,
+            "right partition must be Side::Right"
+        );
+        assert_eq!(left.node_count(), graph.left_count());
+        assert_eq!(right.node_count(), graph.right_count());
+        let mut counts = HashMap::new();
+        for (l, r) in graph.edges() {
+            let key = (left.block_of(l.index()), right.block_of(r.index()));
+            *counts.entry(key).or_insert(0u64) += 1;
+        }
+        Self {
+            counts,
+            left_blocks: left.block_count(),
+            right_blocks: right.block_count(),
+        }
+    }
+
+    /// The association count between a left block and a right block.
+    pub fn get(&self, left_block: u32, right_block: u32) -> u64 {
+        *self.counts.get(&(left_block, right_block)).unwrap_or(&0)
+    }
+
+    /// Number of non-empty cells.
+    pub fn non_empty_cells(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total count across all cells (equals the graph's edge count).
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Declared left-block count.
+    pub fn left_blocks(&self) -> u32 {
+        self.left_blocks
+    }
+
+    /// Declared right-block count.
+    pub fn right_blocks(&self) -> u32 {
+        self.right_blocks
+    }
+
+    /// Iterates over non-empty `((left_block, right_block), count)` cells
+    /// in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(u32, u32), &u64)> {
+        self.counts.iter()
+    }
+
+    /// Row sums: associations incident to each left block.
+    pub fn left_marginals(&self) -> Vec<u64> {
+        let mut m = vec![0u64; self.left_blocks as usize];
+        for (&(lb, _), &c) in &self.counts {
+            m[lb as usize] += c;
+        }
+        m
+    }
+
+    /// Column sums: associations incident to each right block.
+    pub fn right_marginals(&self) -> Vec<u64> {
+        let mut m = vec![0u64; self.right_blocks as usize];
+        for (&(_, rb), &c) in &self.counts {
+            m[rb as usize] += c;
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn sample_graph() -> BipartiteGraph {
+        // 4 left, 3 right.
+        let mut b = GraphBuilder::new(4, 3);
+        let edges = [(0, 0), (0, 1), (1, 0), (2, 2), (3, 2), (3, 1)];
+        for (l, r) in edges {
+            b.add_edge(LeftId::new(l), RightId::new(r)).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn validation_rejects_bad_assignments() {
+        assert!(matches!(
+            SidePartition::new(Side::Left, vec![0, 2, 0], 2),
+            Err(GraphError::BlockOutOfRange { block: 2, .. })
+        ));
+        assert!(matches!(
+            SidePartition::new(Side::Left, vec![0, 0, 0], 2),
+            Err(GraphError::EmptyBlock { block: 1 })
+        ));
+    }
+
+    #[test]
+    fn whole_and_singletons() {
+        let w = SidePartition::whole(Side::Left, 5).unwrap();
+        assert_eq!(w.block_count(), 1);
+        assert_eq!(w.block_sizes(), vec![5]);
+        assert!(SidePartition::whole(Side::Left, 0).is_none());
+
+        let s = SidePartition::singletons(Side::Right, 4);
+        assert_eq!(s.block_count(), 4);
+        assert_eq!(s.block_sizes(), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn block_sizes_and_members() {
+        let p = SidePartition::new(Side::Left, vec![1, 0, 1, 1], 2).unwrap();
+        assert_eq!(p.block_sizes(), vec![1, 3]);
+        assert_eq!(p.block_members(), vec![vec![1], vec![0, 2, 3]]);
+        assert_eq!(p.block_of(0), 1);
+    }
+
+    #[test]
+    fn incident_edges_sum_to_edge_count_on_each_side() {
+        let g = sample_graph();
+        let pl = SidePartition::new(Side::Left, vec![0, 0, 1, 1], 2).unwrap();
+        let counts = pl.incident_edge_counts(&g);
+        assert_eq!(counts.iter().sum::<u64>(), g.edge_count());
+        assert_eq!(counts, vec![3, 3]); // degrees: L0=2,L1=1 | L2=1,L3=2
+
+        let pr = SidePartition::new(Side::Right, vec![0, 0, 1], 2).unwrap();
+        let counts = pr.incident_edge_counts(&g);
+        assert_eq!(counts.iter().sum::<u64>(), g.edge_count());
+        assert_eq!(counts, vec![4, 2]); // degrees: R0=2,R1=2 | R2=2
+    }
+
+    #[test]
+    fn max_incident_edges_is_sensitivity() {
+        let g = sample_graph();
+        let whole = SidePartition::whole(Side::Left, 4).unwrap();
+        assert_eq!(whole.max_incident_edges(&g), g.edge_count());
+        let singles = SidePartition::singletons(Side::Left, 4);
+        assert_eq!(singles.max_incident_edges(&g), 2); // max left degree
+    }
+
+    #[test]
+    fn refinement_relation() {
+        let coarse = SidePartition::new(Side::Left, vec![0, 0, 1, 1], 2).unwrap();
+        let fine = SidePartition::new(Side::Left, vec![0, 1, 2, 2], 3).unwrap();
+        assert!(coarse.is_refined_by(&fine));
+        assert!(!fine.is_refined_by(&coarse));
+        // A partition refines itself.
+        assert!(coarse.is_refined_by(&coarse));
+        // Crossing partition does not refine.
+        let crossing = SidePartition::new(Side::Left, vec![0, 1, 0, 1], 2).unwrap();
+        assert!(!coarse.is_refined_by(&crossing));
+        // Side mismatch is not refinement.
+        let other_side = SidePartition::new(Side::Right, vec![0, 1, 2, 2], 3).unwrap();
+        assert!(!coarse.is_refined_by(&other_side));
+    }
+
+    #[test]
+    fn pair_counts_totals_and_marginals() {
+        let g = sample_graph();
+        let pl = SidePartition::new(Side::Left, vec![0, 0, 1, 1], 2).unwrap();
+        let pr = SidePartition::new(Side::Right, vec![0, 0, 1], 2).unwrap();
+        let pc = PairCounts::compute(&g, &pl, &pr);
+        assert_eq!(pc.total(), g.edge_count());
+        assert_eq!(pc.get(0, 0), 3); // (L0,R0),(L0,R1),(L1,R0)
+        assert_eq!(pc.get(0, 1), 0);
+        assert_eq!(pc.get(1, 0), 1); // (L3,R1)
+        assert_eq!(pc.get(1, 1), 2); // (L2,R2),(L3,R2)
+        assert_eq!(pc.left_marginals(), vec![3, 3]);
+        assert_eq!(pc.right_marginals(), vec![4, 2]);
+        assert_eq!(pc.non_empty_cells(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition does not match graph side size")]
+    fn mismatched_partition_panics() {
+        let g = sample_graph();
+        let p = SidePartition::new(Side::Left, vec![0, 0], 1).unwrap();
+        let _ = p.incident_edge_counts(&g);
+    }
+}

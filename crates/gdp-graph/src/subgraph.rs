@@ -1,0 +1,159 @@
+use serde::{Deserialize, Serialize};
+
+use crate::bipartite::BipartiteGraph;
+use crate::builder::GraphBuilder;
+use crate::node::{LeftId, RightId};
+
+/// A subgraph induced by subsets of left and right nodes, together with
+/// the mapping back to the parent graph's ids.
+///
+/// Used to materialize the per-group subgraphs of a hierarchy level when
+/// callers want to run further analysis inside one group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InducedSubgraph {
+    graph: BipartiteGraph,
+    left_map: Vec<LeftId>,
+    right_map: Vec<RightId>,
+}
+
+impl InducedSubgraph {
+    /// Extracts the subgraph induced by `left_nodes × right_nodes`.
+    ///
+    /// Node lists may be unsorted and may contain duplicates; both are
+    /// normalized. Edges of the parent graph with both endpoints selected
+    /// are kept, re-indexed densely from 0.
+    pub fn extract(
+        parent: &BipartiteGraph,
+        left_nodes: &[LeftId],
+        right_nodes: &[RightId],
+    ) -> Self {
+        let mut left_map: Vec<LeftId> = left_nodes.to_vec();
+        left_map.sort_unstable();
+        left_map.dedup();
+        let mut right_map: Vec<RightId> = right_nodes.to_vec();
+        right_map.sort_unstable();
+        right_map.dedup();
+
+        // Dense inverse lookup for the right side; left side is iterated.
+        let mut right_inverse = vec![u32::MAX; parent.right_count() as usize];
+        for (new_idx, r) in right_map.iter().enumerate() {
+            right_inverse[r.as_usize()] = new_idx as u32;
+        }
+
+        let mut builder =
+            GraphBuilder::new(left_map.len() as u32, right_map.len() as u32);
+        for (new_l, l) in left_map.iter().enumerate() {
+            for &r in parent.neighbors_of_left(*l) {
+                let new_r = right_inverse[r.as_usize()];
+                if new_r != u32::MAX {
+                    builder
+                        .add_edge(LeftId::new(new_l as u32), RightId::new(new_r))
+                        .expect("re-indexed endpoints are in range by construction");
+                }
+            }
+        }
+        Self {
+            graph: builder.build(),
+            left_map,
+            right_map,
+        }
+    }
+
+    /// The induced subgraph, with densely re-indexed nodes.
+    pub fn graph(&self) -> &BipartiteGraph {
+        &self.graph
+    }
+
+    /// Maps a subgraph left index back to the parent graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range for the subgraph.
+    pub fn parent_left(&self, local: LeftId) -> LeftId {
+        self.left_map[local.as_usize()]
+    }
+
+    /// Maps a subgraph right index back to the parent graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range for the subgraph.
+    pub fn parent_right(&self, local: RightId) -> RightId {
+        self.right_map[local.as_usize()]
+    }
+
+    /// The selected parent-side left nodes, sorted.
+    pub fn left_map(&self) -> &[LeftId] {
+        &self.left_map
+    }
+
+    /// The selected parent-side right nodes, sorted.
+    pub fn right_map(&self) -> &[RightId] {
+        &self.right_map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parent() -> BipartiteGraph {
+        let mut b = GraphBuilder::new(4, 4);
+        for (l, r) in [(0, 0), (0, 1), (1, 1), (2, 2), (3, 3), (1, 3)] {
+            b.add_edge(LeftId::new(l), RightId::new(r)).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn extract_keeps_only_internal_edges() {
+        let p = parent();
+        let sub = InducedSubgraph::extract(
+            &p,
+            &[LeftId::new(0), LeftId::new(1)],
+            &[RightId::new(1), RightId::new(3)],
+        );
+        // Kept: (0,1), (1,1), (1,3). Dropped: (0,0) since R0 not chosen.
+        assert_eq!(sub.graph().edge_count(), 3);
+        assert_eq!(sub.graph().left_count(), 2);
+        assert_eq!(sub.graph().right_count(), 2);
+    }
+
+    #[test]
+    fn mapping_round_trips() {
+        let p = parent();
+        let sub = InducedSubgraph::extract(
+            &p,
+            &[LeftId::new(2), LeftId::new(0)],
+            &[RightId::new(2), RightId::new(0)],
+        );
+        // Maps are sorted: left [0,2], right [0,2].
+        assert_eq!(sub.parent_left(LeftId::new(0)), LeftId::new(0));
+        assert_eq!(sub.parent_left(LeftId::new(1)), LeftId::new(2));
+        assert_eq!(sub.parent_right(LeftId::new(1).index().into()), RightId::new(2));
+        // Every subgraph edge exists in the parent under the mapping.
+        for (l, r) in sub.graph().edges() {
+            assert!(p.has_edge(sub.parent_left(l), sub.parent_right(r)));
+        }
+    }
+
+    #[test]
+    fn duplicates_and_order_normalized() {
+        let p = parent();
+        let sub = InducedSubgraph::extract(
+            &p,
+            &[LeftId::new(1), LeftId::new(1), LeftId::new(0)],
+            &[RightId::new(3), RightId::new(1), RightId::new(3)],
+        );
+        assert_eq!(sub.left_map(), &[LeftId::new(0), LeftId::new(1)]);
+        assert_eq!(sub.right_map(), &[RightId::new(1), RightId::new(3)]);
+    }
+
+    #[test]
+    fn empty_selection_gives_empty_graph() {
+        let p = parent();
+        let sub = InducedSubgraph::extract(&p, &[], &[]);
+        assert_eq!(sub.graph().edge_count(), 0);
+        assert_eq!(sub.graph().left_count(), 0);
+    }
+}

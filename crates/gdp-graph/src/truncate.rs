@@ -1,0 +1,146 @@
+//! Degree truncation — the standard node-DP preprocessing step.
+//!
+//! Group-level (and node-level) sensitivity of count queries is driven
+//! by the largest per-node association mass. *Truncating* degrees to a
+//! cap `D` before disclosure bounds that mass by construction, trading a
+//! deterministic bias (dropped edges) for much smaller noise — the
+//! classic bias/variance dial of node-private graph statistics (Kasiviswanathan
+//! et al., Blocki et al.).
+//!
+//! Truncation here is deterministic (keep each over-cap node's
+//! lowest-indexed neighbours), so it commutes with the seeded
+//! reproducibility story of the rest of the workspace.
+
+use crate::bipartite::BipartiteGraph;
+use crate::builder::GraphBuilder;
+use crate::node::{LeftId, Side};
+
+/// Outcome of a truncation pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Truncation {
+    /// The truncated graph.
+    pub graph: BipartiteGraph,
+    /// Number of associations dropped (the deterministic bias).
+    pub dropped_edges: u64,
+    /// Number of nodes that were over the cap.
+    pub truncated_nodes: u32,
+}
+
+/// Truncates the degrees of one side to at most `cap`, keeping each
+/// over-cap node's lowest-indexed neighbours (deterministic).
+///
+/// # Panics
+///
+/// Panics if `cap == 0` — an edgeless graph should be built directly,
+/// not by truncation.
+pub fn truncate_degrees(graph: &BipartiteGraph, side: Side, cap: u32) -> Truncation {
+    assert!(cap > 0, "cap must be positive");
+    let mut builder = GraphBuilder::with_capacity(
+        graph.left_count(),
+        graph.right_count(),
+        graph.edge_count() as usize,
+    );
+    let mut dropped = 0u64;
+    let mut truncated_nodes = 0u32;
+    match side {
+        Side::Left => {
+            for l in 0..graph.left_count() {
+                let neighbors = graph.neighbors_of_left(LeftId::new(l));
+                if neighbors.len() > cap as usize {
+                    truncated_nodes += 1;
+                    dropped += (neighbors.len() - cap as usize) as u64;
+                }
+                for &r in neighbors.iter().take(cap as usize) {
+                    builder
+                        .add_edge(LeftId::new(l), r)
+                        .expect("source edges are in range");
+                }
+            }
+        }
+        Side::Right => {
+            for r in 0..graph.right_count() {
+                let neighbors = graph.neighbors_of_right(crate::node::RightId::new(r));
+                if neighbors.len() > cap as usize {
+                    truncated_nodes += 1;
+                    dropped += (neighbors.len() - cap as usize) as u64;
+                }
+                for &l in neighbors.iter().take(cap as usize) {
+                    builder
+                        .add_edge(l, crate::node::RightId::new(r))
+                        .expect("source edges are in range");
+                }
+            }
+        }
+    }
+    Truncation {
+        graph: builder.build(),
+        dropped_edges: dropped,
+        truncated_nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::RightId;
+
+    fn star_plus() -> BipartiteGraph {
+        // L0 connects to all 6 right nodes; L1 to one.
+        let mut b = GraphBuilder::new(2, 6);
+        for r in 0..6 {
+            b.add_edge(LeftId::new(0), RightId::new(r)).unwrap();
+        }
+        b.add_edge(LeftId::new(1), RightId::new(3)).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn caps_left_degrees() {
+        let g = star_plus();
+        let t = truncate_degrees(&g, Side::Left, 2);
+        assert_eq!(t.graph.max_left_degree(), 2);
+        assert_eq!(t.dropped_edges, 4);
+        assert_eq!(t.truncated_nodes, 1);
+        assert_eq!(t.graph.edge_count(), 3);
+        // Kept neighbours are the lowest-indexed ones.
+        assert!(t.graph.has_edge(LeftId::new(0), RightId::new(0)));
+        assert!(t.graph.has_edge(LeftId::new(0), RightId::new(1)));
+        assert!(!t.graph.has_edge(LeftId::new(0), RightId::new(5)));
+        // The untouched node keeps its edge.
+        assert!(t.graph.has_edge(LeftId::new(1), RightId::new(3)));
+    }
+
+    #[test]
+    fn caps_right_degrees() {
+        let g = star_plus();
+        let t = truncate_degrees(&g, Side::Right, 1);
+        assert_eq!(t.graph.max_right_degree(), 1);
+        // R3 had 2 neighbours; 1 dropped.
+        assert_eq!(t.dropped_edges, 1);
+        assert_eq!(t.truncated_nodes, 1);
+    }
+
+    #[test]
+    fn under_cap_graph_unchanged() {
+        let g = star_plus();
+        let t = truncate_degrees(&g, Side::Left, 10);
+        assert_eq!(t.graph, g);
+        assert_eq!(t.dropped_edges, 0);
+        assert_eq!(t.truncated_nodes, 0);
+    }
+
+    #[test]
+    fn truncation_is_idempotent() {
+        let g = star_plus();
+        let once = truncate_degrees(&g, Side::Left, 2);
+        let twice = truncate_degrees(&once.graph, Side::Left, 2);
+        assert_eq!(once.graph, twice.graph);
+        assert_eq!(twice.dropped_edges, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap must be positive")]
+    fn zero_cap_rejected() {
+        truncate_degrees(&star_plus(), Side::Left, 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+
+use gdp_graph::{
+    connected_components, io, DegreeHistogram, GraphBuilder, LeftId, PairCounts, RightId, Side,
+    SidePartition,
+};
+
+/// Strategy: a random edge list over bounded side sizes.
+fn graph_strategy() -> impl Strategy<Value = (u32, u32, Vec<(u32, u32)>)> {
+    (1u32..40, 1u32..40).prop_flat_map(|(nl, nr)| {
+        let edges = proptest::collection::vec((0..nl, 0..nr), 0..200);
+        (Just(nl), Just(nr), edges)
+    })
+}
+
+fn build(nl: u32, nr: u32, edges: &[(u32, u32)]) -> gdp_graph::BipartiteGraph {
+    let mut b = GraphBuilder::new(nl, nr);
+    for &(l, r) in edges {
+        b.add_edge(LeftId::new(l), RightId::new(r)).unwrap();
+    }
+    b.build()
+}
+
+/// Strategy: a random partition assignment for `n` nodes (guaranteed
+/// surjective by construction: block ids are remapped densely).
+fn partition_of(n: u32) -> impl Strategy<Value = (Vec<u32>, u32)> {
+    proptest::collection::vec(0u32..8, n as usize).prop_map(|raw| {
+        // Remap to dense block ids so every block is non-empty.
+        let mut mapping = std::collections::HashMap::new();
+        let mut assignment = Vec::with_capacity(raw.len());
+        for b in raw {
+            let next = mapping.len() as u32;
+            let id = *mapping.entry(b).or_insert(next);
+            assignment.push(id);
+        }
+        let count = mapping.len() as u32;
+        (assignment, count)
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_directions_agree((nl, nr, edges) in graph_strategy()) {
+        let g = build(nl, nr, &edges);
+        // Both directions enumerate the same edge set.
+        let left_sum: u64 = (0..nl).map(|l| g.left_degree(LeftId::new(l)) as u64).sum();
+        let right_sum: u64 = (0..nr).map(|r| g.right_degree(RightId::new(r)) as u64).sum();
+        prop_assert_eq!(left_sum, g.edge_count());
+        prop_assert_eq!(right_sum, g.edge_count());
+        for (l, r) in g.edges() {
+            prop_assert!(g.has_edge(l, r));
+            prop_assert!(g.neighbors_of_right(r).contains(&l));
+        }
+    }
+
+    #[test]
+    fn builder_dedups_to_set_semantics((nl, nr, edges) in graph_strategy()) {
+        let g = build(nl, nr, &edges);
+        let distinct: std::collections::HashSet<(u32, u32)> = edges.into_iter().collect();
+        prop_assert_eq!(g.edge_count(), distinct.len() as u64);
+    }
+
+    #[test]
+    fn neighbor_lists_sorted_unique((nl, nr, edges) in graph_strategy()) {
+        let g = build(nl, nr, &edges);
+        for l in 0..nl {
+            let ns = g.neighbors_of_left(LeftId::new(l));
+            for w in ns.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn io_round_trip((nl, nr, edges) in graph_strategy()) {
+        let g = build(nl, nr, &edges);
+        let mut buf = Vec::new();
+        io::write_edge_list(&g, &mut buf).unwrap();
+        let back = io::read_edge_list(buf.as_slice()).unwrap();
+        prop_assert_eq!(g, back);
+    }
+
+    #[test]
+    fn partition_incident_counts_sum_to_edges(
+        (nl, nr, edges) in graph_strategy(),
+        seed in 0u64..100,
+    ) {
+        let g = build(nl, nr, &edges);
+        // Derive a deterministic pseudo-random partition from the seed.
+        let assignment: Vec<u32> = (0..nl).map(|i| (i.wrapping_mul(7).wrapping_add(seed as u32)) % 4).collect();
+        let mut mapping = std::collections::HashMap::new();
+        let dense: Vec<u32> = assignment.iter().map(|b| {
+            let next = mapping.len() as u32;
+            *mapping.entry(*b).or_insert(next)
+        }).collect();
+        let p = SidePartition::new(Side::Left, dense, mapping.len() as u32).unwrap();
+        let counts = p.incident_edge_counts(&g);
+        prop_assert_eq!(counts.iter().sum::<u64>(), g.edge_count());
+        prop_assert!(p.max_incident_edges(&g) <= g.edge_count());
+    }
+
+    #[test]
+    fn merging_blocks_is_refined_by_original((assignment, count) in partition_of(30)) {
+        let fine = SidePartition::new(Side::Left, assignment.clone(), count).unwrap();
+        // Merge all blocks into one.
+        let coarse = SidePartition::whole(Side::Left, 30).unwrap();
+        prop_assert!(coarse.is_refined_by(&fine));
+        // Every partition refines itself.
+        prop_assert!(fine.is_refined_by(&fine));
+        // Singletons refine everything.
+        let singles = SidePartition::singletons(Side::Left, 30);
+        prop_assert!(fine.is_refined_by(&singles));
+    }
+
+    #[test]
+    fn pair_counts_marginals_match_partitions(
+        (nl, nr, edges) in graph_strategy(),
+    ) {
+        let g = build(nl, nr, &edges);
+        let pl = SidePartition::whole(Side::Left, nl).unwrap();
+        let pr = SidePartition::singletons(Side::Right, nr);
+        let pc = PairCounts::compute(&g, &pl, &pr);
+        prop_assert_eq!(pc.total(), g.edge_count());
+        prop_assert_eq!(pc.left_marginals(), pl.incident_edge_counts(&g));
+        prop_assert_eq!(pc.right_marginals(), pr.incident_edge_counts(&g));
+    }
+
+    #[test]
+    fn histogram_total_is_node_count(degrees in proptest::collection::vec(0u32..50, 0..200)) {
+        let h = DegreeHistogram::from_degrees(&degrees);
+        prop_assert_eq!(h.total(), degrees.len() as u64);
+        let bin_sum: u64 = h.counts().iter().sum();
+        prop_assert_eq!(bin_sum, degrees.len() as u64);
+        if !degrees.is_empty() {
+            let direct_mean = degrees.iter().map(|&d| d as f64).sum::<f64>() / degrees.len() as f64;
+            prop_assert!((h.mean() - direct_mean).abs() < 1e-9);
+            prop_assert_eq!(h.max_degree(), *degrees.iter().max().unwrap());
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_monotone(degrees in proptest::collection::vec(0u32..50, 1..100)) {
+        let h = DegreeHistogram::from_degrees(&degrees);
+        let mut prev = 0u32;
+        for i in 0..=10 {
+            let q = h.quantile(i as f64 / 10.0);
+            prop_assert!(q >= prev);
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn components_partition_nodes((nl, nr, edges) in graph_strategy()) {
+        let g = build(nl, nr, &edges);
+        let cc = connected_components(&g);
+        let sizes = cc.component_sizes();
+        prop_assert_eq!(sizes.iter().sum::<u64>(), g.node_count());
+        prop_assert!(sizes.iter().all(|&s| s > 0));
+        // Two endpoints of an edge share a component.
+        for (l, r) in g.edges() {
+            prop_assert_eq!(cc.left_component(l), cc.right_component(r));
+        }
+    }
+}

@@ -1,0 +1,122 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::budget::Epsilon;
+use crate::sampling;
+use crate::Result;
+
+/// Binary **randomized response** — the oldest local-DP primitive
+/// (Warner 1965), included as the per-record baseline the paper's group
+/// notion generalizes away from.
+///
+/// Each true bit is reported faithfully with probability
+/// `p = e^ε / (1 + e^ε)` and flipped otherwise, which is `ε`-DP for the
+/// individual bit. [`RandomizedResponse::estimate_count`] de-biases an
+/// aggregated count of "yes" answers.
+///
+/// ```
+/// use gdp_mechanisms::{Epsilon, RandomizedResponse};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), gdp_mechanisms::MechanismError> {
+/// let rr = RandomizedResponse::new(Epsilon::new(2.0)?)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let reported = rr.randomize(true, &mut rng);
+/// let _: bool = reported;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomizedResponse {
+    epsilon: Epsilon,
+    p_truth: f64,
+}
+
+impl RandomizedResponse {
+    /// Creates a binary randomized-response mechanism for budget `ε`.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a valid `Epsilon`; `Result` keeps constructor
+    /// signatures uniform across mechanisms.
+    pub fn new(epsilon: Epsilon) -> Result<Self> {
+        let e = epsilon.get().exp();
+        Ok(Self {
+            epsilon,
+            p_truth: e / (1.0 + e),
+        })
+    }
+
+    /// The privacy parameter `ε`.
+    pub fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
+
+    /// Probability of reporting the true bit.
+    pub fn truth_probability(&self) -> f64 {
+        self.p_truth
+    }
+
+    /// Reports one bit under randomized response.
+    pub fn randomize<R: Rng + ?Sized>(&self, truth: bool, rng: &mut R) -> bool {
+        if sampling::bernoulli(rng, self.p_truth) {
+            truth
+        } else {
+            !truth
+        }
+    }
+
+    /// Unbiased estimate of the number of true bits among `n` reports of
+    /// which `observed_yes` answered "yes":
+    /// `(observed_yes − n·(1−p)) / (2p − 1)`.
+    pub fn estimate_count(&self, observed_yes: usize, n: usize) -> f64 {
+        let p = self.p_truth;
+        (observed_yes as f64 - n as f64 * (1.0 - p)) / (2.0 * p - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn truth_probability_formula() {
+        let rr = RandomizedResponse::new(Epsilon::new(1.0).unwrap()).unwrap();
+        let want = 1.0f64.exp() / (1.0 + 1.0f64.exp());
+        assert!((rr.truth_probability() - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn high_epsilon_nearly_always_truthful() {
+        let rr = RandomizedResponse::new(Epsilon::new(10.0).unwrap()).unwrap();
+        assert!(rr.truth_probability() > 0.9999);
+    }
+
+    #[test]
+    fn estimator_is_unbiased() {
+        let rr = RandomizedResponse::new(Epsilon::new(1.0).unwrap()).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000usize;
+        let true_yes = 30_000usize;
+        let observed = (0..n)
+            .filter(|i| rr.randomize(*i < true_yes, &mut rng))
+            .count();
+        let est = rr.estimate_count(observed, n);
+        assert!(
+            (est - true_yes as f64).abs() < 1_500.0,
+            "estimate {est} vs {true_yes}"
+        );
+    }
+
+    #[test]
+    fn per_bit_dp_ratio() {
+        // P[report=yes | truth=yes] / P[report=yes | truth=no] = e^ε.
+        let eps = 0.9f64;
+        let rr = RandomizedResponse::new(Epsilon::new(eps).unwrap()).unwrap();
+        let p = rr.truth_probability();
+        let ratio = p / (1.0 - p);
+        assert!((ratio - eps.exp()).abs() < 1e-12);
+    }
+}

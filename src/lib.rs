@@ -1,0 +1,16 @@
+//! Facade crate for the `group-dp` workspace — re-exports the public API
+//! of every member crate so applications can depend on a single crate.
+//!
+//! See the workspace `README.md` for the architecture overview and the
+//! individual crates for detailed docs:
+//!
+//! * [`mechanisms`] — DP primitives (Laplace, Gaussian, exponential, …)
+//! * [`graph`] — bipartite association-graph substrate
+//! * [`datagen`] — synthetic workload generators (DBLP-like, scenarios)
+//! * [`core`] — g-group differential privacy: hierarchy specialization
+//!   and multi-level disclosure
+
+pub use gdp_core as core;
+pub use gdp_datagen as datagen;
+pub use gdp_graph as graph;
+pub use gdp_mechanisms as mechanisms;

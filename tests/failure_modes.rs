@@ -1,0 +1,155 @@
+//! Failure-injection integration tests: every user-visible error path
+//! across the workspace must be reachable, typed, and must leave no
+//! partial state behind.
+
+use group_dp::core::{
+    AccessControlled, CoreError, DisclosureConfig, DisclosureSession, GroupHierarchy,
+    GroupLevel, MultiLevelDiscloser, Privilege, SpecializationConfig, Specializer,
+};
+use group_dp::datagen::{DblpConfig, DblpGenerator};
+use group_dp::graph::{io as graph_io, BipartiteGraph, GraphError, Side, SidePartition};
+use group_dp::mechanisms::{MechanismError, PrivacyBudget};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_graph() -> BipartiteGraph {
+    DblpGenerator::new(DblpConfig::tiny()).generate(&mut StdRng::seed_from_u64(80))
+}
+
+#[test]
+fn specialization_rejects_degenerate_graphs() {
+    let spec = Specializer::new(SpecializationConfig::median(2).unwrap());
+    for (l, r) in [(0u32, 5u32), (5, 0), (0, 0)] {
+        let err = spec
+            .specialize(&BipartiteGraph::empty(l, r), &mut StdRng::seed_from_u64(0))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::GraphTooSmall(_)), "({l},{r})");
+    }
+}
+
+#[test]
+fn invalid_privacy_parameters_surface_as_typed_errors() {
+    // ε = 0 rejected at config construction.
+    assert!(matches!(
+        DisclosureConfig::count_only(0.0, 1e-6),
+        Err(CoreError::Mechanism(MechanismError::InvalidEpsilon(_)))
+    ));
+    // δ = 1 rejected.
+    assert!(matches!(
+        DisclosureConfig::count_only(0.5, 1.0),
+        Err(CoreError::Mechanism(MechanismError::InvalidDelta(_)))
+    ));
+    // Classic Gaussian at ε ≥ 1 rejected at disclosure time.
+    let graph = tiny_graph();
+    let hierarchy = Specializer::new(SpecializationConfig::median(2).unwrap())
+        .specialize(&graph, &mut StdRng::seed_from_u64(1))
+        .unwrap();
+    let err = MultiLevelDiscloser::new(DisclosureConfig::count_only(2.0, 1e-6).unwrap())
+        .disclose(&graph, &hierarchy, &mut StdRng::seed_from_u64(2))
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        CoreError::Mechanism(MechanismError::EpsilonTooLargeForClassicGaussian(_))
+    ));
+}
+
+#[test]
+fn session_refuses_overdraft_and_stays_consistent() {
+    let graph = tiny_graph();
+    let hierarchy = Specializer::new(SpecializationConfig::median(2).unwrap())
+        .specialize(&graph, &mut StdRng::seed_from_u64(3))
+        .unwrap();
+    let mut session = DisclosureSession::new(
+        graph,
+        hierarchy,
+        PrivacyBudget::new(0.5, 1e-5).unwrap(),
+    );
+    let config = DisclosureConfig::count_only(0.4, 1e-6).unwrap();
+    let mut rng = StdRng::seed_from_u64(4);
+    session.disclose(&config, &mut rng).unwrap();
+    // The second disclosure would spend 0.8 > 0.5: refused, and the
+    // ledger still shows exactly one successful release.
+    assert!(session.disclose(&config, &mut rng).is_err());
+    assert_eq!(session.releases_made(), 1);
+    assert_eq!(session.accountant().ledger().len(), 1);
+    assert!((session.accountant().spent_epsilon() - 0.4).abs() < 1e-12);
+}
+
+#[test]
+fn hierarchy_construction_rejects_broken_chains() {
+    // Levels over different node sets.
+    let a = GroupLevel::new(
+        SidePartition::whole(Side::Left, 3).unwrap(),
+        SidePartition::whole(Side::Right, 3).unwrap(),
+    )
+    .unwrap();
+    let b = GroupLevel::new(
+        SidePartition::whole(Side::Left, 4).unwrap(),
+        SidePartition::whole(Side::Right, 3).unwrap(),
+    )
+    .unwrap();
+    assert!(matches!(
+        GroupHierarchy::new(vec![a.clone(), b]),
+        Err(CoreError::InvalidHierarchy(_))
+    ));
+    // Coarse-to-fine ordering (refinement inverted) is rejected.
+    let fine = GroupLevel::new(
+        SidePartition::singletons(Side::Left, 3),
+        SidePartition::singletons(Side::Right, 3),
+    )
+    .unwrap();
+    assert!(GroupHierarchy::new(vec![a, fine]).is_err());
+}
+
+#[test]
+fn access_denial_is_precise() {
+    let graph = tiny_graph();
+    let hierarchy = Specializer::new(SpecializationConfig::median(3).unwrap())
+        .specialize(&graph, &mut StdRng::seed_from_u64(5))
+        .unwrap();
+    let release = MultiLevelDiscloser::new(DisclosureConfig::count_only(0.5, 1e-6).unwrap())
+        .disclose(&graph, &hierarchy, &mut StdRng::seed_from_u64(6))
+        .unwrap();
+    let gated = AccessControlled::new(release).unwrap();
+    match gated.level(Privilege::new(3), 1).unwrap_err() {
+        CoreError::AccessDenied {
+            privilege,
+            requested_level,
+            finest_allowed,
+        } => {
+            assert_eq!(privilege, 3);
+            assert_eq!(requested_level, 1);
+            assert_eq!(finest_allowed, 3);
+        }
+        other => panic!("wrong error: {other}"),
+    }
+    // Unknown level is a different error.
+    assert!(matches!(
+        gated.level(Privilege::full(), 99).unwrap_err(),
+        CoreError::LevelOutOfRange { level: 99, .. }
+    ));
+}
+
+#[test]
+fn graph_io_failures_carry_line_numbers() {
+    let malformed = "3 2 1\n0 0\nbad line here\n";
+    match graph_io::read_edge_list(malformed.as_bytes()).unwrap_err() {
+        GraphError::Parse { line, .. } => assert_eq!(line, 3),
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+#[test]
+fn error_chains_preserve_sources() {
+    use std::error::Error;
+    let err = CoreError::Mechanism(MechanismError::InvalidEpsilon(-1.0));
+    assert!(err.source().is_some());
+    let err = CoreError::Graph(GraphError::LeftNodeOutOfRange {
+        index: 9,
+        left_count: 3,
+    });
+    assert!(err.source().is_some());
+    // Display messages are lowercase per API guidelines, no trailing '.'.
+    let msg = err.to_string();
+    assert!(!msg.ends_with('.'));
+}

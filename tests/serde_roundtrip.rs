@@ -1,0 +1,92 @@
+//! JSON round-trips of the artifacts a deployment persists: release
+//! bundles, hierarchies, configurations. Uses `serde_json` (test-only
+//! dependency, justified in DESIGN.md).
+
+use group_dp::core::{
+    AccessControlled, DisclosureConfig, GroupHierarchy, MultiLevelDiscloser, MultiLevelRelease,
+    Query, SpecializationConfig, Specializer,
+};
+use group_dp::datagen::{DblpConfig, DblpGenerator};
+use group_dp::graph::BipartiteGraph;
+use group_dp::mechanisms::{Epsilon, PrivacyBudget};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup() -> (BipartiteGraph, GroupHierarchy, MultiLevelRelease) {
+    let mut rng = StdRng::seed_from_u64(30);
+    let graph = DblpGenerator::new(DblpConfig::tiny()).generate(&mut rng);
+    let hierarchy = Specializer::new(SpecializationConfig::median(3).unwrap())
+        .specialize(&graph, &mut rng)
+        .unwrap();
+    let release = MultiLevelDiscloser::new(
+        DisclosureConfig::count_only(0.5, 1e-6)
+            .unwrap()
+            .with_queries(vec![Query::TotalAssociations, Query::PerGroupCounts]),
+    )
+    .disclose(&graph, &hierarchy, &mut rng)
+    .unwrap();
+    (graph, hierarchy, release)
+}
+
+#[test]
+fn release_bundle_round_trips() {
+    let (_, _, release) = setup();
+    let json = serde_json::to_string(&release).unwrap();
+    let back: MultiLevelRelease = serde_json::from_str(&json).unwrap();
+    assert_eq!(release, back);
+}
+
+#[test]
+fn hierarchy_round_trips() {
+    let (_, hierarchy, _) = setup();
+    let json = serde_json::to_string(&hierarchy).unwrap();
+    let back: GroupHierarchy = serde_json::from_str(&json).unwrap();
+    assert_eq!(hierarchy, back);
+}
+
+#[test]
+fn graph_round_trips() {
+    let (graph, _, _) = setup();
+    let json = serde_json::to_string(&graph).unwrap();
+    let back: BipartiteGraph = serde_json::from_str(&json).unwrap();
+    assert_eq!(graph, back);
+}
+
+#[test]
+fn gated_release_round_trips() {
+    let (_, _, release) = setup();
+    let gated = AccessControlled::new(release).unwrap();
+    let json = serde_json::to_string(&gated).unwrap();
+    let back: AccessControlled = serde_json::from_str(&json).unwrap();
+    assert_eq!(gated, back);
+}
+
+#[test]
+fn validated_newtypes_reject_bad_json() {
+    // Epsilon deserialization goes through the validating constructor.
+    assert!(serde_json::from_str::<Epsilon>("0.5").is_ok());
+    assert!(serde_json::from_str::<Epsilon>("0.0").is_err());
+    assert!(serde_json::from_str::<Epsilon>("-1.0").is_err());
+    // A budget with invalid delta is rejected as a whole.
+    assert!(serde_json::from_str::<PrivacyBudget>(
+        r#"{"epsilon":0.5,"delta":1.5}"#
+    )
+    .is_err());
+    assert!(serde_json::from_str::<PrivacyBudget>(
+        r#"{"epsilon":0.5,"delta":1e-6}"#
+    )
+    .is_ok());
+}
+
+#[test]
+fn configs_round_trip() {
+    let spec = SpecializationConfig::paper_default(5).unwrap();
+    let json = serde_json::to_string(&spec).unwrap();
+    let back: SpecializationConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(spec, back);
+
+    let disc = DisclosureConfig::count_only(0.5, 1e-6).unwrap();
+    let json = serde_json::to_string(&disc).unwrap();
+    let back: DisclosureConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(disc, back);
+}
