@@ -4,8 +4,9 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use gdp_core::scoring::{cut_utilities, cut_utilities_naive};
 use gdp_core::{SpecializationConfig, Specializer, SplitStrategy};
-use gdp_datagen::{DblpConfig, DblpGenerator};
+use gdp_datagen::{models, DblpConfig, DblpGenerator};
 
 fn bench_specialize(c: &mut Criterion) {
     let config = DblpConfig {
@@ -53,12 +54,39 @@ fn bench_specialize(c: &mut Criterion) {
     group.finish();
 }
 
+/// The ISSUE-1 acceptance benchmark: prefix-sum cut scoring vs the naive
+/// per-candidate rescan on a 100k-edge graph's first-round block with 64
+/// candidate cuts.
+fn bench_cut_scoring(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(20);
+    let graph = models::erdos_renyi(&mut rng, 20_000, 20_000, 100_000);
+    let degrees = graph.left_degrees();
+    let mut block: Vec<u32> = (0..graph.left_count()).collect();
+    block.sort_unstable_by_key(|&n| (degrees[n as usize], n));
+    // Evenly spaced candidate cuts, capped at 64 — the paper default.
+    let available = block.len() - 1;
+    let candidates: Vec<usize> = (1..=64usize).map(|i| 1 + (i - 1) * available / 64).collect();
+
+    let mut group = c.benchmark_group("cut_scoring_100k_edges_64_candidates");
+    group.bench_with_input(
+        BenchmarkId::from_parameter("prefix_sum"),
+        &(),
+        |b, ()| {
+            b.iter(|| black_box(cut_utilities(&block, &degrees, &candidates)));
+        },
+    );
+    group.bench_with_input(BenchmarkId::from_parameter("naive"), &(), |b, ()| {
+        b.iter(|| black_box(cut_utilities_naive(&block, &degrees, &candidates)));
+    });
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default()
         .sample_size(10)
         .measurement_time(std::time::Duration::from_secs(3))
         .warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_specialize
+    targets = bench_specialize, bench_cut_scoring
 );
 criterion_main!(benches);

@@ -1,0 +1,249 @@
+//! `bench_pipeline` — end-to-end wall-time tracking for the two-phase
+//! disclosure pipeline.
+//!
+//! Runs the full pipeline (datagen → Phase-1 specialization → Phase-2
+//! noise injection → post-processing → consumer-side answering) on
+//! synthetic Erdős–Rényi association graphs at n ∈ {10k, 100k, 1M}
+//! edges, plus the ISSUE-1 acceptance measurement: prefix-sum vs naive
+//! cut scoring at 100k edges / 64 candidates. Results are written as
+//! `BENCH_pipeline.json` so successive PRs can track the trajectory.
+//!
+//! ```text
+//! bench_pipeline [--out FILE] [--seed N] [--max-edges N] [--reps N]
+//! ```
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use gdp_core::answering::SubsetCountEstimator;
+use gdp_core::postprocess::{clamp_non_negative, fuse_total_estimates};
+use gdp_core::scoring::{cut_utilities, cut_utilities_naive};
+use gdp_core::{
+    DisclosureConfig, MultiLevelDiscloser, Query, SpecializationConfig, Specializer,
+};
+use gdp_datagen::models;
+use gdp_graph::Side;
+
+#[derive(Debug, Serialize)]
+struct ScorerComparison {
+    edges: u64,
+    candidates: usize,
+    naive_ms: f64,
+    prefix_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct PhaseTimings {
+    edges: u64,
+    left_nodes: u32,
+    right_nodes: u32,
+    rounds: u32,
+    levels: usize,
+    datagen_ms: f64,
+    specialize_ms: f64,
+    disclose_ms: f64,
+    postprocess_ms: f64,
+    answering_ms: f64,
+    answering_queries: usize,
+    total_ms: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    generated_by: String,
+    seed: u64,
+    threads: usize,
+    scorer_100k: ScorerComparison,
+    phases: Vec<PhaseTimings>,
+}
+
+fn time_best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        out = Some(r);
+    }
+    (best, out.expect("at least one rep"))
+}
+
+fn scorer_comparison(seed: u64, reps: usize) -> ScorerComparison {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = models::erdos_renyi(&mut rng, 20_000, 20_000, 100_000);
+    let degrees = graph.left_degrees();
+    let mut block: Vec<u32> = (0..graph.left_count()).collect();
+    block.sort_unstable_by_key(|&n| (degrees[n as usize], n));
+    let available = block.len() - 1;
+    let candidates: Vec<usize> = (1..=64usize).map(|i| 1 + (i - 1) * available / 64).collect();
+
+    // The naive scorer is O(candidates × members); a handful of reps is
+    // plenty. The prefix scorer is microseconds, so rep it harder.
+    let (naive_ms, naive_scores) =
+        time_best_of(reps, || cut_utilities_naive(&block, &degrees, &candidates));
+    let (prefix_once_ms, prefix_scores) = time_best_of(reps * 20, || {
+        cut_utilities(&block, &degrees, &candidates)
+    });
+    assert_eq!(naive_scores, prefix_scores, "scorers must agree bitwise");
+    ScorerComparison {
+        edges: graph.edge_count(),
+        candidates: candidates.len(),
+        naive_ms,
+        prefix_ms: prefix_once_ms,
+        speedup: naive_ms / prefix_once_ms,
+    }
+}
+
+fn pipeline_at(edges: usize, seed: u64, reps: usize) -> PhaseTimings {
+    // Side sizes scale with the edge count: density stays ~constant.
+    let side = ((edges as f64).sqrt() * 6.3) as u32;
+    let rounds = 8u32;
+
+    let (datagen_ms, graph) = time_best_of(reps, || {
+        let mut rng = StdRng::seed_from_u64(seed);
+        models::erdos_renyi(&mut rng, side, side, edges)
+    });
+
+    let spec = Specializer::new(SpecializationConfig::paper_default(rounds).expect("rounds > 0"));
+    let (specialize_ms, hierarchy) = time_best_of(reps, || {
+        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        spec.specialize(&graph, &mut rng).expect("specialize succeeds")
+    });
+
+    let discloser = MultiLevelDiscloser::new(
+        DisclosureConfig::count_only(0.5, 1e-6)
+            .expect("valid budget")
+            .with_queries(vec![Query::TotalAssociations, Query::PerGroupCounts]),
+    );
+    let (disclose_ms, release) = time_best_of(reps, || {
+        let mut rng = StdRng::seed_from_u64(seed ^ 2);
+        discloser
+            .disclose(&graph, &hierarchy, &mut rng)
+            .expect("disclose succeeds")
+    });
+
+    let all_levels: Vec<usize> = (0..release.levels().len()).collect();
+    let (postprocess_ms, _) = time_best_of(reps, || {
+        let fused = fuse_total_estimates(&release, &all_levels).expect("fusion succeeds");
+        let mut per_group: Vec<f64> = release.levels()[1]
+            .query(Query::PerGroupCounts)
+            .expect("per-group released")
+            .noisy_values
+            .clone();
+        clamp_non_negative(&mut per_group);
+        (fused, per_group.len())
+    });
+
+    // Consumer-side: a batch of random subset-count queries at level 1.
+    let level_idx = 1;
+    let estimator = SubsetCountEstimator::new(
+        release.level(level_idx).expect("level released"),
+        hierarchy.level(level_idx).expect("level exists"),
+    )
+    .expect("estimator builds");
+    let mut qrng = StdRng::seed_from_u64(seed ^ 3);
+    let n_left = graph.left_count();
+    let subsets: Vec<Vec<u32>> = (0..1000)
+        .map(|_| (0..64).map(|_| qrng.gen_range(0..n_left)).collect())
+        .collect();
+    let (answering_ms, answers) = time_best_of(reps, || {
+        estimator
+            .estimate_batch(Side::Left, &subsets)
+            .expect("batch estimation succeeds")
+    });
+    assert_eq!(answers.len(), subsets.len());
+
+    PhaseTimings {
+        edges: graph.edge_count(),
+        left_nodes: graph.left_count(),
+        right_nodes: graph.right_count(),
+        rounds,
+        levels: hierarchy.level_count(),
+        datagen_ms,
+        specialize_ms,
+        disclose_ms,
+        postprocess_ms,
+        answering_ms,
+        answering_queries: subsets.len(),
+        total_ms: datagen_ms + specialize_ms + disclose_ms + postprocess_ms + answering_ms,
+    }
+}
+
+fn main() {
+    let mut out_path = "BENCH_pipeline.json".to_string();
+    let mut seed = 42u64;
+    let mut max_edges = 1_000_000usize;
+    let mut reps = 3usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number")
+            }
+            "--max-edges" => {
+                max_edges = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-edges needs a number")
+            }
+            "--reps" => {
+                reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--reps needs a number")
+            }
+            "--help" | "-h" => {
+                eprintln!("flags: [--out FILE] [--seed N] [--max-edges N] [--reps N]");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("measuring cut-scorer comparison (100k edges, 64 candidates)…");
+    let scorer = scorer_comparison(seed, reps);
+    eprintln!(
+        "  naive {:.3} ms  prefix {:.3} ms  speedup {:.1}×",
+        scorer.naive_ms, scorer.prefix_ms, scorer.speedup
+    );
+
+    let mut phases = Vec::new();
+    for edges in [10_000usize, 100_000, 1_000_000] {
+        if edges > max_edges {
+            eprintln!("skipping {edges} edges (--max-edges {max_edges})");
+            continue;
+        }
+        let phase_reps = if edges >= 1_000_000 { 1 } else { reps };
+        eprintln!("running pipeline at {edges} edges…");
+        let t = pipeline_at(edges, seed, phase_reps);
+        eprintln!(
+            "  datagen {:.1} ms | specialize {:.1} ms | disclose {:.1} ms | \
+             postprocess {:.3} ms | answering {:.1} ms",
+            t.datagen_ms, t.specialize_ms, t.disclose_ms, t.postprocess_ms, t.answering_ms
+        );
+        phases.push(t);
+    }
+
+    let report = Report {
+        generated_by: "gdp-bench bench_pipeline".to_string(),
+        seed,
+        threads: rayon::current_num_threads(),
+        scorer_100k: scorer,
+        phases,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("report written");
+    eprintln!("wrote {out_path}");
+}

@@ -1,4 +1,6 @@
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use gdp_graph::BipartiteGraph;
@@ -141,10 +143,21 @@ impl MultiLevelDiscloser {
                 "disclosure needs at least one query".to_string(),
             ));
         }
-        let mut levels = Vec::with_capacity(hierarchy.level_count());
-        for (i, level) in hierarchy.levels().iter().enumerate() {
-            levels.push(self.disclose_level(graph, level, i, rng)?);
-        }
+        // Levels are released to disjoint audiences, each calibrated to
+        // its own sensitivity — independent work, so fan out with rayon.
+        // Per-level seeds are drawn sequentially from the master RNG so
+        // the release is bit-identical at any worker count.
+        let seeds: Vec<u64> = hierarchy.levels().iter().map(|_| rng.gen::<u64>()).collect();
+        let levels: Result<Vec<LevelRelease>> = hierarchy
+            .levels()
+            .par_iter()
+            .enumerate()
+            .map(|(i, level)| {
+                let mut level_rng = StdRng::seed_from_u64(seeds[i]);
+                self.disclose_level(graph, level, i, &mut level_rng)
+            })
+            .collect();
+        let levels = levels?;
         MultiLevelRelease::new(
             self.config.mechanism,
             self.config.epsilon_g.get(),
@@ -197,6 +210,10 @@ impl MultiLevelDiscloser {
 
     /// Applies the configured mechanism to one answer vector; returns the
     /// noisy vector and the noise scale used.
+    ///
+    /// Routed through the mechanisms' batched slice APIs: the mechanism
+    /// is calibrated **once** per answer vector and the whole vector is
+    /// perturbed in one `randomize_slice` pass.
     fn randomize<R: Rng + ?Sized>(
         &self,
         values: &[f64],
@@ -222,11 +239,9 @@ impl MultiLevelDiscloser {
             }
             NoiseMechanism::Geometric => {
                 let mech = GeometricMechanism::new(eps, L1Sensitivity::new(l1.ceil())?)?;
-                let noisy = values
-                    .iter()
-                    .map(|v| mech.randomize(v.round() as i64, rng) as f64)
-                    .collect();
-                Ok((noisy, mech.alpha()))
+                let mut ints: Vec<i64> = values.iter().map(|v| v.round() as i64).collect();
+                mech.randomize_slice(&mut ints, rng);
+                Ok((ints.into_iter().map(|v| v as f64).collect(), mech.alpha()))
             }
         }
     }

@@ -88,6 +88,7 @@ pub use queries::{Query, QueryAnswer};
 pub use release::{LevelRelease, MultiLevelRelease, QueryRelease};
 pub use sensitivity::LevelSensitivity;
 pub use session::DisclosureSession;
+pub use specialize::scoring;
 pub use specialize::{SpecializationConfig, Specializer, SplitStrategy};
 
 /// Convenience alias for results produced by this crate.

@@ -18,6 +18,8 @@
 //! Both are implemented over released artifacts only — no access to the
 //! private graph — so they can run on the *consumer* side.
 
+use rayon::prelude::*;
+
 use gdp_graph::SidePartition;
 
 use crate::error::CoreError;
@@ -141,38 +143,48 @@ impl ConsistentCounts {
             children[pb].push(cb);
         }
 
-        // Bottom-up fusion per parent.
-        let mut parent = Vec::with_capacity(parent_noisy.len());
-        let mut parent_variance = 0.0f64;
-        for (i, &z_parent) in parent_noisy.iter().enumerate() {
-            let k = children[i].len() as f64;
-            let child_sum: f64 = children[i].iter().map(|&j| child_noisy[j]).sum();
-            if k == 0.0 {
-                parent.push(z_parent);
-                parent_variance = parent_variance.max(var_parent);
-                continue;
-            }
-            // Two independent estimates of the same quantity:
-            // z_parent (var vp) and child_sum (var k·vc).
-            let w_parent = 1.0 / var_parent;
-            let w_children = 1.0 / (k * var_child);
-            let fused = (w_parent * z_parent + w_children * child_sum) / (w_parent + w_children);
-            parent.push(fused);
-            parent_variance = parent_variance.max(1.0 / (w_parent + w_children));
-        }
+        // Bottom-up fusion — each parent is independent, so fan out.
+        // Each entry carries (fused value, variance, sum of children).
+        let fused: Vec<(f64, f64, f64)> = (0..parent_noisy.len())
+            .into_par_iter()
+            .map(|i| {
+                let z_parent = parent_noisy[i];
+                let k = children[i].len() as f64;
+                if k == 0.0 {
+                    return (z_parent, var_parent, 0.0);
+                }
+                let child_sum: f64 = children[i].iter().map(|&j| child_noisy[j]).sum();
+                // Two independent estimates of the same quantity:
+                // z_parent (var vp) and child_sum (var k·vc).
+                let w_parent = 1.0 / var_parent;
+                let w_children = 1.0 / (k * var_child);
+                (
+                    (w_parent * z_parent + w_children * child_sum) / (w_parent + w_children),
+                    1.0 / (w_parent + w_children),
+                    child_sum,
+                )
+            })
+            .collect();
+        let parent: Vec<f64> = fused.iter().map(|f| f.0).collect();
+        let parent_variance = fused.iter().map(|f| f.1).fold(0.0f64, f64::max);
 
-        // Top-down: distribute each parent's residual over its children.
-        let mut child = child_noisy.to_vec();
-        for (i, kids) in children.iter().enumerate() {
-            if kids.is_empty() {
-                continue;
-            }
-            let child_sum: f64 = kids.iter().map(|&j| child[j]).sum();
-            let residual = (parent[i] - child_sum) / kids.len() as f64;
-            for &j in kids {
-                child[j] += residual;
-            }
-        }
+        // Top-down: distribute each parent's residual over its children,
+        // then apply per child (each child reads exactly one residual).
+        // The child sums were already computed during fusion — reuse.
+        let residual: Vec<f64> = fused
+            .iter()
+            .enumerate()
+            .map(|(i, &(fused_value, _, child_sum))| {
+                if children[i].is_empty() {
+                    return 0.0;
+                }
+                (fused_value - child_sum) / children[i].len() as f64
+            })
+            .collect();
+        let child: Vec<f64> = (0..child_noisy.len())
+            .into_par_iter()
+            .map(|j| child_noisy[j] + residual[child_parent[j]])
+            .collect();
 
         Ok(Self {
             parent,
@@ -203,10 +215,24 @@ impl ConsistentCounts {
 
 /// Clamps noisy counts to be non-negative — valid post-processing that
 /// strictly reduces error for count queries (the truth is non-negative).
+///
+/// Large vectors are clamped in parallel chunks; the result is
+/// element-wise and therefore independent of the worker count.
 pub fn clamp_non_negative(values: &mut [f64]) {
-    for v in values {
-        if *v < 0.0 {
-            *v = 0.0;
+    const PAR_THRESHOLD: usize = 1 << 14;
+    if values.len() >= PAR_THRESHOLD {
+        values.par_chunks_mut(PAR_THRESHOLD).for_each(|chunk| {
+            for v in chunk {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+        });
+    } else {
+        for v in values {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
         }
     }
 }

@@ -1,4 +1,6 @@
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use gdp_graph::{BipartiteGraph, Side, SidePartition};
@@ -7,6 +9,62 @@ use gdp_mechanisms::{Epsilon, ExponentialMechanism, L1Sensitivity, PrivacyBudget
 use crate::error::CoreError;
 use crate::hierarchy::{GroupHierarchy, GroupLevel};
 use crate::Result;
+
+use scoring::cut_utilities;
+#[cfg(any(test, debug_assertions))]
+use scoring::cut_utilities_naive;
+
+/// Cut-candidate scoring for one block split.
+///
+/// The utility of cutting an ordered block at position `c` is
+/// `u(c) = −|mass(block[..c]) − mass(block[c..])|` where mass is the
+/// incident-association count — balanced cuts score highest.
+pub mod scoring {
+    /// Scores every candidate cut with a **one-pass prefix sum** of
+    /// per-member association mass: `O(members + candidates)` per split
+    /// instead of the naive `O(candidates × members)` rescan. This is
+    /// the production scorer.
+    ///
+    /// Accumulation order matches [`cut_utilities_naive`] exactly
+    /// (left-to-right over members), so the two scorers agree
+    /// bit-for-bit — a property the `gdp-core` property suite pins down.
+    pub fn cut_utilities(block: &[u32], degrees: &[u32], candidates: &[usize]) -> Vec<f64> {
+        let mut prefix = Vec::with_capacity(block.len() + 1);
+        let mut acc = 0.0f64;
+        prefix.push(0.0);
+        for &n in block {
+            acc += degrees[n as usize] as f64;
+            prefix.push(acc);
+        }
+        let total = acc;
+        candidates
+            .iter()
+            .map(|&c| -(prefix[c] - (total - prefix[c])).abs())
+            .collect()
+    }
+
+    /// Reference scorer that recomputes each candidate's prefix mass
+    /// from scratch: `O(candidates × members)`. Kept for equivalence
+    /// checks (debug assertions and property tests) and as the baseline
+    /// the `gdp-bench` criterion suite measures the prefix-sum scorer
+    /// against. Not used on the production path.
+    pub fn cut_utilities_naive(block: &[u32], degrees: &[u32], candidates: &[usize]) -> Vec<f64> {
+        candidates
+            .iter()
+            .map(|&c| {
+                let mut prefix = 0.0f64;
+                for &n in &block[..c] {
+                    prefix += degrees[n as usize] as f64;
+                }
+                let mut total = 0.0f64;
+                for &n in block {
+                    total += degrees[n as usize] as f64;
+                }
+                -(prefix - (total - prefix)).abs()
+            })
+            .collect()
+    }
+}
 
 /// How a group is cut in two during specialization.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -208,6 +266,13 @@ impl Specializer {
     }
 
     /// Splits every block of one side (blocks of < 2 nodes pass through).
+    ///
+    /// Blocks within a round are **disjoint**, so by the paper's
+    /// parallel-composition argument their splits are semantically
+    /// independent — this is the rayon fan-out point. Each splittable
+    /// block gets its own seeded [`StdRng`] stream drawn from the master
+    /// generator *in block order*, so the output is bit-identical
+    /// regardless of worker count (see `tests/determinism.rs`).
     fn split_side<R: Rng + ?Sized>(
         &self,
         blocks: Vec<Vec<u32>>,
@@ -216,20 +281,35 @@ impl Specializer {
         per_round_eps: Epsilon,
         rng: &mut R,
     ) -> Result<Vec<Vec<u32>>> {
-        let mut out = Vec::with_capacity(blocks.len() * 2);
-        for mut block in blocks {
-            if block.len() < 2 {
-                out.push(block);
-                continue;
-            }
-            // Order by (degree, id) so prefix cuts trade off mass smoothly.
-            block.sort_unstable_by_key(|&n| (degrees[n as usize], n));
-            let cut = self.choose_cut(&block, degrees, delta_u, per_round_eps, rng)?;
-            let tail = block.split_off(cut);
-            out.push(block);
-            out.push(tail);
-        }
-        Ok(out)
+        // Sequential seed draw keeps the stream independent of threads.
+        let tasks: Vec<(Vec<u32>, Option<u64>)> = blocks
+            .into_iter()
+            .map(|b| {
+                if b.len() < 2 {
+                    (b, None)
+                } else {
+                    let seed = rng.gen::<u64>();
+                    (b, Some(seed))
+                }
+            })
+            .collect();
+        let split: Result<Vec<Vec<Vec<u32>>>> = tasks
+            .into_par_iter()
+            .map(|(mut block, seed)| match seed {
+                None => Ok(vec![block]),
+                Some(seed) => {
+                    let mut block_rng = StdRng::seed_from_u64(seed);
+                    // Order by (degree, id) so prefix cuts trade off
+                    // mass smoothly.
+                    block.sort_unstable_by_key(|&n| (degrees[n as usize], n));
+                    let cut =
+                        self.choose_cut(&block, degrees, delta_u, per_round_eps, &mut block_rng)?;
+                    let tail = block.split_off(cut);
+                    Ok(vec![block, tail])
+                }
+            })
+            .collect();
+        Ok(split?.into_iter().flatten().collect())
     }
 
     /// Chooses the cut position in `1..block.len()` per the strategy.
@@ -248,16 +328,17 @@ impl Specializer {
                 Ok(candidates[idx])
             }
             SplitStrategy::Median | SplitStrategy::Exponential => {
-                let total_mass: f64 = block.iter().map(|&n| degrees[n as usize] as f64).sum();
-                let mut utilities = Vec::with_capacity(candidates.len());
-                let mut prefix = 0.0f64;
-                let mut cursor = 0usize;
-                for &cut in &candidates {
-                    while cursor < cut {
-                        prefix += degrees[block[cursor] as usize] as f64;
-                        cursor += 1;
-                    }
-                    utilities.push(-(prefix - (total_mass - prefix)).abs());
+                let utilities = cut_utilities(block, degrees, &candidates);
+                // Debug path: the prefix-sum scorer must agree with the
+                // naive rescan exactly (bounded so debug builds stay
+                // usable on large graphs).
+                #[cfg(debug_assertions)]
+                if block.len() <= 4096 {
+                    debug_assert_eq!(
+                        utilities,
+                        cut_utilities_naive(block, degrees, &candidates),
+                        "prefix-sum scorer diverged from naive scorer"
+                    );
                 }
                 match self.config.strategy {
                     SplitStrategy::Median => {
@@ -450,6 +531,43 @@ mod tests {
         let c = candidate_positions(5, 64);
         assert_eq!(c, vec![1, 2, 3, 4]);
     }
+
+    #[test]
+    fn prefix_scorer_matches_naive_bitwise() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let n = rng.gen_range(2usize..300);
+            let degrees: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..40)).collect();
+            let mut block: Vec<u32> = (0..n as u32).collect();
+            block.sort_unstable_by_key(|&i| (degrees[i as usize], i));
+            let candidates = candidate_positions(n, 64);
+            let fast = cut_utilities(&block, &degrees, &candidates);
+            let naive = cut_utilities_naive(&block, &degrees, &candidates);
+            assert_eq!(fast, naive, "scorers diverged at n={n}");
+        }
+    }
+
+    #[test]
+    fn prefix_scorer_prefers_balanced_cut() {
+        // Uniform degrees: the midpoint cut is optimal.
+        let degrees = vec![2u32; 10];
+        let block: Vec<u32> = (0..10).collect();
+        let candidates: Vec<usize> = (1..10).collect();
+        let utilities = cut_utilities(&block, &degrees, &candidates);
+        let best = utilities
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| candidates[i])
+            .unwrap();
+        assert_eq!(best, 5);
+        assert_eq!(utilities[4], 0.0);
+    }
+
+    // Thread-count invariance of specialization is covered by the
+    // integration suite (`tests/determinism.rs`), where all
+    // `RAYON_NUM_THREADS` mutation in the test binary serializes on one
+    // mutex; an in-crate version would race other tests' env reads.
 
     #[test]
     fn phase1_budget_reporting() {

@@ -3,6 +3,7 @@
 use proptest::prelude::*;
 
 use gdp_core::adjacency::{DatasetVector, Group, GroupStructure};
+use gdp_core::scoring::{cut_utilities, cut_utilities_naive};
 use gdp_core::{
     relative_error, AccessPolicy, DisclosureConfig, MultiLevelDiscloser, Privilege, Query,
     SpecializationConfig, Specializer, SplitStrategy,
@@ -140,6 +141,35 @@ proptest! {
         let below = relative_error(t - 5.0, t);
         prop_assert!((above - below).abs() < 1e-9);
         prop_assert!(r.is_finite());
+    }
+
+    #[test]
+    fn prefix_sum_cut_scores_match_naive_exactly(
+        graph in graph_strategy(),
+        max_candidates in 1usize..80,
+        use_right in proptest::bool::ANY,
+    ) {
+        // Score a whole-side block of a random bipartite graph with both
+        // scorers: they must agree bit-for-bit, not just approximately.
+        let degrees = if use_right {
+            graph.right_degrees()
+        } else {
+            graph.left_degrees()
+        };
+        prop_assert!(degrees.len() >= 2);
+        let mut block: Vec<u32> = (0..degrees.len() as u32).collect();
+        block.sort_unstable_by_key(|&n| (degrees[n as usize], n));
+        // Evenly spaced candidates, deduplicated — the specializer's rule.
+        let available = block.len() - 1;
+        let take = available.min(max_candidates.max(1));
+        let candidates: Vec<usize> = (1..=take)
+            .map(|i| 1 + (i - 1) * available / take)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let fast = cut_utilities(&block, &degrees, &candidates);
+        let naive = cut_utilities_naive(&block, &degrees, &candidates);
+        prop_assert_eq!(fast, naive);
     }
 
     #[test]

@@ -14,7 +14,17 @@ pub struct DegreeHistogram {
 impl DegreeHistogram {
     /// Builds a histogram from raw degree values. Bin `d` counts the
     /// number of nodes with degree exactly `d`.
+    ///
+    /// An empty input produces a histogram with **no** bins (not one
+    /// spurious zero bin): `counts()` is empty, `total() == 0`, and
+    /// `max_degree() == 0` by the saturating convention.
     pub fn from_degrees(degrees: &[u32]) -> Self {
+        if degrees.is_empty() {
+            return Self {
+                counts: Vec::new(),
+                total: 0,
+            };
+        }
         let max = degrees.iter().copied().max().unwrap_or(0) as usize;
         let mut counts = vec![0u64; max + 1];
         for &d in degrees {
@@ -61,17 +71,22 @@ impl DegreeHistogram {
     }
 
     /// The `q`-quantile of the degree distribution (`q ∈ [0, 1]`),
-    /// computed by cumulative counting. Returns 0 for an empty histogram.
+    /// computed by cumulative counting. Returns 0 for an empty
+    /// histogram. `q = 0` is the minimum observed degree; `q = 1` the
+    /// maximum observed degree (never an empty trailing bin).
     ///
     /// # Panics
     ///
-    /// Panics if `q` is outside `[0, 1]`.
+    /// Panics if `q` is outside `[0, 1]` (including NaN).
     pub fn quantile(&self, q: f64) -> u32 {
         assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
         if self.total == 0 {
             return 0;
         }
-        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        // Rank of the selected observation, clamped into [1, total] so
+        // q = 0 picks the minimum and float rounding near q = 1 cannot
+        // push the target past the last observation.
+        let target = ((q * self.total as f64).ceil().max(1.0) as u64).min(self.total);
         let mut cum = 0u64;
         for (d, &c) in self.counts.iter().enumerate() {
             cum += c;
@@ -144,6 +159,47 @@ mod tests {
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.quantile(0.5), 0);
         assert!(h.ccdf().is_empty());
+        // No spurious zero bin: the histogram genuinely has no bins.
+        assert!(h.counts().is_empty());
+        assert_eq!(h.max_degree(), 0);
+        assert_eq!(h.count(0), 0);
+        assert_eq!(h.zero_count(), 0);
+        // Every quantile of an empty histogram is 0.
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn quantile_extremes_hit_min_and_max_observed() {
+        // Degrees with gaps and duplicates: min 2, max 9.
+        let h = DegreeHistogram::from_degrees(&[9, 2, 2, 5, 9, 9]);
+        assert_eq!(h.quantile(0.0), 2);
+        assert_eq!(h.quantile(1.0), 9);
+        // Just below/above the 2-mass boundary (2 of 6 observations ≤ 2).
+        assert_eq!(h.quantile(2.0 / 6.0), 2);
+        assert_eq!(h.quantile(2.0 / 6.0 + 1e-9), 5);
+    }
+
+    #[test]
+    fn quantile_single_observation() {
+        let h = DegreeHistogram::from_degrees(&[7]);
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 7, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_float_rounding_near_one_stays_in_support() {
+        // total = 3: q slightly below 1 must not overshoot the rank.
+        let h = DegreeHistogram::from_degrees(&[1, 1, 4]);
+        assert_eq!(h.quantile(1.0 - 1e-12), 4);
+        assert_eq!(h.quantile(0.999999), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn quantile_rejects_nan() {
+        DegreeHistogram::from_degrees(&[1]).quantile(f64::NAN);
     }
 
     #[test]

@@ -84,7 +84,23 @@ impl LaplaceMechanism {
     /// mechanism was built with must bound the *whole-vector* L1 change
     /// under one adjacency step.
     pub fn randomize_vec<R: Rng + ?Sized>(&self, values: &[f64], rng: &mut R) -> Vec<f64> {
-        values.iter().map(|v| self.randomize(*v, rng)).collect()
+        let mut out = values.to_vec();
+        self.randomize_slice(&mut out, rng);
+        out
+    }
+
+    /// Fills `noise` with independent draws from this mechanism's noise
+    /// distribution — one calibration, `N` draws, no per-cell dispatch.
+    pub fn sample_into<R: Rng + ?Sized>(&self, noise: &mut [f64], rng: &mut R) {
+        sampling::laplace_into(rng, self.scale, noise);
+    }
+
+    /// Adds calibrated noise to every element of `values` in place — the
+    /// batched hot path the disclosure pipeline uses.
+    pub fn randomize_slice<R: Rng + ?Sized>(&self, values: &mut [f64], rng: &mut R) {
+        for v in values {
+            *v += sampling::laplace(rng, self.scale);
+        }
     }
 }
 
@@ -190,6 +206,32 @@ mod tests {
                 ha[i]
             );
         }
+    }
+
+    #[test]
+    fn sample_into_and_randomize_slice_agree_with_scale() {
+        let m = mech(0.5, 2.0); // b = 4
+        let mut rng = StdRng::seed_from_u64(40);
+        let mut noise = vec![0.0; 100_000];
+        m.sample_into(&mut noise, &mut rng);
+        let mad = noise.iter().map(|x| x.abs()).sum::<f64>() / noise.len() as f64;
+        assert!((mad - m.scale()).abs() < 0.1, "batched MAD {mad}");
+
+        // randomize_slice adds noise on top of the existing values.
+        let mut values = vec![100.0; 4096];
+        m.randomize_slice(&mut values, &mut StdRng::seed_from_u64(41));
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        assert!((mean - 100.0).abs() < 1.0, "slice mean {mean}");
+    }
+
+    #[test]
+    fn slice_api_is_deterministic_and_matches_randomize_vec() {
+        let m = mech(1.0, 1.0);
+        let values = [5.0, 6.0, 7.0, 8.0];
+        let a = m.randomize_vec(&values, &mut StdRng::seed_from_u64(42));
+        let mut b = values.to_vec();
+        m.randomize_slice(&mut b, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -112,6 +112,92 @@ fn geometric_at_least_one<R: Rng + ?Sized>(rng: &mut R, alpha: f64) -> i64 {
     }
 }
 
+/// Fills `out` with independent `Laplace(0, scale)` draws.
+///
+/// The batched analogue of [`laplace`]: one calibration check, `N`
+/// draws, no per-cell dispatch. Produces the same distribution as `N`
+/// calls to [`laplace`] (and the identical stream: the per-draw
+/// transform is unchanged).
+///
+/// # Panics
+///
+/// Debug-asserts that `scale` is finite and positive.
+pub fn laplace_into<R: Rng + ?Sized>(rng: &mut R, scale: f64, out: &mut [f64]) {
+    debug_assert!(scale.is_finite() && scale > 0.0);
+    for slot in out {
+        *slot = laplace(rng, scale);
+    }
+}
+
+/// Fills `out` with independent `N(0, std²)` draws.
+///
+/// Unlike the stateless single-draw [`gaussian`], the batched sampler
+/// keeps **both** variates of each Marsaglia polar pair, halving the
+/// uniform draws and rejection loops per output. The stream therefore
+/// differs from repeated [`gaussian`] calls, but is equally
+/// deterministic under a fixed seed.
+///
+/// # Panics
+///
+/// Debug-asserts that `std` is finite and positive.
+pub fn gaussian_into<R: Rng + ?Sized>(rng: &mut R, std: f64, out: &mut [f64]) {
+    gaussian_pairs(rng, std, out.len(), |i, x| out[i] = x);
+}
+
+/// Adds independent `N(0, std²)` draws to every element of `values` in
+/// place — the zero-allocation variant of [`gaussian_into`] the
+/// disclosure hot path uses. Same polar-pair stream as
+/// [`gaussian_into`] under the same seed.
+///
+/// # Panics
+///
+/// Debug-asserts that `std` is finite and positive.
+pub fn gaussian_add_into<R: Rng + ?Sized>(rng: &mut R, std: f64, values: &mut [f64]) {
+    gaussian_pairs(rng, std, values.len(), |i, x| values[i] += x);
+}
+
+/// Shared polar-pair driver for the batched Gaussian samplers: emits
+/// `len` variates, consuming both halves of each pair.
+fn gaussian_pairs<R: Rng + ?Sized>(
+    rng: &mut R,
+    std: f64,
+    len: usize,
+    mut emit: impl FnMut(usize, f64),
+) {
+    debug_assert!(std.is_finite() && std > 0.0);
+    let mut i = 0;
+    while i < len {
+        let (u, v, s) = loop {
+            let u = 2.0 * uniform_open01(rng) - 1.0;
+            let v = 2.0 * uniform_open01(rng) - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                break (u, v, s);
+            }
+        };
+        let factor = (-2.0 * s.ln() / s).sqrt();
+        emit(i, std * u * factor);
+        i += 1;
+        if i < len {
+            emit(i, std * v * factor);
+            i += 1;
+        }
+    }
+}
+
+/// Fills `out` with independent two-sided geometric draws of decay
+/// `alpha` (see [`two_sided_geometric`]).
+///
+/// # Panics
+///
+/// Debug-asserts `alpha ∈ (0, 1)`.
+pub fn two_sided_geometric_into<R: Rng + ?Sized>(rng: &mut R, alpha: f64, out: &mut [i64]) {
+    debug_assert!(alpha > 0.0 && alpha < 1.0);
+    for slot in out {
+        *slot = two_sided_geometric(rng, alpha);
+    }
+}
+
 /// Samples `Bernoulli(p)`.
 ///
 /// # Panics
@@ -276,6 +362,70 @@ mod tests {
         assert_eq!(discrete(&mut r, &[]), None);
         assert_eq!(discrete(&mut r, &[0.0, 0.0]), None);
         assert_eq!(discrete(&mut r, &[0.0, 5.0]), Some(1));
+    }
+
+    #[test]
+    fn laplace_into_matches_repeated_single_draws() {
+        let mut a = rng(20);
+        let mut batched = vec![0.0; 64];
+        laplace_into(&mut a, 1.5, &mut batched);
+        let mut b = rng(20);
+        let singles: Vec<f64> = (0..64).map(|_| laplace(&mut b, 1.5)).collect();
+        assert_eq!(batched, singles);
+    }
+
+    #[test]
+    fn gaussian_into_moments_match_theory() {
+        let mut r = rng(21);
+        let std = 3.0;
+        let mut xs = vec![0.0; N];
+        gaussian_into(&mut r, std, &mut xs);
+        let mean = xs.iter().sum::<f64>() / N as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / N as f64;
+        assert!(mean.abs() < 0.03, "gaussian_into mean {mean}");
+        assert!((var - 9.0).abs() < 0.2, "gaussian_into var {var}");
+        // Paired variates must not be correlated in sign beyond chance.
+        let agree = xs
+            .chunks(2)
+            .filter(|c| c.len() == 2 && (c[0] > 0.0) == (c[1] > 0.0))
+            .count() as f64
+            / (N / 2) as f64;
+        assert!((agree - 0.5).abs() < 0.01, "pair sign agreement {agree}");
+    }
+
+    #[test]
+    fn gaussian_into_odd_length_fills_every_slot() {
+        let mut r = rng(22);
+        let mut xs = vec![f64::NAN; 7];
+        gaussian_into(&mut r, 1.0, &mut xs);
+        assert!(xs.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn two_sided_geometric_into_matches_theory() {
+        let mut r = rng(23);
+        let alpha = 0.5;
+        let mut xs = vec![0i64; N];
+        two_sided_geometric_into(&mut r, alpha, &mut xs);
+        let zero_frac = xs.iter().filter(|x| **x == 0).count() as f64 / N as f64;
+        let want_zero = (1.0 - alpha) / (1.0 + alpha);
+        assert!((zero_frac - want_zero).abs() < 0.01, "zero mass {zero_frac}");
+        let mean = xs.iter().sum::<i64>() as f64 / N as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn batched_samplers_are_deterministic() {
+        let mut a = vec![0.0; 33];
+        let mut b = vec![0.0; 33];
+        gaussian_into(&mut rng(24), 2.0, &mut a);
+        gaussian_into(&mut rng(24), 2.0, &mut b);
+        assert_eq!(a, b);
+        let mut c = vec![0i64; 33];
+        let mut d = vec![0i64; 33];
+        two_sided_geometric_into(&mut rng(25), 0.4, &mut c);
+        two_sided_geometric_into(&mut rng(25), 0.4, &mut d);
+        assert_eq!(c, d);
     }
 
     #[test]

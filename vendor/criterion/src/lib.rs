@@ -1,0 +1,245 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmarking harness with criterion's call
+//! shape: `criterion_group!` / `criterion_main!`, `bench_function`,
+//! `benchmark_group` + `bench_with_input`, `Bencher::iter`,
+//! [`black_box`]. No statistics engine — each benchmark reports the
+//! median, minimum and mean per-iteration time over `sample_size`
+//! samples, each sample sized to fill `measurement_time / sample_size`.
+//!
+//! Results print to stdout as `name … median x ns/iter (min y, mean z)`
+//! and are parseable by the `gdp-bench` pipeline harness.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Harness configuration + result sink.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up_time,
+            measurement: self.measurement_time,
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        let group_name = full;
+        let mut b = Bencher {
+            warm_up: self.criterion.warm_up_time,
+            measurement: self.criterion.measurement_time,
+            sample_size: self.criterion.sample_size,
+            result: None,
+        };
+        f(&mut b, input);
+        report(&group_name, &b);
+        self
+    }
+
+    /// Runs one unparameterized benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        let mut b = Bencher {
+            warm_up: self.criterion.warm_up_time,
+            measurement: self.criterion.measurement_time,
+            sample_size: self.criterion.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        report(&full, &b);
+        self
+    }
+
+    /// Finishes the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+/// Measured timing summary (nanoseconds per iteration).
+#[derive(Debug, Clone, Copy)]
+pub struct Sampled {
+    /// Median over samples.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Mean over samples.
+    pub mean_ns: f64,
+    /// Total iterations executed while measuring.
+    pub iterations: u64,
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    result: Option<Sampled>,
+}
+
+impl Bencher {
+    /// Measures `f`, storing the timing summary.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: also estimates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Size each sample to roughly fill its share of the budget.
+        let sample_budget = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((sample_budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut samples_ns = Vec::with_capacity(self.sample_size);
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = t.elapsed().as_nanos() as f64;
+            samples_ns.push(elapsed / iters_per_sample as f64);
+            total_iters += iters_per_sample;
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median_ns = samples_ns[samples_ns.len() / 2];
+        let min_ns = samples_ns[0];
+        let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        self.result = Some(Sampled {
+            median_ns,
+            min_ns,
+            mean_ns,
+            iterations: total_iters,
+        });
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    match &b.result {
+        Some(s) => println!(
+            "bench: {name:<50} median {:>12.1} ns/iter  (min {:.1}, mean {:.1}, iters {})",
+            s.median_ns, s.min_ns, s.mean_ns, s.iterations
+        ),
+        None => println!("bench: {name:<50} SKIPPED (no iter call)"),
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,549 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the small parallel-iterator subset the workspace uses on
+//! top of `std::thread::scope` — no work stealing, just ordered chunked
+//! fan-out across `current_num_threads()` workers. Results are always
+//! returned **in input order**, so a computation that threads explicit
+//! per-item state (e.g. per-block RNG streams) is bitwise independent of
+//! the worker count.
+//!
+//! `RAYON_NUM_THREADS` is honored and re-read on every parallel call
+//! (the real rayon reads it once at pool construction); this lets tests
+//! flip the thread count mid-process to verify determinism.
+
+#![forbid(unsafe_code)]
+
+/// The number of worker threads parallel calls will use.
+pub fn current_num_threads() -> usize {
+    if let Ok(raw) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs the two closures, potentially in parallel, returning both
+/// results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon-shim join worker panicked");
+        (ra, rb)
+    })
+}
+
+/// Ordered parallel map over `0..len`: calls `f(i)` for every index and
+/// returns the results in index order. The building block every iterator
+/// type below lowers to.
+fn par_map_indices<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = current_num_threads().min(len.max(1));
+    if threads <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let chunk = len.div_ceil(threads);
+    let mut pieces: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let f = &f;
+                let lo = (t * chunk).min(len);
+                let hi = ((t + 1) * chunk).min(len);
+                scope.spawn(move || (lo..hi).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon-shim map worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(len);
+    for piece in &mut pieces {
+        out.append(piece);
+    }
+    out
+}
+
+/// Ordered parallel map over owned items: splits the vector into
+/// per-worker chunks, maps each chunk on its own thread, and
+/// concatenates in input order.
+fn par_map_owned<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let len = items.len();
+    let threads = current_num_threads().min(len.max(1));
+    if threads <= 1 || len <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = len.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut rest = items;
+    while rest.len() > chunk {
+        let tail = rest.split_off(chunk);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
+    let mut pieces: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| {
+                let f = &f;
+                scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon-shim map worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(len);
+    for piece in &mut pieces {
+        out.append(piece);
+    }
+    out
+}
+
+/// Prelude mirroring `rayon::prelude` for the implemented subset.
+pub mod prelude {
+    pub use crate::{
+        FromOrderedParallel, IntoParallelIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+/// A finite, ordered parallel iterator.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Materializes all elements in input order, running the pipeline's
+    /// work in parallel.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Collects into a container in input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromOrderedParallel<Self::Item>,
+    {
+        C::from_ordered(self.drive())
+    }
+}
+
+/// Collection target for [`ParallelIterator::collect`].
+pub trait FromOrderedParallel<T> {
+    /// Builds the container from items in input order.
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T> FromOrderedParallel<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T, E> FromOrderedParallel<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_ordered(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+/// Conversion into a parallel iterator (`Vec`, `Range<usize>`).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The concrete iterator type.
+    type Iter;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Borrowing parallel iteration over slices (`.par_iter()`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> SliceIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SliceIter<'_, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for Vec<T> {
+    fn par_iter(&self) -> SliceIter<'_, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// Mutable chunked parallel iteration over slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Disjoint mutable chunks of length `chunk` (last may be shorter),
+    /// processed in parallel.
+    fn par_chunks_mut(&mut self, chunk: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk: usize) -> ChunksMut<'_, T> {
+        assert!(chunk > 0, "chunk size must be positive");
+        ChunksMut { slice: self, chunk }
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for Vec<T> {
+    fn par_chunks_mut(&mut self, chunk: usize) -> ChunksMut<'_, T> {
+        self.as_mut_slice().par_chunks_mut(chunk)
+    }
+}
+
+// ---- sources ----
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> SliceIter<'a, T> {
+    /// Maps every element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> MappedSlice<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        MappedSlice {
+            slice: self.slice,
+            f,
+        }
+    }
+
+    /// Runs `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        self.map(f).drive();
+    }
+
+    /// Pairs every element with its index, in parallel.
+    pub fn enumerate(self) -> EnumeratedSlice<'a, T> {
+        EnumeratedSlice { slice: self.slice }
+    }
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn drive(self) -> Vec<&'a T> {
+        self.slice.iter().collect()
+    }
+}
+
+/// Mapped slice iterator.
+pub struct MappedSlice<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParallelIterator for MappedSlice<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        let MappedSlice { slice, f } = self;
+        par_map_indices(slice.len(), |i| f(&slice[i]))
+    }
+}
+
+/// Enumerated slice iterator.
+pub struct EnumeratedSlice<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> EnumeratedSlice<'a, T> {
+    /// Maps every `(index, &item)` pair through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> MappedEnumeratedSlice<'a, T, F>
+    where
+        R: Send,
+        F: Fn((usize, &'a T)) -> R + Sync,
+    {
+        MappedEnumeratedSlice {
+            slice: self.slice,
+            f,
+        }
+    }
+}
+
+/// Mapped enumerated slice iterator.
+pub struct MappedEnumeratedSlice<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParallelIterator for MappedEnumeratedSlice<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn((usize, &'a T)) -> R + Sync,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        let MappedEnumeratedSlice { slice, f } = self;
+        par_map_indices(slice.len(), |i| f((i, &slice[i])))
+    }
+}
+
+/// Owned parallel iterator over a `Vec`.
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> VecIter<T> {
+    /// Maps every owned element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> MappedVec<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        MappedVec {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every owned element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        self.map(f).drive();
+    }
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Mapped owned-vector iterator.
+pub struct MappedVec<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParallelIterator for MappedVec<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        let MappedVec { items, f } = self;
+        par_map_owned(items, f)
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+/// Parallel iterator over an index range.
+pub struct RangeIter {
+    range: core::ops::Range<usize>,
+}
+
+impl RangeIter {
+    /// Maps every index through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> MappedRange<F>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        MappedRange {
+            range: self.range,
+            f,
+        }
+    }
+
+    /// Runs `f` on every index in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.map(f).drive();
+    }
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn drive(self) -> Vec<usize> {
+        self.range.collect()
+    }
+}
+
+/// Mapped range iterator.
+pub struct MappedRange<F> {
+    range: core::ops::Range<usize>,
+    f: F,
+}
+
+impl<R, F> ParallelIterator for MappedRange<F>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        let MappedRange { range, f } = self;
+        let start = range.start;
+        par_map_indices(range.len(), |i| f(start + i))
+    }
+}
+
+impl IntoParallelIterator for core::ops::Range<usize> {
+    type Item = usize;
+    type Iter = RangeIter;
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { range: self }
+    }
+}
+
+/// Disjoint mutable chunks of a slice.
+pub struct ChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ChunksMut<'a, T> {
+    /// Runs `f` on every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        let chunks: Vec<&mut [T]> = self.slice.chunks_mut(self.chunk).collect();
+        par_map_owned(chunks, f);
+    }
+
+    /// Runs `f` on every `(chunk_index, chunk)` pair in parallel.
+    pub fn enumerate_for_each<F>(self, f: F)
+    where
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let chunks: Vec<(usize, &mut [T])> =
+            self.slice.chunks_mut(self.chunk).enumerate().collect();
+        par_map_owned(chunks, |(i, c)| f(i, c));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::{current_num_threads, join};
+
+    #[test]
+    fn slice_map_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn owned_map_preserves_order() {
+        let input: Vec<u64> = (0..5_000).collect();
+        let out: Vec<u64> = input.into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, (1..5_001).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_map_matches_sequential() {
+        let out: Vec<usize> = (10..110).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[0], 100);
+        assert_eq!(out[99], 109 * 109);
+    }
+
+    #[test]
+    fn chunks_mut_touches_every_element() {
+        let mut data = vec![1u32; 10_000];
+        data.par_chunks_mut(128).for_each(|chunk| {
+            for v in chunk {
+                *v += 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 2));
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_to_err() {
+        let input: Vec<u32> = (0..100).collect();
+        let ok: Result<Vec<u32>, String> =
+            input.par_iter().map(|&x| Ok::<u32, String>(x)).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+        let err: Result<Vec<u32>, String> = input
+            .par_iter()
+            .map(|&x| if x == 50 { Err("boom".to_string()) } else { Ok(x) })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn thread_count_env_is_honored() {
+        // NOTE: set_var is process-global; this test restores the prior
+        // value. Safe under `cargo test` because no other shim test
+        // depends on a specific thread count.
+        let prior = std::env::var("RAYON_NUM_THREADS").ok();
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        assert_eq!(current_num_threads(), 1);
+        let data: Vec<u64> = (0..1000).collect();
+        let single: Vec<u64> = data.par_iter().map(|&x| x * 3).collect();
+        std::env::set_var("RAYON_NUM_THREADS", "7");
+        assert_eq!(current_num_threads(), 7);
+        let multi: Vec<u64> = data.par_iter().map(|&x| x * 3).collect();
+        assert_eq!(single, multi);
+        match prior {
+            Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+            None => std::env::remove_var("RAYON_NUM_THREADS"),
+        }
+    }
+}

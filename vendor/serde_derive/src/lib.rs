@@ -1,0 +1,462 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! in-tree serde stand-in.
+//!
+//! No `syn`/`quote` (the workspace builds offline), so the input item is
+//! parsed directly from the `proc_macro` token stream. Supported shapes —
+//! exactly what this workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype structs serialize transparently),
+//! * enums with unit, tuple and struct variants (externally tagged),
+//! * container attributes `#[serde(transparent)]` and
+//!   `#[serde(try_from = "T", into = "T")]`.
+//!
+//! Generic types are not supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default)]
+struct Attrs {
+    transparent: bool,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    attrs: Attrs,
+    kind: Kind,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed).parse().expect("generated Deserialize impl parses")
+}
+
+// ---- parsing ----
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut attrs = Attrs::default();
+
+    // Outer attributes (doc comments, other derives' helpers, serde).
+    while matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+            parse_attr_group(&g.stream(), &mut attrs);
+        }
+        i += 2;
+    }
+
+    // Visibility.
+    if matches!(&toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+
+    let keyword = match &toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match &toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic types are not supported (type `{name}`)");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match &toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde shim derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match &toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(&g.stream()))
+            }
+            other => panic!("serde shim derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    };
+
+    Input { name, attrs, kind }
+}
+
+fn parse_attr_group(stream: &TokenStream, attrs: &mut Attrs) {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let inner = match toks.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return,
+    };
+    let items: Vec<TokenTree> = inner.into_iter().collect();
+    let mut j = 0;
+    while j < items.len() {
+        if let TokenTree::Ident(id) = &items[j] {
+            let key = id.to_string();
+            let has_eq =
+                matches!(items.get(j + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+            if has_eq {
+                if let Some(TokenTree::Literal(lit)) = items.get(j + 2) {
+                    let raw = lit.to_string();
+                    let value = raw.trim_matches('"').to_string();
+                    match key.as_str() {
+                        "try_from" => attrs.try_from = Some(value),
+                        "into" => attrs.into = Some(value),
+                        _ => {}
+                    }
+                }
+                j += 3;
+            } else {
+                if key == "transparent" {
+                    attrs.transparent = true;
+                }
+                j += 1;
+            }
+        } else {
+            j += 1;
+        }
+    }
+}
+
+/// Splits a field/variant list on top-level commas, tracking angle
+/// brackets so `HashMap<K, V>` commas do not split fields.
+fn split_top_level(stream: &TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0i32;
+    for tok in stream.clone() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(tok);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(stream: &TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .filter_map(|field| field_name(&field))
+        .collect()
+}
+
+/// The identifier immediately before the first top-level `:` (skipping
+/// attributes and visibility).
+fn field_name(toks: &[TokenTree]) -> Option<String> {
+    let mut j = 0;
+    while j < toks.len() {
+        match &toks[j] {
+            TokenTree::Punct(p) if p.as_char() == '#' => j += 2, // attr
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                j += 1;
+                if matches!(toks.get(j), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    j += 1;
+                }
+            }
+            TokenTree::Ident(id) => return Some(id.to_string()),
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+fn count_tuple_fields(stream: &TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: &TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .filter_map(|toks| {
+            let mut j = 0;
+            // Skip attributes (doc comments).
+            while matches!(toks.get(j), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+                j += 2;
+            }
+            let name = match toks.get(j) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => return None,
+            };
+            let shape = match toks.get(j + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(count_tuple_fields(&g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Named(parse_named_fields(&g.stream()))
+                }
+                _ => VariantShape::Unit,
+            };
+            Some(Variant { name, shape })
+        })
+        .collect()
+}
+
+// ---- code generation ----
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    if let Some(into) = &input.attrs.into {
+        return format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     let raw: {into} = <{into} as ::core::convert::From<{name}>>::from(\
+                         ::core::clone::Clone::clone(self));\n\
+                     ::serde::Serialize::to_value(&raw)\n\
+                 }}\n\
+             }}"
+        );
+    }
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "m.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n{pushes}::serde::Value::Map(m)"
+            )
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(x0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                             ::serde::Serialize::to_value(x0))]),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                                 ::serde::Value::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "fm.push((\"{f}\".to_string(), ::serde::Serialize::to_value({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                                 let mut fm: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                                     ::std::vec::Vec::new();\n\
+                                 {pushes}\
+                                 ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Map(fm))])\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    if let Some(from_ty) = &input.attrs.try_from {
+        return format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                     let raw: {from_ty} = ::serde::Deserialize::from_value(v)?;\n\
+                     <{name} as ::core::convert::TryFrom<{from_ty}>>::try_from(raw)\
+                         .map_err(::serde::DeError::custom)\n\
+                 }}\n\
+             }}"
+        );
+    }
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(::serde::field(m, \"{f}\")?)?,\n"
+                ));
+            }
+            format!(
+                "let m = v.as_map().ok_or_else(|| \
+                     ::serde::DeError(format!(\"expected map for {name}, got {{v:?}}\")))?;\n\
+                 ::core::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Kind::TupleStruct(1) => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Kind::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                .collect();
+            format!(
+                "let s = v.as_seq().ok_or_else(|| \
+                     ::serde::DeError(format!(\"expected sequence for {name}\")))?;\n\
+                 if s.len() != {n} {{\n\
+                     return ::core::result::Result::Err(::serde::DeError(format!(\
+                         \"expected {n} elements for {name}, got {{}}\", s.len())));\n\
+                 }}\n\
+                 ::core::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("::core::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantShape::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let s = inner.as_seq().ok_or_else(|| ::serde::DeError(\
+                                     format!(\"expected sequence for {name}::{vn}\")))?;\n\
+                                 if s.len() != {n} {{\n\
+                                     return ::core::result::Result::Err(::serde::DeError(\
+                                         format!(\"wrong arity for {name}::{vn}\")));\n\
+                                 }}\n\
+                                 ::core::result::Result::Ok({name}::{vn}({}))\n\
+                             }},\n",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_value(::serde::field(fm, \"{f}\")?)?,\n"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let fm = inner.as_map().ok_or_else(|| ::serde::DeError(\
+                                     format!(\"expected map for {name}::{vn}\")))?;\n\
+                                 ::core::result::Result::Ok({name}::{vn} {{\n{inits}}})\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\
+                         other => ::core::result::Result::Err(::serde::DeError(format!(\
+                             \"unknown variant `{{other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                         let (tag, inner) = (&m[0].0, &m[0].1);\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\
+                             other => ::core::result::Result::Err(::serde::DeError(format!(\
+                                 \"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }},\n\
+                     other => ::core::result::Result::Err(::serde::DeError(format!(\
+                         \"expected variant encoding for {name}, got {{other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
