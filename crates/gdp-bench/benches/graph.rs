@@ -1,10 +1,12 @@
 //! Benchmarks of the graph substrate: CSR construction, degree scans,
-//! partition edge accounting.
+//! partition edge accounting, and the hierarchy-statistics engine
+//! (per-level rescan vs one-sweep + rollup).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use gdp_core::{HierarchyStats, SpecializationConfig, Specializer};
 use gdp_datagen::models::erdos_renyi;
 use gdp_graph::{GraphStats, PairCounts, Side, SidePartition};
 
@@ -42,6 +44,29 @@ fn bench_graph(c: &mut Criterion) {
 
     c.bench_function("pair_counts_64x64", |b| {
         b.iter(|| black_box(PairCounts::compute(&graph, &left, &right)))
+    });
+
+    // Baseline: the original per-edge HashMap scan the CSR sweep
+    // replaced (kept for equivalence checks).
+    c.bench_function("pair_counts_64x64_naive", |b| {
+        b.iter(|| black_box(PairCounts::compute_naive(&graph, &left, &right)))
+    });
+
+    // The PR-2 tentpole measurement: all hierarchy levels' pair counts
+    // via one edge sweep + refinement rollups, vs one edge scan per
+    // level.
+    let hierarchy = Specializer::new(SpecializationConfig::median(6).unwrap())
+        .specialize(&graph, &mut StdRng::seed_from_u64(5))
+        .unwrap();
+    c.bench_function("hierarchy_stats_one_sweep_rollup", |b| {
+        b.iter(|| black_box(HierarchyStats::compute(&graph, &hierarchy).unwrap()))
+    });
+    c.bench_function("hierarchy_stats_per_level_rescan", |b| {
+        b.iter(|| {
+            for level in hierarchy.levels() {
+                black_box(PairCounts::compute(&graph, level.left(), level.right()));
+            }
+        })
     });
 }
 

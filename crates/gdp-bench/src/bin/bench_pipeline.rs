@@ -4,12 +4,20 @@
 //! Runs the full pipeline (datagen → Phase-1 specialization → Phase-2
 //! noise injection → post-processing → consumer-side answering) on
 //! synthetic Erdős–Rényi association graphs at n ∈ {10k, 100k, 1M}
-//! edges, plus the ISSUE-1 acceptance measurement: prefix-sum vs naive
-//! cut scoring at 100k edges / 64 candidates. Results are written as
+//! edges, plus two acceptance measurements: prefix-sum vs naive cut
+//! scoring at 100k edges / 64 candidates (ISSUE 1) and per-level
+//! pair-count rescans vs the one-sweep + rollup `HierarchyStats` engine
+//! (ISSUE 2, at the largest size run). Results are written as
 //! `BENCH_pipeline.json` so successive PRs can track the trajectory.
+//!
+//! `--assert-disclose-100k-under MS` makes the binary exit non-zero when
+//! the 100k-edge disclose phase exceeds the given ceiling — the CI smoke
+//! step uses it so a future PR cannot silently reintroduce per-level
+//! edge scans.
 //!
 //! ```text
 //! bench_pipeline [--out FILE] [--seed N] [--max-edges N] [--reps N]
+//!                [--assert-disclose-100k-under MS]
 //! ```
 
 use std::time::Instant;
@@ -22,10 +30,11 @@ use gdp_core::answering::SubsetCountEstimator;
 use gdp_core::postprocess::{clamp_non_negative, fuse_total_estimates};
 use gdp_core::scoring::{cut_utilities, cut_utilities_naive};
 use gdp_core::{
-    DisclosureConfig, MultiLevelDiscloser, Query, SpecializationConfig, Specializer,
+    DisclosureConfig, HierarchyStats, MultiLevelDiscloser, Query, SpecializationConfig,
+    Specializer,
 };
 use gdp_datagen::models;
-use gdp_graph::Side;
+use gdp_graph::{PairCounts, Side};
 
 #[derive(Debug, Serialize)]
 struct ScorerComparison {
@@ -53,11 +62,21 @@ struct PhaseTimings {
 }
 
 #[derive(Debug, Serialize)]
+struct PairCountsComparison {
+    edges: u64,
+    levels: usize,
+    per_level_rescan_ms: f64,
+    one_sweep_rollup_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
 struct Report {
     generated_by: String,
     seed: u64,
     threads: usize,
     scorer_100k: ScorerComparison,
+    pair_counts_1m: PairCountsComparison,
     phases: Vec<PhaseTimings>,
 }
 
@@ -96,6 +115,42 @@ fn scorer_comparison(seed: u64, reps: usize) -> ScorerComparison {
         naive_ms,
         prefix_ms: prefix_once_ms,
         speedup: naive_ms / prefix_once_ms,
+    }
+}
+
+/// The ISSUE-2 acceptance measurement: every level's pair counts via one
+/// edge scan per level (the PR-1 disclosure inner loop) vs one edge
+/// sweep + refinement rollups. Equality of the two results is asserted
+/// on every rep.
+fn pair_counts_comparison(edges: usize, seed: u64, reps: usize) -> PairCountsComparison {
+    let side = ((edges as f64).sqrt() * 6.3) as u32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = models::erdos_renyi(&mut rng, side, side, edges);
+    let hierarchy = Specializer::new(
+        SpecializationConfig::paper_default(8).expect("rounds > 0"),
+    )
+    .specialize(&graph, &mut StdRng::seed_from_u64(seed ^ 1))
+    .expect("specialize succeeds");
+
+    let (rescan_ms, per_level) = time_best_of(reps, || {
+        hierarchy
+            .levels()
+            .iter()
+            .map(|level| PairCounts::compute(&graph, level.left(), level.right()))
+            .collect::<Vec<_>>()
+    });
+    let (rollup_ms, stats) = time_best_of(reps, || {
+        HierarchyStats::compute(&graph, &hierarchy).expect("stats compute succeeds")
+    });
+    for (direct, cached) in per_level.iter().zip(stats.levels()) {
+        assert_eq!(direct, cached.pair_counts(), "rollup must be bit-identical");
+    }
+    PairCountsComparison {
+        edges: graph.edge_count(),
+        levels: hierarchy.level_count(),
+        per_level_rescan_ms: rescan_ms,
+        one_sweep_rollup_ms: rollup_ms,
+        speedup: rescan_ms / rollup_ms,
     }
 }
 
@@ -179,6 +234,7 @@ fn main() {
     let mut seed = 42u64;
     let mut max_edges = 1_000_000usize;
     let mut reps = 3usize;
+    let mut disclose_100k_ceiling_ms: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -201,8 +257,18 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--reps needs a number")
             }
+            "--assert-disclose-100k-under" => {
+                disclose_100k_ceiling_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--assert-disclose-100k-under needs a number (ms)"),
+                )
+            }
             "--help" | "-h" => {
-                eprintln!("flags: [--out FILE] [--seed N] [--max-edges N] [--reps N]");
+                eprintln!(
+                    "flags: [--out FILE] [--seed N] [--max-edges N] [--reps N] \
+                     [--assert-disclose-100k-under MS]"
+                );
                 return;
             }
             other => {
@@ -217,6 +283,17 @@ fn main() {
     eprintln!(
         "  naive {:.3} ms  prefix {:.3} ms  speedup {:.1}×",
         scorer.naive_ms, scorer.prefix_ms, scorer.speedup
+    );
+
+    // Always measured at 1M edges so the `pair_counts_1m` entry means
+    // the same thing in every report — unlike the pipeline phase runs
+    // this costs well under a second, so `--max-edges` (which bounds
+    // the expensive multi-rep phase sweeps) does not clip it.
+    eprintln!("measuring pair-count strategies (1M edges)…");
+    let pair_counts = pair_counts_comparison(1_000_000, seed, 1);
+    eprintln!(
+        "  per-level rescan {:.1} ms  one-sweep+rollup {:.1} ms  speedup {:.1}×",
+        pair_counts.per_level_rescan_ms, pair_counts.one_sweep_rollup_ms, pair_counts.speedup
     );
 
     let mut phases = Vec::new();
@@ -236,14 +313,42 @@ fn main() {
         phases.push(t);
     }
 
+    let disclose_100k = phases
+        .iter()
+        .find(|p| (90_000..=110_000).contains(&p.edges))
+        .map(|p| p.disclose_ms);
+
     let report = Report {
         generated_by: "gdp-bench bench_pipeline".to_string(),
         seed,
         threads: rayon::current_num_threads(),
         scorer_100k: scorer,
+        pair_counts_1m: pair_counts,
         phases,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, json + "\n").expect("report written");
     eprintln!("wrote {out_path}");
+
+    // Regression gate for CI: the 100k-edge disclose phase must stay
+    // under the ceiling (a reintroduced per-level edge scan puts it back
+    // to ~20 ms; the one-sweep engine runs it in low single digits).
+    if let Some(ceiling) = disclose_100k_ceiling_ms {
+        match disclose_100k {
+            Some(ms) if ms > ceiling => {
+                eprintln!(
+                    "FAIL: disclose at 100k edges took {ms:.1} ms \
+                     (ceiling {ceiling:.1} ms)"
+                );
+                std::process::exit(1);
+            }
+            Some(ms) => eprintln!(
+                "disclose at 100k edges: {ms:.1} ms ≤ ceiling {ceiling:.1} ms"
+            ),
+            None => {
+                eprintln!("FAIL: --assert-disclose-100k-under set but the 100k phase did not run");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -3,7 +3,7 @@ use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use gdp_graph::BipartiteGraph;
+use gdp_graph::{BipartiteGraph, DegreeHistogram};
 use gdp_mechanisms::{
     Delta, Epsilon, GaussianMechanism, GeometricMechanism, L1Sensitivity, L2Sensitivity,
     LaplaceMechanism, PrivacyBudget,
@@ -11,8 +11,9 @@ use gdp_mechanisms::{
 
 use crate::error::CoreError;
 use crate::hierarchy::{GroupHierarchy, GroupLevel};
-use crate::queries::Query;
+use crate::queries::{AnswerContext, Query};
 use crate::release::{LevelRelease, MultiLevelRelease, QueryRelease};
+use crate::stats::HierarchyStats;
 use crate::Result;
 
 /// Which noise primitive Phase 2 injects.
@@ -127,6 +128,15 @@ impl MultiLevelDiscloser {
 
     /// Releases every hierarchy level (finest first).
     ///
+    /// The edge list is touched exactly **once**: all per-level answers
+    /// and sensitivities come from a [`HierarchyStats`] cache (one edge
+    /// sweep at the finest level, `O(cells)` rollups above it) plus a
+    /// left-degree histogram hoisted out of the per-level loop. The
+    /// released values and noise calibration are bit-identical to the
+    /// per-level rescan path ([`Self::disclose_level`]); only where the
+    /// exact statistics are computed changes, so the privacy analysis is
+    /// untouched.
+    ///
     /// # Errors
     ///
     /// * [`CoreError::InvalidConfig`] when no queries are configured.
@@ -143,6 +153,10 @@ impl MultiLevelDiscloser {
                 "disclosure needs at least one query".to_string(),
             ));
         }
+        // One edge sweep for the whole disclosure: every level's answers
+        // and sensitivities are served from this cache.
+        let stats = HierarchyStats::compute(graph, hierarchy)?;
+        let left_degree_hist = DegreeHistogram::from_degrees(&graph.left_degrees());
         // Levels are released to disjoint audiences, each calibrated to
         // its own sensitivity — independent work, so fan out with rayon.
         // Per-level seeds are drawn sequentially from the master RNG so
@@ -154,7 +168,12 @@ impl MultiLevelDiscloser {
             .enumerate()
             .map(|(i, level)| {
                 let mut level_rng = StdRng::seed_from_u64(seeds[i]);
-                self.disclose_level(graph, level, i, &mut level_rng)
+                let ctx = AnswerContext {
+                    level,
+                    stats: stats.level(i)?,
+                    left_degree_hist: &left_degree_hist,
+                };
+                self.disclose_level_cached(&ctx, i, &mut level_rng)
             })
             .collect();
         let levels = levels?;
@@ -166,7 +185,13 @@ impl MultiLevelDiscloser {
         )
     }
 
-    /// Releases a single level `I_{L, level_index}`.
+    /// Releases a single level `I_{L, level_index}` by scanning the
+    /// graph directly (the per-level rescan path).
+    ///
+    /// [`Self::disclose`] does **not** call this — it serves answers
+    /// from cached statistics via [`Self::disclose_level_cached`] — but
+    /// the two produce bit-identical releases from the same RNG stream,
+    /// which the equivalence tests pin.
     ///
     /// # Errors
     ///
@@ -179,9 +204,48 @@ impl MultiLevelDiscloser {
         level_index: usize,
         rng: &mut R,
     ) -> Result<LevelRelease> {
+        let answers: Vec<_> = self
+            .config
+            .queries
+            .iter()
+            .map(|q| q.answer(graph, level))
+            .collect();
+        self.release_level(level, level_index, &answers, rng)
+    }
+
+    /// Releases a single level from **cached** statistics — no edge
+    /// scans; see [`Query::answer_cached`].
+    ///
+    /// # Errors
+    ///
+    /// Mechanism construction errors (invalid parameters for the chosen
+    /// mechanism).
+    pub fn disclose_level_cached<R: Rng + ?Sized>(
+        &self,
+        ctx: &AnswerContext<'_>,
+        level_index: usize,
+        rng: &mut R,
+    ) -> Result<LevelRelease> {
+        let answers: Vec<_> = self
+            .config
+            .queries
+            .iter()
+            .map(|q| q.answer_cached(ctx))
+            .collect();
+        self.release_level(ctx.level, level_index, &answers, rng)
+    }
+
+    /// Noises pre-computed answers into a [`LevelRelease`] — the shared
+    /// tail of both per-level paths, so they stay bitwise equivalent.
+    fn release_level<R: Rng + ?Sized>(
+        &self,
+        level: &GroupLevel,
+        level_index: usize,
+        answers: &[crate::queries::QueryAnswer],
+        rng: &mut R,
+    ) -> Result<LevelRelease> {
         let mut queries = Vec::with_capacity(self.config.queries.len());
-        for query in &self.config.queries {
-            let answer = query.answer(graph, level);
+        for (query, answer) in self.config.queries.iter().zip(answers) {
             let sensitivity = answer.sensitivity.floored();
             let (noisy_values, noise_scale) =
                 self.randomize(&answer.values, sensitivity.l1, sensitivity.l2, rng)?;

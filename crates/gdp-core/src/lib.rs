@@ -67,6 +67,7 @@ mod queries;
 mod release;
 mod sensitivity;
 mod specialize;
+mod stats;
 
 mod session;
 
@@ -84,9 +85,10 @@ pub use disclosure::{DisclosureConfig, MultiLevelDiscloser, NoiseMechanism};
 pub use error::CoreError;
 pub use hierarchy::{GroupHierarchy, GroupLevel};
 pub use metrics::{mean_relative_error, relative_error, ErrorSummary};
-pub use queries::{Query, QueryAnswer};
+pub use queries::{AnswerContext, Query, QueryAnswer};
 pub use release::{LevelRelease, MultiLevelRelease, QueryRelease};
 pub use sensitivity::LevelSensitivity;
+pub use stats::{HierarchyStats, LevelStats};
 pub use session::DisclosureSession;
 pub use specialize::scoring;
 pub use specialize::{SpecializationConfig, Specializer, SplitStrategy};

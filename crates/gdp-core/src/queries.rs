@@ -4,6 +4,7 @@ use gdp_graph::{BipartiteGraph, DegreeHistogram};
 
 use crate::hierarchy::GroupLevel;
 use crate::sensitivity::LevelSensitivity;
+use crate::stats::LevelStats;
 
 /// An aggregate query whose answer is released (noisily) at every
 /// hierarchy level.
@@ -48,7 +49,12 @@ impl Query {
     }
 
     /// Evaluates the true answer and its group-level sensitivity at
-    /// `level`.
+    /// `level`, scanning the graph directly.
+    ///
+    /// This is the per-level rescan path, kept as the equivalence
+    /// baseline; disclosure uses [`Query::answer_cached`], whose output
+    /// is bit-identical (pinned by property tests) but derives
+    /// edge-dependent quantities from cached level statistics.
     pub fn answer(&self, graph: &BipartiteGraph, level: &GroupLevel) -> QueryAnswer {
         match self {
             Query::TotalAssociations => QueryAnswer {
@@ -68,32 +74,86 @@ impl Query {
             }
             Query::LeftDegreeHistogram { max_degree } => {
                 let hist = DegreeHistogram::from_degrees(&graph.left_degrees());
-                let cap = *max_degree as usize;
-                let mut values = vec![0f64; cap + 1];
-                for (d, &c) in hist.counts().iter().enumerate() {
-                    values[d.min(cap)] += c as f64;
-                }
                 QueryAnswer {
-                    values,
+                    values: clamp_histogram(&hist, *max_degree),
                     sensitivity: LevelSensitivity::left_degree_histogram(level, graph),
                 }
             }
-            Query::GroupSizeCounts => {
-                let mut values: Vec<f64> = level
-                    .left()
-                    .block_sizes()
-                    .into_iter()
-                    .map(|s| s as f64)
-                    .collect();
-                values.extend(level.right().block_sizes().into_iter().map(|s| s as f64));
-                let max = level.max_group_size() as f64;
-                QueryAnswer {
-                    values,
-                    sensitivity: LevelSensitivity { l1: max, l2: max },
-                }
-            }
+            Query::GroupSizeCounts => Self::group_size_counts(level),
         }
     }
+
+    /// Evaluates the true answer and its sensitivity from **cached**
+    /// statistics: pair-count marginals stand in for edge scans and the
+    /// level-independent left-degree histogram is computed once per
+    /// disclosure instead of once per level.
+    pub fn answer_cached(&self, ctx: &AnswerContext<'_>) -> QueryAnswer {
+        match self {
+            Query::TotalAssociations => QueryAnswer {
+                values: vec![ctx.stats.total() as f64],
+                sensitivity: LevelSensitivity::total_count_cached(ctx.stats),
+            },
+            Query::PerGroupCounts => {
+                let values = ctx
+                    .stats
+                    .incident_edges()
+                    .into_iter()
+                    .map(|c| c as f64)
+                    .collect();
+                QueryAnswer {
+                    values,
+                    sensitivity: LevelSensitivity::per_group_counts_cached(ctx.stats),
+                }
+            }
+            Query::LeftDegreeHistogram { max_degree } => QueryAnswer {
+                values: clamp_histogram(ctx.left_degree_hist, *max_degree),
+                sensitivity: LevelSensitivity::left_degree_histogram_cached(ctx.level, ctx.stats),
+            },
+            Query::GroupSizeCounts => Self::group_size_counts(ctx.level),
+        }
+    }
+
+    /// Group sizes depend only on the partitions, so both answer paths
+    /// share this.
+    fn group_size_counts(level: &GroupLevel) -> QueryAnswer {
+        let mut values: Vec<f64> = level
+            .left()
+            .block_sizes()
+            .into_iter()
+            .map(|s| s as f64)
+            .collect();
+        values.extend(level.right().block_sizes().into_iter().map(|s| s as f64));
+        let max = level.max_group_size() as f64;
+        QueryAnswer {
+            values,
+            sensitivity: LevelSensitivity { l1: max, l2: max },
+        }
+    }
+}
+
+/// Everything [`Query::answer_cached`] needs to answer at one level
+/// without rescanning the edge list: the level's cached statistics and
+/// the disclosure-wide (level-independent) left-degree histogram.
+#[derive(Debug, Clone, Copy)]
+pub struct AnswerContext<'a> {
+    /// The level being released.
+    pub level: &'a GroupLevel,
+    /// The level's cached pair counts and marginals.
+    pub stats: &'a LevelStats,
+    /// The left-side degree histogram, computed once per disclosure.
+    pub left_degree_hist: &'a DegreeHistogram,
+}
+
+/// Folds a degree histogram into bins `0..=max_degree`, clamping higher
+/// degrees into the last bin — shared by both answer paths so their
+/// outputs are identical by construction.
+fn clamp_histogram(hist: &DegreeHistogram, max_degree: u32) -> Vec<f64> {
+    let cap = max_degree as usize;
+    let mut values = vec![0f64; cap + 1];
+    for (d, &c) in hist.counts().iter().enumerate() {
+        values[d.min(cap)] += c as f64;
+    }
+    values
 }
 
 /// A query's true answer paired with its sensitivity at the level it was

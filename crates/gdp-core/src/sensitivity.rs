@@ -3,6 +3,7 @@ use serde::{Deserialize, Serialize};
 use gdp_graph::{BipartiteGraph, PairCounts};
 
 use crate::hierarchy::GroupLevel;
+use crate::stats::LevelStats;
 
 /// The **group-level sensitivity** of a query at one hierarchy level:
 /// the largest L1/L2 change of the query answer when one whole group of
@@ -37,6 +38,17 @@ impl LevelSensitivity {
         }
     }
 
+    /// [`Self::total_count`] from cached level statistics — the max
+    /// incidence comes from the cached CSR marginals instead of an edge
+    /// scan. Bit-identical to the direct path (integer max, same cast).
+    pub fn total_count_cached(stats: &LevelStats) -> Self {
+        let max_inc = stats.max_incident_edges() as f64;
+        Self {
+            l1: max_inc,
+            l2: max_inc,
+        }
+    }
+
     /// Sensitivity of the **per-group incident-count vector** (left
     /// groups then right groups) at `level`, computed *exactly* from the
     /// level's block-pair counts.
@@ -50,14 +62,27 @@ impl LevelSensitivity {
     /// * `L2 = √(incident(g)² + Σ_r c(g,r)²)`
     pub fn per_group_counts(level: &GroupLevel, graph: &BipartiteGraph) -> Self {
         let pc = PairCounts::compute(graph, level.left(), level.right());
-        let lb = level.left().block_count() as usize;
-        let rb = level.right().block_count() as usize;
+        Self::per_group_counts_from_pair_counts(&pc)
+    }
+
+    /// [`Self::per_group_counts`] from cached level statistics — reuses
+    /// the level's cached pair counts instead of rescanning edges. Both
+    /// paths fold the same CSR cells in the same (row-major) order, so
+    /// the floating-point accumulation is bit-identical.
+    pub fn per_group_counts_cached(stats: &LevelStats) -> Self {
+        Self::per_group_counts_from_pair_counts(stats.pair_counts())
+    }
+
+    /// The shared exact fold both [`Self::per_group_counts`] paths use.
+    fn per_group_counts_from_pair_counts(pc: &PairCounts) -> Self {
+        let lb = pc.left_blocks() as usize;
+        let rb = pc.right_blocks() as usize;
         // Accumulate Σ c and Σ c² per left block and per right block.
         let mut left_sum = vec![0u64; lb];
         let mut left_sq = vec![0f64; lb];
         let mut right_sum = vec![0u64; rb];
         let mut right_sq = vec![0f64; rb];
-        for (&(l, r), &c) in pc.iter() {
+        for ((l, r), c) in pc.iter() {
             let cf = c as f64;
             left_sum[l as usize] += c;
             left_sq[l as usize] += cf * cf;
@@ -88,18 +113,30 @@ impl LevelSensitivity {
     /// the degree of affected left nodes, moving each across bins
     /// (`L1 ≤ 2·incident(g)`, `L2 ≤ √2·incident(g)`).
     pub fn left_degree_histogram(level: &GroupLevel, graph: &BipartiteGraph) -> Self {
+        let max_right_inc = level
+            .right()
+            .incident_edge_counts(graph)
+            .into_iter()
+            .max()
+            .unwrap_or(0);
+        Self::left_degree_histogram_from_parts(level, max_right_inc)
+    }
+
+    /// [`Self::left_degree_histogram`] from cached level statistics —
+    /// the max right-block incidence comes from the cached CSR column
+    /// marginals (identical integers) instead of a degree scan.
+    pub fn left_degree_histogram_cached(level: &GroupLevel, stats: &LevelStats) -> Self {
+        Self::left_degree_histogram_from_parts(level, stats.marginals().max_right)
+    }
+
+    fn left_degree_histogram_from_parts(level: &GroupLevel, max_right_inc: u64) -> Self {
         let max_left_size = level
             .left()
             .block_sizes()
             .into_iter()
             .max()
             .unwrap_or(0) as f64;
-        let max_right_inc = level
-            .right()
-            .incident_edge_counts(graph)
-            .into_iter()
-            .max()
-            .unwrap_or(0) as f64;
+        let max_right_inc = max_right_inc as f64;
         Self {
             l1: max_left_size.max(2.0 * max_right_inc),
             l2: max_left_size.max(std::f64::consts::SQRT_2 * max_right_inc),

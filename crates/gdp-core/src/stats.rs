@@ -1,0 +1,249 @@
+//! Hierarchy-aware level statistics: every level's block-pair counts
+//! from **one** edge sweep plus refinement-chain rollups.
+//!
+//! # Why this exists
+//!
+//! Phase 2 of the paper's pipeline releases queries at every hierarchy
+//! level, and each level's noise is calibrated to that level's group
+//! sensitivity. Computed naively, every level pays its own full edge
+//! scan (`PairCounts::compute` + per-side incident-edge scans), so an
+//! `L`-level disclosure costs `O(L × edges)` — the measured bottleneck
+//! of the 1M-edge pipeline run.
+//!
+//! A [`crate::GroupHierarchy`] validates that each level **refines** the
+//! next coarser one, and block-pair counts are plain sums: if coarse
+//! block `G` is the union of fine blocks `g₁…g_k`, then
+//! `count(G, H) = Σᵢⱼ count(gᵢ, hⱼ)`. So the finest level's counts (one
+//! rayon-sharded edge sweep) determine every coarser level's counts by
+//! an `O(non-empty cells)` fold along the refinement chain
+//! ([`gdp_graph::PairCounts::rollup`]), and each level's marginals,
+//! total and max-incidence fall out of its CSR arrays in one more pass.
+//! A full multi-level disclosure therefore touches the edge list exactly
+//! once.
+//!
+//! # Privacy is unchanged
+//!
+//! Caching sufficient statistics changes *where* the exact per-level
+//! answers and sensitivities are computed, not *what* they are: the
+//! rolled-up counts are integer sums, bit-identical to a direct
+//! per-level scan (pinned by property tests), so the noise each level
+//! receives is calibrated to exactly the same sensitivities as before.
+//! No release ever exposes the cache itself — only noised query answers
+//! leave the pipeline.
+
+use serde::{Deserialize, Serialize};
+
+use gdp_graph::{BipartiteGraph, PairCounts, PairMarginals};
+
+use crate::error::CoreError;
+use crate::hierarchy::GroupHierarchy;
+use crate::Result;
+
+/// Cached sufficient statistics of **one** hierarchy level: its
+/// block-pair counts plus the marginal quantities the Phase-2 stack
+/// needs (per-block incident-edge counts, total, max incidence).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelStats {
+    pair_counts: PairCounts,
+    marginals: PairMarginals,
+}
+
+impl LevelStats {
+    /// Wraps a level's pair counts, deriving its marginals in one pass.
+    pub fn from_pair_counts(pair_counts: PairCounts) -> Self {
+        let marginals = pair_counts.marginals();
+        Self {
+            pair_counts,
+            marginals,
+        }
+    }
+
+    /// The level's block-pair association counts.
+    pub fn pair_counts(&self) -> &PairCounts {
+        &self.pair_counts
+    }
+
+    /// The level's cached marginals.
+    pub fn marginals(&self) -> &PairMarginals {
+        &self.marginals
+    }
+
+    /// Incident-edge count of every group — left blocks first, then
+    /// right blocks, matching [`crate::GroupLevel::incident_edges`] exactly.
+    pub fn incident_edges(&self) -> Vec<u64> {
+        let mut out = self.marginals.left.clone();
+        out.extend_from_slice(&self.marginals.right);
+        out
+    }
+
+    /// The largest incident-edge count over all groups — equal to
+    /// [`crate::GroupLevel::max_incident_edges`] without an edge scan.
+    pub fn max_incident_edges(&self) -> u64 {
+        self.marginals.max_incident()
+    }
+
+    /// Total association count (the graph's edge count).
+    pub fn total(&self) -> u64 {
+        self.marginals.total
+    }
+}
+
+/// Per-level cached statistics for a whole hierarchy, built from **one**
+/// edge sweep at the finest level plus `O(cells)` rollups up the
+/// refinement chain (see the [module docs](self)).
+///
+/// ```
+/// use gdp_core::{HierarchyStats, SpecializationConfig, Specializer};
+/// use gdp_datagen::{DblpConfig, DblpGenerator};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), gdp_core::CoreError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// let graph = DblpGenerator::new(DblpConfig::tiny()).generate(&mut rng);
+/// let hierarchy = Specializer::new(SpecializationConfig::median(3)?)
+///     .specialize(&graph, &mut rng)?;
+/// let stats = HierarchyStats::compute(&graph, &hierarchy)?;
+/// // Rolled-up statistics agree with direct per-level computation.
+/// for (i, level) in hierarchy.levels().iter().enumerate() {
+///     assert_eq!(
+///         stats.level(i).unwrap().max_incident_edges(),
+///         level.max_incident_edges(&graph),
+///     );
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyStats {
+    levels: Vec<LevelStats>,
+}
+
+impl HierarchyStats {
+    /// Computes every level's statistics: one edge sweep for the finest
+    /// level, then a rollup per coarser level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Graph`] if some level fails to refine its
+    /// finer neighbour — impossible for a hierarchy that passed
+    /// [`GroupHierarchy::new`] validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hierarchy's node counts do not match the graph's
+    /// side sizes (same contract as [`gdp_graph::PairCounts::compute`]).
+    pub fn compute(graph: &BipartiteGraph, hierarchy: &GroupHierarchy) -> Result<Self> {
+        let finest = hierarchy.finest();
+        let mut pair_counts = Vec::with_capacity(hierarchy.level_count());
+        pair_counts.push(PairCounts::compute(graph, finest.left(), finest.right()));
+        for i in 1..hierarchy.level_count() {
+            let finer = hierarchy.level(i - 1)?;
+            let coarser = hierarchy.level(i)?;
+            let left_map = finer
+                .left()
+                .block_map_to(coarser.left())
+                .map_err(CoreError::Graph)?;
+            let right_map = finer
+                .right()
+                .block_map_to(coarser.right())
+                .map_err(CoreError::Graph)?;
+            let rolled = pair_counts[i - 1].rollup(
+                &left_map,
+                coarser.left().block_count(),
+                &right_map,
+                coarser.right().block_count(),
+            );
+            pair_counts.push(rolled);
+        }
+        Ok(Self {
+            levels: pair_counts
+                .into_iter()
+                .map(LevelStats::from_pair_counts)
+                .collect(),
+        })
+    }
+
+    /// Number of levels covered (equals the hierarchy's level count).
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The statistics of level `i` (0 = finest).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::LevelOutOfRange`] for `i ≥ level_count`.
+    pub fn level(&self, i: usize) -> Result<&LevelStats> {
+        self.levels.get(i).ok_or(CoreError::LevelOutOfRange {
+            level: i,
+            level_count: self.levels.len(),
+        })
+    }
+
+    /// All levels' statistics, finest first.
+    pub fn levels(&self) -> &[LevelStats] {
+        &self.levels
+    }
+
+    /// Count-query sensitivity (max incident edges over groups) at every
+    /// level, finest first — the cached counterpart of
+    /// [`GroupHierarchy::sensitivities`].
+    pub fn sensitivities(&self) -> Vec<u64> {
+        self.levels
+            .iter()
+            .map(LevelStats::max_incident_edges)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specialize::{SpecializationConfig, Specializer};
+    use gdp_graph::{GraphBuilder, LeftId, RightId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn graph() -> BipartiteGraph {
+        let mut b = GraphBuilder::new(24, 24);
+        for l in 0..24u32 {
+            for k in 0..3u32 {
+                b.add_edge(LeftId::new(l), RightId::new((l * 7 + k * 5) % 24))
+                    .unwrap();
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn rollup_levels_match_direct_per_level_compute() {
+        let g = graph();
+        let h = Specializer::new(SpecializationConfig::median(3).unwrap())
+            .specialize(&g, &mut StdRng::seed_from_u64(11))
+            .unwrap();
+        let stats = HierarchyStats::compute(&g, &h).unwrap();
+        assert_eq!(stats.level_count(), h.level_count());
+        for (i, level) in h.levels().iter().enumerate() {
+            let direct = PairCounts::compute(&g, level.left(), level.right());
+            let cached = stats.level(i).unwrap();
+            assert_eq!(cached.pair_counts(), &direct, "level {i}");
+            assert_eq!(cached.incident_edges(), level.incident_edges(&g));
+            assert_eq!(cached.max_incident_edges(), level.max_incident_edges(&g));
+            assert_eq!(cached.total(), g.edge_count());
+        }
+        assert_eq!(stats.sensitivities(), h.sensitivities(&g));
+    }
+
+    #[test]
+    fn level_out_of_range_is_reported() {
+        let g = graph();
+        let h = Specializer::new(SpecializationConfig::median(2).unwrap())
+            .specialize(&g, &mut StdRng::seed_from_u64(1))
+            .unwrap();
+        let stats = HierarchyStats::compute(&g, &h).unwrap();
+        assert!(matches!(
+            stats.level(h.level_count()),
+            Err(CoreError::LevelOutOfRange { .. })
+        ));
+    }
+}

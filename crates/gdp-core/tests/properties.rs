@@ -5,10 +5,10 @@ use proptest::prelude::*;
 use gdp_core::adjacency::{DatasetVector, Group, GroupStructure};
 use gdp_core::scoring::{cut_utilities, cut_utilities_naive};
 use gdp_core::{
-    relative_error, AccessPolicy, DisclosureConfig, MultiLevelDiscloser, Privilege, Query,
-    SpecializationConfig, Specializer, SplitStrategy,
+    relative_error, AccessPolicy, AnswerContext, DisclosureConfig, HierarchyStats,
+    MultiLevelDiscloser, Privilege, Query, SpecializationConfig, Specializer, SplitStrategy,
 };
-use gdp_graph::{BipartiteGraph, GraphBuilder, LeftId, RightId};
+use gdp_graph::{BipartiteGraph, DegreeHistogram, GraphBuilder, LeftId, PairCounts, RightId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -87,6 +87,64 @@ proptest! {
             prop_assert!((right_sum - graph.edge_count() as f64).abs() < 1e-9);
             // L2 ≤ L1 always.
             prop_assert!(answer.sensitivity.l2 <= answer.sensitivity.l1 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn hierarchy_stats_bit_identical_to_per_level_scan(
+        graph in graph_strategy(),
+        rounds in 1u32..5,
+        seed in 0u64..100,
+    ) {
+        let h = Specializer::new(SpecializationConfig::paper_default(rounds).unwrap())
+            .specialize(&graph, &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        let stats = HierarchyStats::compute(&graph, &h).unwrap();
+        prop_assert_eq!(stats.level_count(), h.level_count());
+        for (i, level) in h.levels().iter().enumerate() {
+            let cached = stats.level(i).unwrap();
+            // Rolled-up CSR counts equal a direct per-level edge scan.
+            let direct = PairCounts::compute(&graph, level.left(), level.right());
+            prop_assert_eq!(cached.pair_counts(), &direct);
+            // Cached marginals equal the per-call edge accounting.
+            prop_assert_eq!(cached.incident_edges(), level.incident_edges(&graph));
+            prop_assert_eq!(
+                cached.max_incident_edges(),
+                level.max_incident_edges(&graph)
+            );
+            prop_assert_eq!(cached.total(), graph.edge_count());
+        }
+        prop_assert_eq!(stats.sensitivities(), h.sensitivities(&graph));
+    }
+
+    #[test]
+    fn cached_answers_bit_identical_to_direct_answers(
+        graph in graph_strategy(),
+        rounds in 1u32..4,
+        seed in 0u64..100,
+    ) {
+        let h = Specializer::new(SpecializationConfig::median(rounds).unwrap())
+            .specialize(&graph, &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        let stats = HierarchyStats::compute(&graph, &h).unwrap();
+        let left_degree_hist = DegreeHistogram::from_degrees(&graph.left_degrees());
+        let queries = [
+            Query::TotalAssociations,
+            Query::PerGroupCounts,
+            Query::LeftDegreeHistogram { max_degree: 8 },
+            Query::GroupSizeCounts,
+        ];
+        for (i, level) in h.levels().iter().enumerate() {
+            let ctx = AnswerContext {
+                level,
+                stats: stats.level(i).unwrap(),
+                left_degree_hist: &left_degree_hist,
+            };
+            for q in queries {
+                // PartialEq on QueryAnswer compares every value and both
+                // sensitivity floats exactly — bitwise equivalence.
+                prop_assert_eq!(q.answer(&graph, level), q.answer_cached(&ctx));
+            }
         }
     }
 

@@ -37,6 +37,12 @@ pub enum GraphError {
         /// The first empty block id found.
         block: u32,
     },
+    /// A claimed finer partition does not refine the coarser one (sides
+    /// or node counts differ, or a finer block straddles coarse blocks).
+    NotARefinement {
+        /// What broke the refinement relation.
+        message: String,
+    },
     /// A text edge-list could not be parsed.
     Parse {
         /// 1-based line number of the failure.
@@ -66,6 +72,9 @@ impl fmt::Display for GraphError {
                 write!(f, "block id {block} out of range (block count {block_count})")
             }
             Self::EmptyBlock { block } => write!(f, "partition block {block} is empty"),
+            Self::NotARefinement { message } => {
+                write!(f, "partition is not a refinement: {message}")
+            }
             Self::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
             Self::Io(e) => write!(f, "io error: {e}"),
         }

@@ -44,6 +44,7 @@ mod builder;
 mod error;
 mod histogram;
 mod node;
+mod pair_counts;
 mod partition;
 mod stats;
 mod subgraph;
@@ -57,7 +58,8 @@ pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use histogram::DegreeHistogram;
 pub use node::{LeftId, NodeId, RightId, Side};
-pub use partition::{PairCounts, SidePartition};
+pub use pair_counts::{PairCounts, PairMarginals};
+pub use partition::SidePartition;
 pub use stats::GraphStats;
 pub use subgraph::InducedSubgraph;
 pub use traversal::{connected_components, ComponentLabeling};

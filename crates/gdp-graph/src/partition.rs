@@ -1,5 +1,3 @@
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 
 use crate::bipartite::BipartiteGraph;
@@ -143,12 +141,20 @@ impl SidePartition {
         members
     }
 
-    /// The number of graph edges **incident** to each block.
+    /// The number of graph edges **incident** to each block, by scanning
+    /// the side's degrees.
     ///
     /// For a block of left nodes this is the sum of their degrees (each
     /// edge touches exactly one left node, so no double counting); same
     /// on the right. This quantity *is* the group-level L1 sensitivity of
     /// the association-count query for that block.
+    ///
+    /// This is the direct (per-call edge-accounting) path. When a
+    /// [`crate::PairCounts`] for the level is already available — e.g.
+    /// cached in a hierarchy-statistics engine — prefer its
+    /// [`crate::PairCounts::marginals`], which yield exactly these
+    /// numbers for both sides in one pass over the non-empty cells
+    /// without touching the graph again.
     ///
     /// # Panics
     ///
@@ -204,97 +210,48 @@ impl SidePartition {
         }
         true
     }
-}
 
-/// Sparse per-(left-block, right-block) association counts under a pair
-/// of side partitions — the "subgraphs induced by each group level" that
-/// the paper's Phase 2 perturbs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct PairCounts {
-    counts: HashMap<(u32, u32), u64>,
-    left_blocks: u32,
-    right_blocks: u32,
-}
-
-impl PairCounts {
-    /// Counts associations between every (left-block, right-block) pair.
+    /// Maps every block of `self` (the **finer** partition) to the block
+    /// of `coarser` containing it — the fold table that lets block-pair
+    /// counts of a finer level aggregate to a coarser one without
+    /// rescanning edges (see [`crate::PairCounts::rollup`]).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if either partition does not match the graph's side sizes
-    /// or sides.
-    pub fn compute(
-        graph: &BipartiteGraph,
-        left: &SidePartition,
-        right: &SidePartition,
-    ) -> Self {
-        assert_eq!(left.side(), Side::Left, "left partition must be Side::Left");
-        assert_eq!(
-            right.side(),
-            Side::Right,
-            "right partition must be Side::Right"
-        );
-        assert_eq!(left.node_count(), graph.left_count());
-        assert_eq!(right.node_count(), graph.right_count());
-        let mut counts = HashMap::new();
-        for (l, r) in graph.edges() {
-            let key = (left.block_of(l.index()), right.block_of(r.index()));
-            *counts.entry(key).or_insert(0u64) += 1;
+    /// Returns [`GraphError::NotARefinement`] when the sides or node
+    /// counts differ, or some block of `self` straddles two blocks of
+    /// `coarser` (i.e. `coarser` is not refined by `self`).
+    pub fn block_map_to(&self, coarser: &SidePartition) -> Result<Vec<u32>> {
+        if coarser.side != self.side {
+            return Err(GraphError::NotARefinement {
+                message: "partitions cover different sides".to_string(),
+            });
         }
-        Self {
-            counts,
-            left_blocks: left.block_count(),
-            right_blocks: right.block_count(),
+        if coarser.assignment.len() != self.assignment.len() {
+            return Err(GraphError::NotARefinement {
+                message: format!(
+                    "partitions cover {} vs {} nodes",
+                    self.assignment.len(),
+                    coarser.assignment.len()
+                ),
+            });
         }
-    }
-
-    /// The association count between a left block and a right block.
-    pub fn get(&self, left_block: u32, right_block: u32) -> u64 {
-        *self.counts.get(&(left_block, right_block)).unwrap_or(&0)
-    }
-
-    /// Number of non-empty cells.
-    pub fn non_empty_cells(&self) -> usize {
-        self.counts.len()
-    }
-
-    /// Total count across all cells (equals the graph's edge count).
-    pub fn total(&self) -> u64 {
-        self.counts.values().sum()
-    }
-
-    /// Declared left-block count.
-    pub fn left_blocks(&self) -> u32 {
-        self.left_blocks
-    }
-
-    /// Declared right-block count.
-    pub fn right_blocks(&self) -> u32 {
-        self.right_blocks
-    }
-
-    /// Iterates over non-empty `((left_block, right_block), count)` cells
-    /// in unspecified order.
-    pub fn iter(&self) -> impl Iterator<Item = (&(u32, u32), &u64)> {
-        self.counts.iter()
-    }
-
-    /// Row sums: associations incident to each left block.
-    pub fn left_marginals(&self) -> Vec<u64> {
-        let mut m = vec![0u64; self.left_blocks as usize];
-        for (&(lb, _), &c) in &self.counts {
-            m[lb as usize] += c;
+        // Every block is non-empty (validated at construction), so every
+        // slot gets written; u32::MAX marks "not seen yet".
+        let mut map = vec![u32::MAX; self.block_count as usize];
+        for (node, &fb) in self.assignment.iter().enumerate() {
+            let cb = coarser.assignment[node];
+            let slot = &mut map[fb as usize];
+            if *slot == u32::MAX {
+                *slot = cb;
+            } else if *slot != cb {
+                return Err(GraphError::NotARefinement {
+                    message: format!("finer block {fb} straddles coarser blocks"),
+                });
+            }
         }
-        m
-    }
-
-    /// Column sums: associations incident to each right block.
-    pub fn right_marginals(&self) -> Vec<u64> {
-        let mut m = vec![0u64; self.right_blocks as usize];
-        for (&(_, rb), &c) in &self.counts {
-            m[rb as usize] += c;
-        }
-        m
+        debug_assert!(map.iter().all(|&b| b != u32::MAX));
+        Ok(map)
     }
 }
 
@@ -385,19 +342,31 @@ mod tests {
     }
 
     #[test]
-    fn pair_counts_totals_and_marginals() {
-        let g = sample_graph();
-        let pl = SidePartition::new(Side::Left, vec![0, 0, 1, 1], 2).unwrap();
-        let pr = SidePartition::new(Side::Right, vec![0, 0, 1], 2).unwrap();
-        let pc = PairCounts::compute(&g, &pl, &pr);
-        assert_eq!(pc.total(), g.edge_count());
-        assert_eq!(pc.get(0, 0), 3); // (L0,R0),(L0,R1),(L1,R0)
-        assert_eq!(pc.get(0, 1), 0);
-        assert_eq!(pc.get(1, 0), 1); // (L3,R1)
-        assert_eq!(pc.get(1, 1), 2); // (L2,R2),(L3,R2)
-        assert_eq!(pc.left_marginals(), vec![3, 3]);
-        assert_eq!(pc.right_marginals(), vec![4, 2]);
-        assert_eq!(pc.non_empty_cells(), 3);
+    fn block_map_to_follows_refinement() {
+        let fine = SidePartition::new(Side::Left, vec![0, 1, 2, 2], 3).unwrap();
+        let coarse = SidePartition::new(Side::Left, vec![0, 0, 1, 1], 2).unwrap();
+        assert_eq!(fine.block_map_to(&coarse).unwrap(), vec![0, 0, 1]);
+        // Self-map is the identity.
+        assert_eq!(fine.block_map_to(&fine).unwrap(), vec![0, 1, 2]);
+        // Everything maps into `whole`.
+        let whole = SidePartition::whole(Side::Left, 4).unwrap();
+        assert_eq!(fine.block_map_to(&whole).unwrap(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn block_map_to_rejects_non_refinements() {
+        let crossing = SidePartition::new(Side::Left, vec![0, 1, 0, 1], 2).unwrap();
+        let coarse = SidePartition::new(Side::Left, vec![0, 0, 1, 1], 2).unwrap();
+        assert!(matches!(
+            crossing.block_map_to(&coarse),
+            Err(GraphError::NotARefinement { .. })
+        ));
+        // Side mismatch.
+        let right = SidePartition::new(Side::Right, vec![0, 0, 1, 1], 2).unwrap();
+        assert!(coarse.block_map_to(&right).is_err());
+        // Length mismatch.
+        let short = SidePartition::new(Side::Left, vec![0, 1], 2).unwrap();
+        assert!(coarse.block_map_to(&short).is_err());
     }
 
     #[test]

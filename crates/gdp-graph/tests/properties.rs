@@ -23,6 +23,35 @@ fn build(nl: u32, nr: u32, edges: &[(u32, u32)]) -> gdp_graph::BipartiteGraph {
     b.build()
 }
 
+/// Builds a valid partition from arbitrary raw block labels by remapping
+/// them to dense ids (so every declared block is non-empty).
+fn densify(side: Side, raw: &[u32]) -> SidePartition {
+    let mut mapping = std::collections::HashMap::new();
+    let assignment: Vec<u32> = raw
+        .iter()
+        .map(|b| {
+            let next = mapping.len() as u32;
+            *mapping.entry(*b).or_insert(next)
+        })
+        .collect();
+    SidePartition::new(side, assignment, mapping.len() as u32).unwrap()
+}
+
+/// Derives a coarser partition by merging `fine`'s blocks according to
+/// raw merge labels (one per fine block; labels are densified). The
+/// result is refined by `fine` by construction.
+fn merge_blocks(fine: &SidePartition, merge_raw: &[u32]) -> SidePartition {
+    let coarse_of_fine: Vec<u32> = (0..fine.block_count())
+        .map(|b| merge_raw[b as usize % merge_raw.len()])
+        .collect();
+    let raw: Vec<u32> = fine
+        .assignment()
+        .iter()
+        .map(|&fb| coarse_of_fine[fb as usize])
+        .collect();
+    densify(fine.side(), &raw)
+}
+
 /// Strategy: a random partition assignment for `n` nodes (guaranteed
 /// surjective by construction: block ids are remapped densely).
 fn partition_of(n: u32) -> impl Strategy<Value = (Vec<u32>, u32)> {
@@ -125,6 +154,61 @@ proptest! {
         prop_assert_eq!(pc.total(), g.edge_count());
         prop_assert_eq!(pc.left_marginals(), pl.incident_edge_counts(&g));
         prop_assert_eq!(pc.right_marginals(), pr.incident_edge_counts(&g));
+        // The one-pass marginal bundle agrees with the per-field
+        // accessors and with the partitions' own edge accounting.
+        let m = pc.marginals();
+        prop_assert_eq!(&m.left, &pl.incident_edge_counts(&g));
+        prop_assert_eq!(&m.right, &pr.incident_edge_counts(&g));
+        prop_assert_eq!(m.total, g.edge_count());
+        prop_assert_eq!(m.max_left, m.left.iter().copied().max().unwrap_or(0));
+        prop_assert_eq!(m.max_right, m.right.iter().copied().max().unwrap_or(0));
+        prop_assert_eq!(
+            m.max_incident(),
+            pl.max_incident_edges(&g).max(pr.max_incident_edges(&g))
+        );
+    }
+
+    #[test]
+    fn csr_sweep_is_bit_identical_to_naive_scan(
+        (nl, nr, edges) in graph_strategy(),
+        (la, _) in partition_of(40),
+        (ra, _) in partition_of(40),
+    ) {
+        let g = build(nl, nr, &edges);
+        let pl = densify(Side::Left, &la[..nl as usize]);
+        let pr = densify(Side::Right, &ra[..nr as usize]);
+        let fast = PairCounts::compute(&g, &pl, &pr);
+        let naive = PairCounts::compute_naive(&g, &pl, &pr);
+        // CSR form is canonical, so PartialEq is bitwise table equality.
+        prop_assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn rollup_is_bit_identical_to_direct_coarse_sweep(
+        (nl, nr, edges) in graph_strategy(),
+        (la, _) in partition_of(40),
+        (ra, _) in partition_of(40),
+        lmerge in proptest::collection::vec(0u32..3, 40),
+        rmerge in proptest::collection::vec(0u32..3, 40),
+    ) {
+        let g = build(nl, nr, &edges);
+        let fine_l = densify(Side::Left, &la[..nl as usize]);
+        let fine_r = densify(Side::Right, &ra[..nr as usize]);
+        // Derive coarser partitions by merging fine blocks, so the
+        // refinement relation holds by construction.
+        let coarse_l = merge_blocks(&fine_l, &lmerge);
+        let coarse_r = merge_blocks(&fine_r, &rmerge);
+            let fine = PairCounts::compute(&g, &fine_l, &fine_r);
+        let lmap = fine_l.block_map_to(&coarse_l).unwrap();
+        let rmap = fine_r.block_map_to(&coarse_r).unwrap();
+        let rolled = fine.rollup(
+            &lmap,
+            coarse_l.block_count(),
+            &rmap,
+            coarse_r.block_count(),
+        );
+        let direct = PairCounts::compute(&g, &coarse_l, &coarse_r);
+        prop_assert_eq!(rolled, direct);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use group_dp::core::{
 };
 use group_dp::datagen::{DblpConfig, DblpGenerator};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 static ENV_LOCK: Mutex<()> = Mutex::new(());
 
@@ -84,4 +84,83 @@ fn repeated_runs_at_same_thread_count_are_identical() {
     let a = with_thread_count("3", || full_pipeline(5, NoiseMechanism::GaussianAnalytic));
     let b = with_thread_count("3", || full_pipeline(5, NoiseMechanism::GaussianAnalytic));
     assert_eq!(a, b);
+}
+
+/// `disclose` answers every level from the `HierarchyStats` cache (one
+/// edge sweep + rollups); `disclose_level` is the per-level rescan
+/// baseline. Feeding both the same per-level RNG streams must produce
+/// **bit-identical** releases — the PR-1 output is unchanged — and the
+/// cached path must stay thread-count invariant.
+#[test]
+fn cached_disclosure_is_bit_identical_to_per_level_rescan_path() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    for mechanism in [
+        NoiseMechanism::GaussianClassic,
+        NoiseMechanism::Laplace,
+        NoiseMechanism::Geometric,
+    ] {
+        let seed = 123u64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = DblpGenerator::new(DblpConfig::tiny()).generate(&mut rng);
+        let hierarchy = Specializer::new(
+            SpecializationConfig::paper_default(4).expect("valid rounds"),
+        )
+        .specialize(&graph, &mut rng)
+        .expect("specialization succeeds");
+        let discloser = MultiLevelDiscloser::new(
+            DisclosureConfig::count_only(0.5, 1e-6)
+                .expect("valid budget")
+                .with_mechanism(mechanism)
+                .with_queries(vec![
+                    Query::TotalAssociations,
+                    Query::PerGroupCounts,
+                    Query::LeftDegreeHistogram { max_degree: 16 },
+                    Query::GroupSizeCounts,
+                ]),
+        );
+
+        // Cached path, exactly as `disclose` runs it.
+        let mut disclose_rng = rng.clone();
+        let cached = discloser
+            .disclose(&graph, &hierarchy, &mut disclose_rng)
+            .expect("cached disclosure succeeds");
+
+        // Uncached composition: replicate the seed schedule (one u64 per
+        // level, drawn sequentially from the master RNG) and release
+        // every level through the rescan path.
+        let seeds: Vec<u64> = hierarchy.levels().iter().map(|_| rng.gen::<u64>()).collect();
+        let levels = hierarchy
+            .levels()
+            .iter()
+            .enumerate()
+            .map(|(i, level)| {
+                let mut level_rng = StdRng::seed_from_u64(seeds[i]);
+                discloser
+                    .disclose_level(&graph, level, i, &mut level_rng)
+                    .expect("per-level rescan succeeds")
+            })
+            .collect();
+        let uncached = MultiLevelRelease::new(
+            discloser.config().mechanism,
+            discloser.config().epsilon_g.get(),
+            discloser.config().delta.get(),
+            levels,
+        )
+        .expect("release assembles");
+
+        assert_eq!(cached, uncached, "{mechanism:?} cached != rescan");
+
+        // And the cached path itself is thread-count invariant.
+        let single = with_thread_count("1", || {
+            discloser
+                .disclose(&graph, &hierarchy, &mut rng.clone())
+                .expect("disclosure succeeds")
+        });
+        let multi = with_thread_count("8", || {
+            discloser
+                .disclose(&graph, &hierarchy, &mut rng.clone())
+                .expect("disclosure succeeds")
+        });
+        assert_eq!(single, multi, "{mechanism:?} thread-count variant");
+    }
 }
