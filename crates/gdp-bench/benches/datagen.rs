@@ -1,9 +1,12 @@
-//! Benchmarks of the synthetic workload generators.
+//! Benchmarks of the synthetic workload generators, including the
+//! streaming-engine vs incremental-builder pairs the `datagen_1m`
+//! entries of `BENCH_pipeline.json` track at full scale.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use gdp_datagen::engine::GraphModel;
 use gdp_datagen::zipf::ZipfSampler;
 use gdp_datagen::{models, DblpConfig, DblpGenerator};
 
@@ -33,6 +36,38 @@ fn bench_datagen(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(15);
             black_box(models::preferential_attachment(&mut rng, 5_000, 10_000, 3))
+        })
+    });
+
+    let er = GraphModel::ErdosRenyi {
+        left: 10_000,
+        right: 10_000,
+        edges: 100_000,
+    };
+    c.bench_function("streaming_erdos_renyi_100k_edges", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(16);
+            black_box(er.generate(&mut rng))
+        })
+    });
+    c.bench_function("incremental_erdos_renyi_100k_edges", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(16);
+            black_box(er.generate_incremental(&mut rng))
+        })
+    });
+
+    let planted = GraphModel::PlantedBlocks {
+        left: 10_000,
+        right: 10_000,
+        blocks: 32,
+        per_left: 10,
+        intra_prob: 0.8,
+    };
+    c.bench_function("streaming_planted_blocks_100k_edges", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(17);
+            black_box(planted.generate(&mut rng))
         })
     });
 }

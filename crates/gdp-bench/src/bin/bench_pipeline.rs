@@ -4,20 +4,25 @@
 //! Runs the full pipeline (datagen → Phase-1 specialization → Phase-2
 //! noise injection → post-processing → consumer-side answering) on
 //! synthetic Erdős–Rényi association graphs at n ∈ {10k, 100k, 1M}
-//! edges, plus two acceptance measurements: prefix-sum vs naive cut
-//! scoring at 100k edges / 64 candidates (ISSUE 1) and per-level
+//! edges, plus three acceptance measurements: prefix-sum vs naive cut
+//! scoring at 100k edges / 64 candidates (ISSUE 1), per-level
 //! pair-count rescans vs the one-sweep + rollup `HierarchyStats` engine
-//! (ISSUE 2, at the largest size run). Results are written as
+//! (ISSUE 2), and — model by model — the incremental-builder datagen
+//! baseline vs the parallel streaming engine at 1M edge draws
+//! (ISSUE 3, the `datagen_1m` entries). Results are written as
 //! `BENCH_pipeline.json` so successive PRs can track the trajectory.
 //!
 //! `--assert-disclose-100k-under MS` makes the binary exit non-zero when
-//! the 100k-edge disclose phase exceeds the given ceiling — the CI smoke
-//! step uses it so a future PR cannot silently reintroduce per-level
-//! edge scans.
+//! the 100k-edge disclose phase exceeds the given ceiling, and
+//! `--assert-datagen-1m-under MS` does the same for the streaming
+//! Erdős–Rényi `datagen_1m` time — the CI smoke step uses both so a
+//! future PR can neither reintroduce per-level edge scans nor silently
+//! fall back to single-stream sampling through the sorting builder.
 //!
 //! ```text
 //! bench_pipeline [--out FILE] [--seed N] [--max-edges N] [--reps N]
 //!                [--assert-disclose-100k-under MS]
+//!                [--assert-datagen-1m-under MS]
 //! ```
 
 use std::time::Instant;
@@ -33,6 +38,7 @@ use gdp_core::{
     DisclosureConfig, HierarchyStats, MultiLevelDiscloser, Query, SpecializationConfig,
     Specializer,
 };
+use gdp_datagen::engine::GraphModel;
 use gdp_datagen::models;
 use gdp_graph::{PairCounts, Side};
 
@@ -71,12 +77,22 @@ struct PairCountsComparison {
 }
 
 #[derive(Debug, Serialize)]
+struct DatagenComparison {
+    model: String,
+    edges: u64,
+    incremental_ms: f64,
+    streaming_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
 struct Report {
     generated_by: String,
     seed: u64,
     threads: usize,
     scorer_100k: ScorerComparison,
     pair_counts_1m: PairCountsComparison,
+    datagen_1m: Vec<DatagenComparison>,
     phases: Vec<PhaseTimings>,
 }
 
@@ -154,14 +170,73 @@ fn pair_counts_comparison(edges: usize, seed: u64, reps: usize) -> PairCountsCom
     }
 }
 
+/// The 1M-draw scenario models measured by the `datagen_1m` entries.
+fn datagen_models(edges: usize) -> Vec<GraphModel> {
+    let side = ((edges as f64).sqrt() * 6.3) as u32;
+    vec![
+        GraphModel::ErdosRenyi {
+            left: side,
+            right: side,
+            edges,
+        },
+        GraphModel::ZipfAttachment {
+            left: side,
+            right: (edges / 3) as u32,
+            per_right: 3,
+            exponent: 1.15,
+        },
+        GraphModel::PlantedBlocks {
+            left: side,
+            right: side,
+            blocks: 64,
+            per_left: (edges / side as usize) as u32,
+            intra_prob: 0.8,
+        },
+    ]
+}
+
+/// The ISSUE-3 acceptance measurement: each streaming model vs the
+/// incremental-builder replay of the **same** shard streams. Equality of
+/// the two graphs is asserted on every model.
+fn datagen_comparison(edges: usize, seed: u64, reps: usize) -> Vec<DatagenComparison> {
+    datagen_models(edges)
+        .into_iter()
+        .map(|model| {
+            let (incremental_ms, baseline) = time_best_of(reps, || {
+                model.generate_incremental(&mut StdRng::seed_from_u64(seed))
+            });
+            let (streaming_ms, streamed) =
+                time_best_of(reps, || model.generate(&mut StdRng::seed_from_u64(seed)));
+            assert_eq!(
+                streamed,
+                baseline,
+                "{} streaming path must be bit-identical to the incremental builder",
+                model.name()
+            );
+            DatagenComparison {
+                model: model.name().to_string(),
+                edges: streamed.edge_count(),
+                incremental_ms,
+                streaming_ms,
+                speedup: incremental_ms / streaming_ms,
+            }
+        })
+        .collect()
+}
+
 fn pipeline_at(edges: usize, seed: u64, reps: usize) -> PhaseTimings {
     // Side sizes scale with the edge count: density stays ~constant.
     let side = ((edges as f64).sqrt() * 6.3) as u32;
     let rounds = 8u32;
 
+    let model = GraphModel::ErdosRenyi {
+        left: side,
+        right: side,
+        edges,
+    };
     let (datagen_ms, graph) = time_best_of(reps, || {
         let mut rng = StdRng::seed_from_u64(seed);
-        models::erdos_renyi(&mut rng, side, side, edges)
+        model.generate(&mut rng)
     });
 
     let spec = Specializer::new(SpecializationConfig::paper_default(rounds).expect("rounds > 0"));
@@ -235,6 +310,7 @@ fn main() {
     let mut max_edges = 1_000_000usize;
     let mut reps = 3usize;
     let mut disclose_100k_ceiling_ms: Option<f64> = None;
+    let mut datagen_1m_ceiling_ms: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -264,10 +340,17 @@ fn main() {
                         .expect("--assert-disclose-100k-under needs a number (ms)"),
                 )
             }
+            "--assert-datagen-1m-under" => {
+                datagen_1m_ceiling_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--assert-datagen-1m-under needs a number (ms)"),
+                )
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "flags: [--out FILE] [--seed N] [--max-edges N] [--reps N] \
-                     [--assert-disclose-100k-under MS]"
+                     [--assert-disclose-100k-under MS] [--assert-datagen-1m-under MS]"
                 );
                 return;
             }
@@ -296,15 +379,26 @@ fn main() {
         pair_counts.per_level_rescan_ms, pair_counts.one_sweep_rollup_ms, pair_counts.speedup
     );
 
+    // Like `pair_counts_1m`, always measured at 1M draws so the entries
+    // mean the same thing in every report; well under a second per
+    // model, so `--max-edges` does not clip it.
+    eprintln!("measuring datagen strategies (1M edge draws, per model)…");
+    let datagen_1m = datagen_comparison(1_000_000, seed, 2);
+    for d in &datagen_1m {
+        eprintln!(
+            "  {:<16} incremental {:.1} ms  streaming {:.1} ms  speedup {:.1}×",
+            d.model, d.incremental_ms, d.streaming_ms, d.speedup
+        );
+    }
+
     let mut phases = Vec::new();
     for edges in [10_000usize, 100_000, 1_000_000] {
         if edges > max_edges {
             eprintln!("skipping {edges} edges (--max-edges {max_edges})");
             continue;
         }
-        let phase_reps = if edges >= 1_000_000 { 1 } else { reps };
         eprintln!("running pipeline at {edges} edges…");
-        let t = pipeline_at(edges, seed, phase_reps);
+        let t = pipeline_at(edges, seed, reps);
         eprintln!(
             "  datagen {:.1} ms | specialize {:.1} ms | disclose {:.1} ms | \
              postprocess {:.3} ms | answering {:.1} ms",
@@ -324,6 +418,7 @@ fn main() {
         threads: rayon::current_num_threads(),
         scorer_100k: scorer,
         pair_counts_1m: pair_counts,
+        datagen_1m,
         phases,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -350,5 +445,29 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    // Regression gate for CI: streaming Erdős–Rényi generation at 1M
+    // draws must stay under the ceiling (single-stream sampling through
+    // the sorting builder puts it back above ~40 ms; the streaming
+    // engine runs it in the teens single-threaded, less with a pool).
+    if let Some(ceiling) = datagen_1m_ceiling_ms {
+        let er = report
+            .datagen_1m
+            .iter()
+            .find(|d| d.model == "erdos_renyi")
+            .expect("erdos_renyi datagen_1m entry always measured");
+        if er.streaming_ms > ceiling {
+            eprintln!(
+                "FAIL: streaming erdos_renyi datagen at 1M draws took {:.1} ms \
+                 (ceiling {ceiling:.1} ms)",
+                er.streaming_ms
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "streaming erdos_renyi datagen at 1M draws: {:.1} ms ≤ ceiling {ceiling:.1} ms",
+            er.streaming_ms
+        );
     }
 }

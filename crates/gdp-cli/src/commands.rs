@@ -11,6 +11,7 @@ use gdp_core::{
     DisclosureConfig, MultiLevelDiscloser, NoiseMechanism, Query, SpecializationConfig,
     Specializer, SplitStrategy,
 };
+use gdp_datagen::engine::GraphModel;
 use gdp_datagen::{DblpConfig, DblpGenerator};
 use gdp_graph::{io as graph_io, GraphStats};
 
@@ -19,8 +20,15 @@ pub const USAGE: &str = "\
 gdp — group differential privacy for association graphs
 
 commands:
-  generate --out FILE [--scale tiny|laptop|paper] [--seed N]
-      generate a DBLP-like association graph and write it as an edge list
+  generate --out FILE [--model dblp|erdos-renyi|zipf|blocks] [--seed N]
+           [--scale tiny|laptop|paper]            (dblp)
+           [--left N] [--right N]                 (all streaming models)
+           [--edges N]                            (erdos-renyi)
+           [--per-right N] [--exponent S]         (zipf)
+           [--blocks N] [--per-left N] [--intra P] (blocks)
+      generate an association graph and write it as an edge list; the
+      default dblp model is the serial DBLP-like generator, the other
+      three run through the parallel streaming engine
   stats --in FILE
       print dataset statistics for an edge-list graph
   disclose --in FILE [--rounds N] [--eps E] [--delta D]
@@ -74,18 +82,116 @@ fn scale_config(flags: &HashMap<String, String>) -> Result<DblpConfig, String> {
     }
 }
 
+/// Builds the streaming-model description selected by `--model` flags,
+/// validating ranges up front so bad flags surface as clean CLI errors
+/// rather than panics from the model constructors.
+fn streaming_model(name: &str, flags: &HashMap<String, String>) -> Result<GraphModel, String> {
+    let positive = |key: &str, v: u32| -> Result<u32, String> {
+        if v == 0 {
+            return Err(format!("--{key} must be positive"));
+        }
+        Ok(v)
+    };
+    let left = positive("left", get_num(flags, "left", 10_000)?)?;
+    let right = positive("right", get_num(flags, "right", 10_000)?)?;
+    match name {
+        "erdos-renyi" => Ok(GraphModel::ErdosRenyi {
+            left,
+            right,
+            edges: get_num(flags, "edges", 100_000)?,
+        }),
+        "zipf" => {
+            let exponent: f64 = get_num(flags, "exponent", 1.15)?;
+            if !exponent.is_finite() || exponent <= 0.0 {
+                return Err(format!("--exponent must be finite and positive, got {exponent}"));
+            }
+            Ok(GraphModel::ZipfAttachment {
+                left,
+                right,
+                per_right: positive("per-right", get_num(flags, "per-right", 3)?)?,
+                exponent,
+            })
+        }
+        "blocks" => {
+            let blocks = positive("blocks", get_num(flags, "blocks", 16)?)?;
+            if blocks > left || blocks > right {
+                return Err(format!(
+                    "--blocks {blocks} exceeds a side ({left}×{right})"
+                ));
+            }
+            let intra_prob: f64 = get_num(flags, "intra", 0.8)?;
+            if !(0.0..=1.0).contains(&intra_prob) {
+                return Err(format!("--intra must be within [0, 1], got {intra_prob}"));
+            }
+            Ok(GraphModel::PlantedBlocks {
+                left,
+                right,
+                blocks,
+                per_left: positive("per-left", get_num(flags, "per-left", 10)?)?,
+                intra_prob,
+            })
+        }
+        other => Err(format!(
+            "unknown model `{other}` (dblp|erdos-renyi|zipf|blocks)"
+        )),
+    }
+}
+
+/// Rejects flags that do not apply to the selected generate model, so a
+/// typo or a size flag from another model cannot be silently dropped.
+fn check_generate_flags(model: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let allowed: &[&str] = match model {
+        "dblp" => &["out", "model", "seed", "scale"],
+        "erdos-renyi" => &["out", "model", "seed", "left", "right", "edges"],
+        "zipf" => &["out", "model", "seed", "left", "right", "per-right", "exponent"],
+        "blocks" => &[
+            "out", "model", "seed", "left", "right", "blocks", "per-left", "intra",
+        ],
+        // Unknown model names error later with the full list.
+        _ => return Ok(()),
+    };
+    for key in flags.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!(
+                "--{key} does not apply to model `{model}` (accepted: {})",
+                allowed
+                    .iter()
+                    .map(|k| format!("--{k}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// `gdp generate`.
 pub fn generate(args: &[String]) -> CmdResult {
     let flags = parse_flags(args)?;
     let out = flags.get("out").ok_or("generate requires --out FILE")?;
-    let config = scale_config(&flags)?;
     let seed: u64 = get_num(&flags, "seed", 42)?;
+    let model_name = flags.get("model").map(String::as_str).unwrap_or("dblp");
+    check_generate_flags(model_name, &flags)?;
     let mut rng = StdRng::seed_from_u64(seed);
-    eprintln!(
-        "generating {} authors × {} papers (seed {seed})...",
-        config.authors, config.papers
-    );
-    let graph = DblpGenerator::new(config).generate(&mut rng);
+    let graph = match model_name {
+        "dblp" => {
+            let config = scale_config(&flags)?;
+            eprintln!(
+                "generating {} authors × {} papers (seed {seed})...",
+                config.authors, config.papers
+            );
+            DblpGenerator::new(config).generate(&mut rng)
+        }
+        name => {
+            let model = streaming_model(name, &flags)?;
+            eprintln!(
+                "generating {} (~{} edge draws, seed {seed}, streaming engine)...",
+                model.name(),
+                model.expected_edges()
+            );
+            model.generate(&mut rng)
+        }
+    };
     let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
     graph_io::write_edge_list(&graph, BufWriter::new(file))
         .map_err(|e| format!("cannot write {out}: {e}"))?;
@@ -218,6 +324,76 @@ mod tests {
             120
         );
         assert!(scale_config(&flags(&["--scale", "galaxy"])).is_err());
+    }
+
+    #[test]
+    fn streaming_model_parsing() {
+        let m = streaming_model("erdos-renyi", &flags(&["--edges", "500", "--left", "50"])).unwrap();
+        assert_eq!(
+            m,
+            GraphModel::ErdosRenyi {
+                left: 50,
+                right: 10_000,
+                edges: 500
+            }
+        );
+        assert_eq!(
+            streaming_model("zipf", &flags(&[])).unwrap().name(),
+            "zipf_attachment"
+        );
+        assert_eq!(
+            streaming_model("blocks", &flags(&["--intra", "0.5"]))
+                .unwrap()
+                .name(),
+            "planted_blocks"
+        );
+        assert!(streaming_model("galaxy", &flags(&[])).is_err());
+    }
+
+    #[test]
+    fn generate_rejects_inapplicable_flags() {
+        assert!(check_generate_flags("zipf", &flags(&["--out", "g", "--edges", "5"])).is_err());
+        assert!(check_generate_flags("dblp", &flags(&["--out", "g", "--left", "5"])).is_err());
+        assert!(check_generate_flags("erdos-renyi", &flags(&["--per-rigth", "5"])).is_err());
+        assert!(
+            check_generate_flags("zipf", &flags(&["--out", "g", "--per-right", "5"])).is_ok()
+        );
+        assert!(check_generate_flags("dblp", &flags(&["--out", "g", "--scale", "tiny"])).is_ok());
+    }
+
+    #[test]
+    fn streaming_model_rejects_degenerate_parameters() {
+        assert!(streaming_model("erdos-renyi", &flags(&["--left", "0"])).is_err());
+        assert!(streaming_model("zipf", &flags(&["--exponent", "0"])).is_err());
+        assert!(streaming_model("zipf", &flags(&["--per-right", "0"])).is_err());
+        assert!(streaming_model("blocks", &flags(&["--intra", "1.5"])).is_err());
+        assert!(streaming_model("blocks", &flags(&["--blocks", "0"])).is_err());
+        assert!(
+            streaming_model("blocks", &flags(&["--left", "4", "--blocks", "8"])).is_err()
+        );
+    }
+
+    #[test]
+    fn generate_streaming_model_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("gdp-cli-model-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("er.txt");
+        let path_s = path.to_str().unwrap().to_string();
+        generate(&[
+            "--out".into(),
+            path_s.clone(),
+            "--model".into(),
+            "erdos-renyi".into(),
+            "--left".into(),
+            "100".into(),
+            "--right".into(),
+            "100".into(),
+            "--edges".into(),
+            "400".into(),
+        ])
+        .unwrap();
+        stats(&["--in".into(), path_s]).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,13 +1,19 @@
 //! `gdp` — command-line driver for the group-dp workspace.
 //!
 //! ```text
-//! gdp generate --out graph.txt [--scale tiny|laptop|paper] [--seed N]
+//! gdp generate --out graph.txt [--model dblp|erdos-renyi|zipf|blocks]
+//!              [--scale tiny|laptop|paper] [--seed N]
+//!              [--left N] [--right N] [--edges N] [--per-right N]
+//!              [--exponent S] [--blocks N] [--per-left N] [--intra P]
 //! gdp stats    --in graph.txt
 //! gdp disclose --in graph.txt [--rounds N] [--eps E] [--delta D]
 //!              [--strategy exponential|median|random]
 //!              [--mechanism gaussian|analytic|laplace|geometric]
 //!              [--seed N] [--csv out.csv]
 //! ```
+//!
+//! The default `dblp` model runs the serial DBLP-like generator; the
+//! other three go through `gdp_datagen`'s parallel streaming engine.
 
 mod commands;
 

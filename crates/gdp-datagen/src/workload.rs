@@ -12,6 +12,40 @@ use serde::{Deserialize, Serialize};
 
 use gdp_graph::{BipartiteGraph, LeftId, Side};
 
+use crate::engine::GraphModel;
+
+/// Generates a scenario graph through the parallel streaming engine and
+/// a matching left-side subset workload over it, from one master RNG —
+/// the one-call entry point experiments use to evaluate a mechanism on
+/// a named model.
+///
+/// ```
+/// use gdp_datagen::engine::GraphModel;
+/// use gdp_datagen::workload::generate_with_workload;
+/// use rand::SeedableRng;
+///
+/// let model = GraphModel::ErdosRenyi { left: 200, right: 200, edges: 1_000 };
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// let (graph, workload) = generate_with_workload(&model, &mut rng, 25, 8);
+/// assert_eq!(workload.len(), 25);
+/// assert!(workload.mean_true_answer() <= graph.edge_count() as f64);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the model parameters are degenerate or `subset_size` is
+/// zero or exceeds the generated left side.
+pub fn generate_with_workload<R: Rng + ?Sized>(
+    model: &GraphModel,
+    rng: &mut R,
+    queries: usize,
+    subset_size: u32,
+) -> (BipartiteGraph, CountQueryWorkload) {
+    let graph = model.generate(rng);
+    let workload = CountQueryWorkload::random_left(rng, &graph, queries, subset_size);
+    (graph, workload)
+}
+
 /// One subset-count query: the number of associations incident to a set
 /// of nodes on one side.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -153,6 +187,29 @@ mod tests {
     fn oversized_subset_rejected() {
         let g = graph();
         CountQueryWorkload::random_left(&mut StdRng::seed_from_u64(4), &g, 1, 11);
+    }
+
+    #[test]
+    fn model_workload_is_deterministic_and_well_formed() {
+        let model = GraphModel::PlantedBlocks {
+            left: 100,
+            right: 100,
+            blocks: 4,
+            per_left: 5,
+            intra_prob: 0.8,
+        };
+        let (ga, wa) = generate_with_workload(&model, &mut StdRng::seed_from_u64(7), 10, 6);
+        let (gb, wb) = generate_with_workload(&model, &mut StdRng::seed_from_u64(7), 10, 6);
+        assert_eq!(ga, gb);
+        assert_eq!(wa, wb);
+        for q in wa.queries() {
+            let want: u64 = q
+                .nodes
+                .iter()
+                .map(|&l| ga.left_degree(LeftId::new(l)) as u64)
+                .sum();
+            assert_eq!(q.true_answer, want);
+        }
     }
 
     #[test]

@@ -78,6 +78,28 @@ impl ZipfSampler {
         }
     }
 
+    /// Fills `out` with fresh ranks — the batched counterpart of
+    /// [`ZipfSampler::sample`], following the workspace's
+    /// `sample_into`/`randomize_slice` batched-sampling convention
+    /// (see `docs/batched-noise.md`): one calibrated sampler, `N`
+    /// draws, no per-value re-setup.
+    ///
+    /// ```
+    /// use gdp_datagen::zipf::ZipfSampler;
+    /// use rand::SeedableRng;
+    ///
+    /// let z = ZipfSampler::new(100, 1.1).expect("valid parameters");
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    /// let mut ranks = [0u64; 8];
+    /// z.sample_into(&mut ranks, &mut rng);
+    /// assert!(ranks.iter().all(|&k| (1..=100).contains(&k)));
+    /// ```
+    pub fn sample_into<R: Rng + ?Sized>(&self, out: &mut [u64], rng: &mut R) {
+        for slot in out {
+            *slot = self.sample(rng);
+        }
+    }
+
     /// The normalized probability `P[X = k]`, computed by brute force —
     /// O(n); intended for tests and small `n` only.
     pub fn pmf(&self, k: u64) -> f64 {
@@ -86,6 +108,50 @@ impl ZipfSampler {
         }
         let z: f64 = (1..=self.n).map(|i| (i as f64).powf(-self.s)).sum();
         (k as f64).powf(-self.s) / z
+    }
+}
+
+/// Bijectively spreads a **zero-based** Zipf rank (`rank < n`) over the
+/// id space `0..n`, so popularity is not correlated with id order. (One
+/// fixed point remains: rank 0 — zero under any multiplicative hash —
+/// stays at id 0; every other rank scatters.) A [`ZipfSampler`] draw is
+/// 1-based — subtract 1 first.
+///
+/// Multiplicative hashing by a fixed odd constant permutes
+/// `0..next_power_of_two(n)`; anything landing beyond `n` is folded
+/// back in by re-hashing. Termination holds because a permutation's
+/// orbit returns to its starting point, and the start (`rank`) is
+/// itself `< n` — which is why the zero-based precondition is enforced
+/// rather than documented away (some overshoot-only orbits exist).
+/// Shared by the DBLP generator and the streaming Zipf-attachment model
+/// so both produce the same notion of "popularity scattered over ids".
+///
+/// ```
+/// use gdp_datagen::zipf::spread_rank;
+///
+/// let n = 1000;
+/// let mut seen = vec![false; n as usize];
+/// for rank in 0..n {
+///     let id = spread_rank(rank, n);
+///     assert!(id < n && !seen[id as usize]); // injective, in range
+///     seen[id as usize] = true;
+/// }
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n` is zero or `rank >= n` (e.g. a 1-based rank passed
+/// without the `- 1`).
+pub fn spread_rank(rank: u64, n: u64) -> u64 {
+    assert!(n > 0, "id space must be non-empty");
+    assert!(rank < n, "rank {rank} must be zero-based and below {n}");
+    let m = n.next_power_of_two();
+    let mut x = rank;
+    loop {
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15) & (m - 1);
+        if x < n {
+            return x;
+        }
     }
 }
 

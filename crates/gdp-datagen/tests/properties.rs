@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 
+use gdp_datagen::engine::GraphModel;
 use gdp_datagen::zipf::ZipfSampler;
 use gdp_datagen::{models, DblpConfig, DblpGenerator};
 use rand::rngs::StdRng;
@@ -77,5 +78,51 @@ proptest! {
             &mut StdRng::seed_from_u64(seed), n, n, blocks, per, 0.8);
         prop_assert_eq!(g.left_count(), n);
         prop_assert!(g.edge_count() <= (n * per) as u64);
+    }
+
+    #[test]
+    fn streaming_erdos_renyi_equals_incremental_replay(
+        left in 1u32..300,
+        right in 1u32..300,
+        edges in 0usize..3000,
+        seed in 0u64..100,
+    ) {
+        let model = GraphModel::ErdosRenyi { left, right, edges };
+        let fast = model.generate(&mut StdRng::seed_from_u64(seed));
+        let slow = model.generate_incremental(&mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(&fast, &slow);
+        prop_assert!(fast.edge_count() <= edges as u64);
+    }
+
+    #[test]
+    fn streaming_zipf_equals_incremental_replay(
+        left in 1u32..200,
+        right in 1u32..400,
+        per in 1u32..4,
+        seed in 0u64..100,
+    ) {
+        let model = GraphModel::ZipfAttachment {
+            left, right, per_right: per, exponent: 1.2,
+        };
+        let fast = model.generate(&mut StdRng::seed_from_u64(seed));
+        let slow = model.generate_incremental(&mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(&fast, &slow);
+        prop_assert!(fast.max_right_degree() <= per);
+    }
+
+    #[test]
+    fn streaming_planted_equals_incremental_replay(
+        blocks in 1u32..6,
+        per in 1u32..6,
+        intra in 0.0f64..1.0,
+        seed in 0u64..100,
+    ) {
+        let n = blocks * 12;
+        let model = GraphModel::PlantedBlocks {
+            left: n, right: n, blocks, per_left: per, intra_prob: intra,
+        };
+        let fast = model.generate(&mut StdRng::seed_from_u64(seed));
+        let slow = model.generate_incremental(&mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(&fast, &slow);
     }
 }

@@ -41,6 +41,7 @@
 
 mod bipartite;
 mod builder;
+mod csr_direct;
 mod error;
 mod histogram;
 mod node;
@@ -55,6 +56,7 @@ pub mod io;
 
 pub use bipartite::{BipartiteGraph, EdgeIter};
 pub use builder::GraphBuilder;
+pub use csr_direct::{CsrDirectBuilder, EdgeSink, RecordingSink, RowShardSink};
 pub use error::GraphError;
 pub use histogram::DegreeHistogram;
 pub use node::{LeftId, NodeId, RightId, Side};

@@ -420,8 +420,9 @@ struct RowRangeCells {
 }
 
 /// Splits rows `0..offsets.len()-1` into at most `shards` contiguous
-/// ranges of roughly equal bucket mass (edge count).
-fn split_rows_by_mass(offsets: &[usize], shards: usize) -> Vec<std::ops::Range<usize>> {
+/// ranges of roughly equal bucket mass (edge count). Shared with the
+/// bulk CSR builder in [`crate::CsrDirectBuilder`].
+pub(crate) fn split_rows_by_mass(offsets: &[usize], shards: usize) -> Vec<std::ops::Range<usize>> {
     let rows = offsets.len() - 1;
     let total = *offsets.last().unwrap();
     let shards = shards.clamp(1, rows.max(1));

@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use gdp_graph::{
-    connected_components, io, DegreeHistogram, GraphBuilder, LeftId, PairCounts, RightId, Side,
-    SidePartition,
+    connected_components, io, CsrDirectBuilder, DegreeHistogram, GraphBuilder, LeftId, PairCounts,
+    RightId, Side, SidePartition,
 };
 
 /// Strategy: a random edge list over bounded side sizes.
@@ -246,5 +246,54 @@ proptest! {
         for (l, r) in g.edges() {
             prop_assert_eq!(cc.left_component(l), cc.right_component(r));
         }
+    }
+
+    #[test]
+    fn csr_direct_builder_equals_incremental(
+        (nl, nr, edges) in graph_strategy(),
+        cuts in proptest::collection::vec(0usize..200, 0..4),
+    ) {
+        let incremental = build(nl, nr, &edges);
+
+        // Single staged shard.
+        let single = CsrDirectBuilder::from_edges(nl, nr, edges.clone()).unwrap();
+        prop_assert_eq!(&single, &incremental);
+
+        // The same stream split at arbitrary shard boundaries.
+        let mut builder = CsrDirectBuilder::new(nl, nr);
+        let mut boundaries: Vec<usize> =
+            cuts.iter().map(|&c| c % (edges.len() + 1)).collect();
+        boundaries.push(0);
+        boundaries.push(edges.len());
+        boundaries.sort_unstable();
+        for pair in boundaries.windows(2) {
+            builder.stage_shard(edges[pair[0]..pair[1]].to_vec());
+        }
+        prop_assert_eq!(&builder.build().unwrap(), &incremental);
+    }
+
+    #[test]
+    fn row_sink_streaming_equals_incremental(
+        (nl, nr, edges) in graph_strategy(),
+        cut_raw in 0u32..40,
+    ) {
+        let incremental = build(nl, nr, &edges);
+
+        // Feed the same edges row-grouped (non-decreasing rows), split
+        // into two shards tiling 0..nl at an arbitrary row boundary.
+        let mut by_row = edges.clone();
+        by_row.sort_by_key(|&(l, _)| l);
+        let cut = cut_raw % (nl + 1);
+        let mut sinks = vec![
+            gdp_graph::RowShardSink::new(0..cut, nr, 8),
+            gdp_graph::RowShardSink::new(cut..nl, nr, 8),
+        ];
+        for (l, r) in by_row {
+            let sink = &mut sinks[usize::from(l >= cut)];
+            use gdp_graph::EdgeSink;
+            sink.edge(l, r);
+        }
+        let streamed = CsrDirectBuilder::assemble_left_rows(nl, nr, sinks).unwrap();
+        prop_assert_eq!(&streamed, &incremental);
     }
 }

@@ -1,6 +1,10 @@
 //! The paper's headline scenario end-to-end: multi-level disclosure of a
 //! DBLP-like author–paper graph with privilege-gated access.
 //!
+//! **Paper scenario:** the DBLP author–paper evaluation combined with
+//! the multi-level access model (Section II) — coarser, noisier levels
+//! for less privileged consumers.
+//!
 //! Three consumers with different privileges query the same release
 //! bundle: a public dashboard (lowest privilege), a research group
 //! (medium), and an internal auditor (full clearance). Each sees only
@@ -10,6 +14,12 @@
 //! ```text
 //! cargo run --example dblp_multilevel
 //! ```
+//!
+//! **Expected output:** one block per consumer showing how many of the
+//! 10 release levels they can read, their best available answer with
+//! its RER (the auditor's error is orders of magnitude below the
+//! dashboard's), and a demonstration that reading a finer level than
+//! one's privilege is refused.
 
 use group_dp::core::{
     relative_error, AccessControlled, DisclosureConfig, MultiLevelDiscloser, Privilege,

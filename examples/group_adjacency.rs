@@ -1,10 +1,16 @@
-//! A small, fully worked demonstration of the paper's Definitions 1–4 on
-//! concrete dataset vectors — useful for building intuition before the
-//! graph pipeline.
+//! A small, fully worked demonstration of the paper's Definitions 1–4
+//! (individual vs group adjacency, `εg`-group DP) on concrete dataset
+//! vectors — useful for building intuition before the graph pipeline.
 //!
 //! ```text
 //! cargo run --example group_adjacency
 //! ```
+//!
+//! **Expected output:** the worked dataset vectors under an individual
+//! adjacency step vs a whole-group step, the resulting L1 sensitivities
+//! (group sensitivity = the largest whole-group contribution), Laplace
+//! releases calibrated to each, and a final check that a singleton
+//! group structure (max group size 1) recovers ordinary individual DP.
 
 use group_dp::core::adjacency::{DatasetVector, Group, GroupStructure};
 use group_dp::mechanisms::{Epsilon, L1Sensitivity, LaplaceMechanism};

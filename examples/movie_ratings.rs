@@ -9,6 +9,13 @@
 //! ```text
 //! cargo run --example movie_ratings
 //! ```
+//!
+//! **Expected output:** a genre-by-mechanism table of noisy view counts
+//! (classic Gaussian, analytic Gaussian, Laplace) against the exact
+//! counts, the measured percentage by which the analytic calibration
+//! beats the classic `σ` rule (~20–25% here), and the RER at which the
+//! stigmatized genre's aggregate is released while hiding any single
+//! community's contribution.
 
 use group_dp::core::{
     relative_error, DisclosureConfig, GroupHierarchy, GroupLevel, MultiLevelDiscloser,

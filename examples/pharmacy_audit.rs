@@ -13,6 +13,13 @@
 //! ```text
 //! cargo run --example pharmacy_audit
 //! ```
+//!
+//! **Expected output:** first the exact (leaking) neighborhood ×
+//! drug-category table, then the group-private release: per-neighborhood
+//! noisy psychiatric-purchase counts whose noise scale is calibrated to
+//! the largest whole-neighborhood contribution — so individual
+//! neighborhoods' counts drown in noise (RERs well above 1) while the
+//! city-wide total stays usable.
 
 use group_dp::core::{relative_error, DisclosureConfig, MultiLevelDiscloser, Query};
 use group_dp::core::{GroupHierarchy, GroupLevel};

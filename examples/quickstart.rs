@@ -2,9 +2,19 @@
 //! hierarchy privately, and release the association count at every level
 //! under εg-group differential privacy.
 //!
+//! **Paper scenario:** the core two-phase pipeline (Sections III–IV) on
+//! the author–paper association graph, at 1:100 laptop scale.
+//!
 //! ```text
 //! cargo run --example quickstart
 //! ```
+//!
+//! **Expected output:** a table with one row per hierarchy level
+//! (level, group count, noisy total, relative error), finishing with
+//! the headline observation that finer levels (smaller groups) carry
+//! less noise and lower RER while coarser levels protect whole
+//! subpopulations. Exact noisy values vary with the build's RNG stream
+//! but are deterministic for a fixed seed.
 
 use group_dp::core::{
     relative_error, DisclosureConfig, MultiLevelDiscloser, SpecializationConfig, Specializer,

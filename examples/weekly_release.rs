@@ -10,6 +10,12 @@
 //! ```text
 //! cargo run --release --example weekly_release
 //! ```
+//!
+//! **Expected output:** a week-by-week table (spent ε, per-release and
+//! fused RER — fusion shrinks error as releases accumulate), the budget
+//! enforcer refusing week 9 with a `privacy budget exhausted` error,
+//! and a closing comparison showing the RDP ledger's cumulative loss
+//! grew like √weeks, well under the linear sequential ledger.
 
 use group_dp::core::postprocess::fuse_total_estimates;
 use group_dp::core::{
