@@ -17,6 +17,30 @@ fn bench_datagen(c: &mut Criterion) {
         b.iter(|| black_box(z.sample(&mut rng)))
     });
 
+    // The ISSUE-4 satellite pair: 1k draws through the per-draw
+    // closed-form path vs the table-assisted batched path (divide the
+    // reported ns/iter by 1024 for per-draw cost).
+    c.bench_function("zipf_sample_per_draw_1m_universe_1k", |b| {
+        let z = ZipfSampler::new(1_000_000, 1.15).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut buf = vec![0u64; 1024];
+        b.iter(|| {
+            for slot in buf.iter_mut() {
+                *slot = z.sample(&mut rng);
+            }
+            black_box(buf[1023])
+        })
+    });
+    c.bench_function("zipf_sample_into_1m_universe_1k", |b| {
+        let z = ZipfSampler::new(1_000_000, 1.15).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut buf = vec![0u64; 1024];
+        b.iter(|| {
+            z.sample_into(&mut buf, &mut rng);
+            black_box(buf[1023])
+        })
+    });
+
     c.bench_function("dblp_laptop_scale_generate", |b| {
         let gen = DblpGenerator::new(DblpConfig::laptop_scale());
         b.iter(|| {

@@ -4,25 +4,32 @@
 //! Runs the full pipeline (datagen → Phase-1 specialization → Phase-2
 //! noise injection → post-processing → consumer-side answering) on
 //! synthetic Erdős–Rényi association graphs at n ∈ {10k, 100k, 1M}
-//! edges, plus three acceptance measurements: prefix-sum vs naive cut
+//! edges, plus four acceptance measurements: prefix-sum vs naive cut
 //! scoring at 100k edges / 64 candidates (ISSUE 1), per-level
 //! pair-count rescans vs the one-sweep + rollup `HierarchyStats` engine
-//! (ISSUE 2), and — model by model — the incremental-builder datagen
-//! baseline vs the parallel streaming engine at 1M edge draws
-//! (ISSUE 3, the `datagen_1m` entries). Results are written as
+//! (ISSUE 2), the incremental-builder datagen baseline vs the parallel
+//! streaming engine at 1M edge draws, model by model (ISSUE 3, the
+//! `datagen_1m` entries), and — ISSUE 4, the `answer_qps` entries — a
+//! batch subset-query workload answered by a per-query
+//! `SubsetCountEstimator` rebuild vs the `gdp-serve` indexed path
+//! (artifact → `IndexedRelease` → `AnswerService`), asserted
+//! bit-identical on every rep. Results are written as
 //! `BENCH_pipeline.json` so successive PRs can track the trajectory.
 //!
 //! `--assert-disclose-100k-under MS` makes the binary exit non-zero when
-//! the 100k-edge disclose phase exceeds the given ceiling, and
+//! the 100k-edge disclose phase exceeds the given ceiling,
 //! `--assert-datagen-1m-under MS` does the same for the streaming
-//! Erdős–Rényi `datagen_1m` time — the CI smoke step uses both so a
-//! future PR can neither reintroduce per-level edge scans nor silently
-//! fall back to single-stream sampling through the sorting builder.
+//! Erdős–Rényi `datagen_1m` time, and `--assert-answer-qps-over QPS`
+//! requires the 100k-edge indexed serving path to clear a throughput
+//! floor — the CI smoke step uses all three so a future PR can neither
+//! reintroduce per-level edge scans, nor fall back to single-stream
+//! sampling, nor regress serving to per-query estimator rebuilds.
 //!
 //! ```text
 //! bench_pipeline [--out FILE] [--seed N] [--max-edges N] [--reps N]
 //!                [--assert-disclose-100k-under MS]
 //!                [--assert-datagen-1m-under MS]
+//!                [--assert-answer-qps-over QPS]
 //! ```
 
 use std::time::Instant;
@@ -35,12 +42,14 @@ use gdp_core::answering::SubsetCountEstimator;
 use gdp_core::postprocess::{clamp_non_negative, fuse_total_estimates};
 use gdp_core::scoring::{cut_utilities, cut_utilities_naive};
 use gdp_core::{
-    DisclosureConfig, HierarchyStats, MultiLevelDiscloser, Query, SpecializationConfig,
+    DisclosureConfig, GroupHierarchy, HierarchyStats, MultiLevelDiscloser,
+    MultiLevelRelease, Privilege, Query, ReleaseArtifact, SpecializationConfig,
     Specializer,
 };
 use gdp_datagen::engine::GraphModel;
 use gdp_datagen::models;
 use gdp_graph::{PairCounts, Side};
+use gdp_serve::{AnswerService, IndexedRelease, ReleaseStore, SubsetQuery};
 
 #[derive(Debug, Serialize)]
 struct ScorerComparison {
@@ -86,6 +95,18 @@ struct DatagenComparison {
 }
 
 #[derive(Debug, Serialize)]
+struct AnswerQpsComparison {
+    edges: u64,
+    level: usize,
+    queries: usize,
+    subset_size: usize,
+    rebuild_ms: f64,
+    indexed_ms: f64,
+    speedup: f64,
+    indexed_qps: f64,
+}
+
+#[derive(Debug, Serialize)]
 struct Report {
     generated_by: String,
     seed: u64,
@@ -93,6 +114,7 @@ struct Report {
     scorer_100k: ScorerComparison,
     pair_counts_1m: PairCountsComparison,
     datagen_1m: Vec<DatagenComparison>,
+    answer_qps: Vec<AnswerQpsComparison>,
     phases: Vec<PhaseTimings>,
 }
 
@@ -224,7 +246,118 @@ fn datagen_comparison(edges: usize, seed: u64, reps: usize) -> Vec<DatagenCompar
         .collect()
 }
 
-fn pipeline_at(edges: usize, seed: u64, reps: usize) -> PhaseTimings {
+/// Random subsets of `size` **distinct** left nodes (the answering
+/// paths reject duplicates with a typed error).
+fn distinct_subsets(
+    rng: &mut StdRng,
+    n_left: u32,
+    count: usize,
+    size: usize,
+) -> Vec<Vec<u32>> {
+    (0..count)
+        .map(|_| {
+            let mut nodes = Vec::with_capacity(size);
+            while nodes.len() < size {
+                let node = rng.gen_range(0..n_left);
+                if !nodes.contains(&node) {
+                    nodes.push(node);
+                }
+            }
+            nodes
+        })
+        .collect()
+}
+
+/// The ISSUE-4 acceptance measurement: a batch subset-query workload
+/// answered by rebuilding a `SubsetCountEstimator` per query (the
+/// pre-serving consumer pattern) vs the indexed O(|S|) gather over an
+/// `IndexedRelease`. The index is built **once**, outside the timed
+/// region — that asymmetry is the architecture being measured: a
+/// serving deployment indexes an artifact at registration time and
+/// answers every subsequent workload from the prebuilt tables, while
+/// the pre-serving pattern pays the per-query rebuild forever. Both
+/// the indexed answers and a full `AnswerService` dispatch of the same
+/// workload are asserted bit-identical to the estimator baseline.
+fn answer_qps_at(
+    graph_edges: u64,
+    n_left: u32,
+    hierarchy: &GroupHierarchy,
+    release: &MultiLevelRelease,
+    seed: u64,
+    reps: usize,
+) -> AnswerQpsComparison {
+    let level = 1;
+    let queries_n = 1000;
+    let subset_size = 64;
+    let mut qrng = StdRng::seed_from_u64(seed ^ 3);
+    let subsets = distinct_subsets(&mut qrng, n_left, queries_n, subset_size);
+    let queries: Vec<SubsetQuery> = subsets
+        .iter()
+        .map(|nodes| SubsetQuery {
+            side: Side::Left,
+            nodes: nodes.clone(),
+        })
+        .collect();
+
+    let (rebuild_ms, baseline) = time_best_of(reps, || {
+        subsets
+            .iter()
+            .map(|nodes| {
+                SubsetCountEstimator::new(
+                    release.level(level).expect("level released"),
+                    hierarchy.level(level).expect("level exists"),
+                )
+                .expect("estimator builds")
+                .estimate(Side::Left, nodes)
+                .expect("estimate succeeds")
+            })
+            .collect::<Vec<f64>>()
+    });
+
+    let artifact = ReleaseArtifact::seal("bench", 1, hierarchy.clone(), release.clone())
+        .expect("artifact seals");
+    let indexed = IndexedRelease::new(artifact.clone()).expect("artifact indexes");
+    let (indexed_ms, served) = time_best_of(reps, || {
+        indexed
+            .estimate_batch(level, Side::Left, &subsets)
+            .expect("batch answers")
+    });
+    for (a, b) in baseline.iter().zip(&served) {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "indexed serving path must be bit-identical to the estimator"
+        );
+    }
+    // And the full service front door (policy check + memo cache) must
+    // serve the same bits.
+    let mut store = ReleaseStore::new();
+    store
+        .insert(IndexedRelease::new(artifact.clone()).expect("artifact indexes"))
+        .expect("store accepts");
+    let through_service = AnswerService::new(store)
+        .answer_batch("bench", 1, Privilege::full(), level, &queries)
+        .expect("service answers");
+    for (a, b) in baseline.iter().zip(&through_service) {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "AnswerService must be bit-identical to the estimator"
+        );
+    }
+    AnswerQpsComparison {
+        edges: graph_edges,
+        level,
+        queries: queries_n,
+        subset_size,
+        rebuild_ms,
+        indexed_ms,
+        speedup: rebuild_ms / indexed_ms,
+        indexed_qps: queries_n as f64 / (indexed_ms / 1e3),
+    }
+}
+
+fn pipeline_at(edges: usize, seed: u64, reps: usize) -> (PhaseTimings, AnswerQpsComparison) {
     // Side sizes scale with the edge count: density stays ~constant.
     let side = ((edges as f64).sqrt() * 6.3) as u32;
     let rounds = 8u32;
@@ -269,7 +402,9 @@ fn pipeline_at(edges: usize, seed: u64, reps: usize) -> PhaseTimings {
         (fused, per_group.len())
     });
 
-    // Consumer-side: a batch of random subset-count queries at level 1.
+    // Consumer-side: a batch of random subset-count queries at level 1
+    // through one long-lived estimator (the phase timing), plus the
+    // ISSUE-4 rebuild-vs-indexed comparison over the same workload.
     let level_idx = 1;
     let estimator = SubsetCountEstimator::new(
         release.level(level_idx).expect("level released"),
@@ -278,9 +413,7 @@ fn pipeline_at(edges: usize, seed: u64, reps: usize) -> PhaseTimings {
     .expect("estimator builds");
     let mut qrng = StdRng::seed_from_u64(seed ^ 3);
     let n_left = graph.left_count();
-    let subsets: Vec<Vec<u32>> = (0..1000)
-        .map(|_| (0..64).map(|_| qrng.gen_range(0..n_left)).collect())
-        .collect();
+    let subsets = distinct_subsets(&mut qrng, n_left, 1000, 64);
     let (answering_ms, answers) = time_best_of(reps, || {
         estimator
             .estimate_batch(Side::Left, &subsets)
@@ -288,7 +421,16 @@ fn pipeline_at(edges: usize, seed: u64, reps: usize) -> PhaseTimings {
     });
     assert_eq!(answers.len(), subsets.len());
 
-    PhaseTimings {
+    let qps = answer_qps_at(
+        graph.edge_count(),
+        n_left,
+        &hierarchy,
+        &release,
+        seed,
+        reps,
+    );
+
+    let timings = PhaseTimings {
         edges: graph.edge_count(),
         left_nodes: graph.left_count(),
         right_nodes: graph.right_count(),
@@ -301,7 +443,8 @@ fn pipeline_at(edges: usize, seed: u64, reps: usize) -> PhaseTimings {
         answering_ms,
         answering_queries: subsets.len(),
         total_ms: datagen_ms + specialize_ms + disclose_ms + postprocess_ms + answering_ms,
-    }
+    };
+    (timings, qps)
 }
 
 fn main() {
@@ -311,6 +454,7 @@ fn main() {
     let mut reps = 3usize;
     let mut disclose_100k_ceiling_ms: Option<f64> = None;
     let mut datagen_1m_ceiling_ms: Option<f64> = None;
+    let mut answer_qps_floor: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -347,10 +491,18 @@ fn main() {
                         .expect("--assert-datagen-1m-under needs a number (ms)"),
                 )
             }
+            "--assert-answer-qps-over" => {
+                answer_qps_floor = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--assert-answer-qps-over needs a number (queries/s)"),
+                )
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "flags: [--out FILE] [--seed N] [--max-edges N] [--reps N] \
-                     [--assert-disclose-100k-under MS] [--assert-datagen-1m-under MS]"
+                     [--assert-disclose-100k-under MS] [--assert-datagen-1m-under MS] \
+                     [--assert-answer-qps-over QPS]"
                 );
                 return;
             }
@@ -392,25 +544,36 @@ fn main() {
     }
 
     let mut phases = Vec::new();
+    let mut answer_qps = Vec::new();
     for edges in [10_000usize, 100_000, 1_000_000] {
         if edges > max_edges {
             eprintln!("skipping {edges} edges (--max-edges {max_edges})");
             continue;
         }
         eprintln!("running pipeline at {edges} edges…");
-        let t = pipeline_at(edges, seed, reps);
+        let (t, qps) = pipeline_at(edges, seed, reps);
         eprintln!(
             "  datagen {:.1} ms | specialize {:.1} ms | disclose {:.1} ms | \
              postprocess {:.3} ms | answering {:.1} ms",
             t.datagen_ms, t.specialize_ms, t.disclose_ms, t.postprocess_ms, t.answering_ms
         );
+        eprintln!(
+            "  serving {} queries: rebuild {:.2} ms | indexed {:.2} ms | \
+             speedup {:.1}× | {:.0} q/s",
+            qps.queries, qps.rebuild_ms, qps.indexed_ms, qps.speedup, qps.indexed_qps
+        );
         phases.push(t);
+        answer_qps.push(qps);
     }
 
     let disclose_100k = phases
         .iter()
         .find(|p| (90_000..=110_000).contains(&p.edges))
         .map(|p| p.disclose_ms);
+    let answer_qps_100k = answer_qps
+        .iter()
+        .find(|q| (90_000..=110_000).contains(&q.edges))
+        .map(|q| q.indexed_qps);
 
     let report = Report {
         generated_by: "gdp-bench bench_pipeline".to_string(),
@@ -419,6 +582,7 @@ fn main() {
         scorer_100k: scorer,
         pair_counts_1m: pair_counts,
         datagen_1m,
+        answer_qps,
         phases,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -469,5 +633,29 @@ fn main() {
             "streaming erdos_renyi datagen at 1M draws: {:.1} ms ≤ ceiling {ceiling:.1} ms",
             er.streaming_ms
         );
+    }
+
+    // Regression gate for CI: the indexed serving path at 100k edges
+    // must clear the throughput floor (a fallback to per-query
+    // estimator rebuilds is an order of magnitude below it).
+    if let Some(floor) = answer_qps_floor {
+        match answer_qps_100k {
+            Some(qps) if qps < floor => {
+                eprintln!(
+                    "FAIL: indexed answering at 100k edges ran {qps:.0} q/s \
+                     (floor {floor:.0} q/s)"
+                );
+                std::process::exit(1);
+            }
+            Some(qps) => eprintln!(
+                "indexed answering at 100k edges: {qps:.0} q/s ≥ floor {floor:.0} q/s"
+            ),
+            None => {
+                eprintln!(
+                    "FAIL: --assert-answer-qps-over set but the 100k phase did not run"
+                );
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -8,12 +8,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use gdp_core::{
-    DisclosureConfig, MultiLevelDiscloser, NoiseMechanism, Query, SpecializationConfig,
-    Specializer, SplitStrategy,
+    DisclosureConfig, DisclosureSession, MultiLevelDiscloser, NoiseMechanism, Privilege,
+    Query, ReleaseArtifact, SpecializationConfig, Specializer, SplitStrategy,
 };
 use gdp_datagen::engine::GraphModel;
 use gdp_datagen::{DblpConfig, DblpGenerator};
 use gdp_graph::{io as graph_io, GraphStats};
+use gdp_mechanisms::PrivacyBudget;
+use gdp_serve::{workload, AnswerService, IndexedRelease, ReleaseStore};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -37,6 +39,19 @@ commands:
            [--seed N] [--csv FILE]
       run the two-phase group-private disclosure pipeline and print the
       per-level noisy association counts
+  publish --in FILE --out FILE [--dataset NAME] [--epoch N]
+          [--rounds N] [--eps E] [--delta D]
+          [--budget-eps E] [--budget-delta D]
+          [--strategy exponential|median|random]
+          [--mechanism gaussian|analytic|laplace|geometric] [--seed N]
+      run the pipeline inside a budget-enforced session and write the
+      sealed release artifact (manifest + hierarchy + noisy levels) as
+      a JSON document — the long-lived product consumers answer from
+  answer --artifact FILE --queries FILE [--privilege P] [--level L]
+      load a published artifact and answer a subset-query workload file
+      (lines `L 0 1 2` / `R 5 7`, `#` comments) through the privilege-
+      gated serving path; --level defaults to the finest level the
+      privilege may read. Pure post-processing: no budget is spent
   help
       show this message
 ";
@@ -210,6 +225,33 @@ pub fn stats(args: &[String]) -> CmdResult {
     Ok(())
 }
 
+fn parse_strategy(flags: &HashMap<String, String>) -> Result<SplitStrategy, String> {
+    match flags
+        .get("strategy")
+        .map(String::as_str)
+        .unwrap_or("exponential")
+    {
+        "exponential" => Ok(SplitStrategy::Exponential),
+        "median" => Ok(SplitStrategy::Median),
+        "random" => Ok(SplitStrategy::Random),
+        other => Err(format!("unknown strategy `{other}`")),
+    }
+}
+
+fn parse_mechanism(flags: &HashMap<String, String>) -> Result<NoiseMechanism, String> {
+    match flags
+        .get("mechanism")
+        .map(String::as_str)
+        .unwrap_or("gaussian")
+    {
+        "gaussian" => Ok(NoiseMechanism::GaussianClassic),
+        "analytic" => Ok(NoiseMechanism::GaussianAnalytic),
+        "laplace" => Ok(NoiseMechanism::Laplace),
+        "geometric" => Ok(NoiseMechanism::Geometric),
+        other => Err(format!("unknown mechanism `{other}`")),
+    }
+}
+
 /// `gdp disclose`.
 pub fn disclose(args: &[String]) -> CmdResult {
     let flags = parse_flags(args)?;
@@ -218,27 +260,8 @@ pub fn disclose(args: &[String]) -> CmdResult {
     let eps: f64 = get_num(&flags, "eps", 0.5)?;
     let delta: f64 = get_num(&flags, "delta", 1e-6)?;
     let seed: u64 = get_num(&flags, "seed", 42)?;
-    let strategy = match flags
-        .get("strategy")
-        .map(String::as_str)
-        .unwrap_or("exponential")
-    {
-        "exponential" => SplitStrategy::Exponential,
-        "median" => SplitStrategy::Median,
-        "random" => SplitStrategy::Random,
-        other => return Err(format!("unknown strategy `{other}`")),
-    };
-    let mechanism = match flags
-        .get("mechanism")
-        .map(String::as_str)
-        .unwrap_or("gaussian")
-    {
-        "gaussian" => NoiseMechanism::GaussianClassic,
-        "analytic" => NoiseMechanism::GaussianAnalytic,
-        "laplace" => NoiseMechanism::Laplace,
-        "geometric" => NoiseMechanism::Geometric,
-        other => return Err(format!("unknown mechanism `{other}`")),
-    };
+    let strategy = parse_strategy(&flags)?;
+    let mechanism = parse_mechanism(&flags)?;
 
     let file = File::open(input).map_err(|e| format!("cannot open {input}: {e}"))?;
     let graph =
@@ -282,6 +305,135 @@ pub fn disclose(args: &[String]) -> CmdResult {
             .map_err(|e| format!("cannot write {csv_path}: {e}"))?;
         eprintln!("wrote {csv_path}");
     }
+    Ok(())
+}
+
+/// `gdp publish` — the serving-side pipeline: run a budget-enforced
+/// disclosure session over an edge-list graph and write the sealed
+/// [`ReleaseArtifact`] consumers answer from.
+pub fn publish(args: &[String]) -> CmdResult {
+    let flags = parse_flags(args)?;
+    let input = flags.get("in").ok_or("publish requires --in FILE")?;
+    let out = flags.get("out").ok_or("publish requires --out FILE")?;
+    let dataset = flags.get("dataset").cloned().unwrap_or_else(|| "default".to_string());
+    let epoch: u64 = get_num(&flags, "epoch", 1)?;
+    let rounds: u32 = get_num(&flags, "rounds", 8)?;
+    let eps: f64 = get_num(&flags, "eps", 0.5)?;
+    let delta: f64 = get_num(&flags, "delta", 1e-6)?;
+    // The authorized total defaults to exactly one release's charge.
+    let budget_eps: f64 = get_num(&flags, "budget-eps", eps)?;
+    let budget_delta: f64 = get_num(&flags, "budget-delta", delta)?;
+    let seed: u64 = get_num(&flags, "seed", 42)?;
+    let strategy = parse_strategy(&flags)?;
+    let mechanism = parse_mechanism(&flags)?;
+
+    let file = File::open(input).map_err(|e| format!("cannot open {input}: {e}"))?;
+    let graph =
+        graph_io::read_edge_list(BufReader::new(file)).map_err(|e| format!("{input}: {e}"))?;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut spec_config =
+        SpecializationConfig::paper_default(rounds).map_err(|e| e.to_string())?;
+    spec_config.strategy = strategy;
+    eprintln!("phase 1: specializing {rounds} rounds ({strategy:?})...");
+    let hierarchy = Specializer::new(spec_config)
+        .specialize(&graph, &mut rng)
+        .map_err(|e| e.to_string())?;
+
+    let total = PrivacyBudget::new(budget_eps, budget_delta).map_err(|e| e.to_string())?;
+    let config = DisclosureConfig::count_only(eps, delta)
+        .map_err(|e| e.to_string())?
+        .with_mechanism(mechanism)
+        .with_queries(vec![Query::TotalAssociations, Query::PerGroupCounts]);
+    eprintln!(
+        "phase 2: publishing dataset `{dataset}` epoch {epoch} ({mechanism:?}, eps_g {eps})..."
+    );
+    let mut session = DisclosureSession::new(graph, hierarchy, total);
+    let artifact = session
+        .publish(&config, &dataset, epoch, &mut rng)
+        .map_err(|e| e.to_string())?;
+
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    artifact
+        .write_json(BufWriter::new(file))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    let m = artifact.manifest();
+    eprintln!(
+        "wrote {out}: schema v{}, {} levels, {} groups at the finest level, \
+         spent eps {:.3} of {:.3}",
+        m.schema_version,
+        m.level_count,
+        m.group_counts.first().copied().unwrap_or(0),
+        session.accountant().spent_epsilon(),
+        budget_eps,
+    );
+    Ok(())
+}
+
+/// `gdp answer` — load a published artifact and answer a subset-query
+/// workload under a privilege through the serving path.
+pub fn answer(args: &[String]) -> CmdResult {
+    let flags = parse_flags(args)?;
+    let artifact_path = flags.get("artifact").ok_or("answer requires --artifact FILE")?;
+    let queries_path = flags.get("queries").ok_or("answer requires --queries FILE")?;
+    let privilege = Privilege::new(get_num(&flags, "privilege", 0)?);
+
+    let file = File::open(artifact_path)
+        .map_err(|e| format!("cannot open {artifact_path}: {e}"))?;
+    let artifact = ReleaseArtifact::read_json(BufReader::new(file))
+        .map_err(|e| format!("{artifact_path}: {e}"))?;
+    let dataset = artifact.dataset().to_string();
+    let epoch = artifact.epoch();
+    let artifact_levels = artifact.level_count();
+
+    let file = File::open(queries_path)
+        .map_err(|e| format!("cannot open {queries_path}: {e}"))?;
+    let queries = workload::read_query_file(BufReader::new(file))
+        .map_err(|e| format!("{queries_path}: {e}"))?;
+
+    let mut store = ReleaseStore::new();
+    store
+        .insert(IndexedRelease::new(artifact).map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    let service = AnswerService::new(store);
+
+    let level = match flags.get("level") {
+        Some(_) => get_num(&flags, "level", 0)?,
+        None => service
+            .finest_allowed(&dataset, epoch, privilege)
+            .map_err(|e| e.to_string())?
+            .ok_or_else(|| {
+                format!(
+                    "privilege {} maps to no level (the artifact has {} levels)",
+                    privilege.finest_level(),
+                    artifact_levels,
+                )
+            })?,
+    };
+    eprintln!(
+        "answering {} queries from `{dataset}` epoch {epoch} at level {level} \
+         (privilege {})...",
+        queries.len(),
+        privilege.finest_level()
+    );
+    let answers = service
+        .answer_batch(&dataset, epoch, privilege, level, &queries)
+        .map_err(|e| e.to_string())?;
+
+    println!("query   side  subset_size  estimate");
+    for (i, (query, estimate)) in queries.iter().zip(&answers).enumerate() {
+        println!(
+            "{i:>5}  {:>5}  {:>11}  {estimate:>9.2}",
+            query.side.to_string(),
+            query.nodes.len()
+        );
+    }
+    let stats = service.cache_stats();
+    eprintln!(
+        "answered {} queries ({} memo hits) — pure post-processing, no budget spent",
+        answers.len(),
+        stats.hits
+    );
     Ok(())
 }
 
@@ -393,6 +545,66 @@ mod tests {
         ])
         .unwrap();
         stats(&["--in".into(), path_s]).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn end_to_end_publish_answer() {
+        let dir = std::env::temp_dir().join(format!("gdp-cli-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("g.txt").to_str().unwrap().to_string();
+        let artifact_path = dir.join("a.json").to_str().unwrap().to_string();
+        let queries_path = dir.join("q.txt").to_str().unwrap().to_string();
+        generate(&[
+            "--out".into(),
+            graph_path.clone(),
+            "--model".into(),
+            "erdos-renyi".into(),
+            "--left".into(),
+            "200".into(),
+            "--right".into(),
+            "200".into(),
+            "--edges".into(),
+            "1000".into(),
+        ])
+        .unwrap();
+        publish(&[
+            "--in".into(),
+            graph_path,
+            "--out".into(),
+            artifact_path.clone(),
+            "--dataset".into(),
+            "cli-test".into(),
+            "--epoch".into(),
+            "3".into(),
+            "--rounds".into(),
+            "4".into(),
+        ])
+        .unwrap();
+        std::fs::write(&queries_path, "# workload\nL 0 1 2\nR 10 11\n").unwrap();
+        // Default level (finest allowed by the privilege).
+        answer(&[
+            "--artifact".into(),
+            artifact_path.clone(),
+            "--queries".into(),
+            queries_path.clone(),
+            "--privilege".into(),
+            "2".into(),
+        ])
+        .unwrap();
+        // An explicit level finer than the privilege is refused.
+        let err = answer(&[
+            "--artifact".into(),
+            artifact_path,
+            "--queries".into(),
+            queries_path,
+            "--privilege".into(),
+            "2".into(),
+            "--level".into(),
+            "0".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("may not read"), "unexpected error: {err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

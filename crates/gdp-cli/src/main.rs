@@ -10,10 +10,19 @@
 //!              [--strategy exponential|median|random]
 //!              [--mechanism gaussian|analytic|laplace|geometric]
 //!              [--seed N] [--csv out.csv]
+//! gdp publish  --in graph.txt --out artifact.json [--dataset NAME]
+//!              [--epoch N] [--rounds N] [--eps E] [--delta D]
+//!              [--budget-eps E] [--budget-delta D] [--seed N]
+//! gdp answer   --artifact artifact.json --queries queries.txt
+//!              [--privilege P] [--level L]
 //! ```
 //!
 //! The default `dblp` model runs the serial DBLP-like generator; the
 //! other three go through `gdp_datagen`'s parallel streaming engine.
+//! `publish`/`answer` are the serving pair: one writes the sealed
+//! release artifact, the other loads it and answers subset-query
+//! workloads under a privilege via `gdp_serve` (budget-free
+//! post-processing).
 
 mod commands;
 
@@ -33,6 +42,8 @@ fn main() -> ExitCode {
         "generate" => commands::generate(&rest),
         "stats" => commands::stats(&rest),
         "disclose" => commands::disclose(&rest),
+        "publish" => commands::publish(&rest),
+        "answer" => commands::answer(&rest),
         "help" | "--help" | "-h" => {
             print!("{}", commands::USAGE);
             Ok(())

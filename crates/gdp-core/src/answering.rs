@@ -26,7 +26,12 @@ use crate::Result;
 /// group's noisy mass uniformly over its members and sums the fractions
 /// covered by the query:
 ///
-/// `estimate(S) = Σ_groups noisy(g) · |S ∩ g| / |g|`
+/// `estimate(S) = Σ_{v ∈ S} noisy(g(v)) / |g(v)|`
+///
+/// (the per-node *pre-mass* form, accumulated in subset order — exactly
+/// the value `gdp_serve::IndexedRelease` precomputes per group and
+/// gathers per node, so the scan path here and the indexed gather
+/// produce bit-identical estimates).
 ///
 /// The estimate is unbiased when node masses within a group are
 /// homogeneous — which is exactly what the Phase-1 balance objective
@@ -99,35 +104,37 @@ impl<'a> SubsetCountEstimator<'a> {
 
     /// Estimates the association count incident to `nodes` on `side`.
     ///
-    /// Duplicate node indices contribute once.
+    /// The subset must be well-formed: every node in range for the side
+    /// and **no node listed twice**. Both defects are rejected with a
+    /// typed error naming the first offending node (in `nodes` order)
+    /// rather than silently merged or double-counted — a malformed
+    /// subset almost always means the caller built the query wrong, and
+    /// a quietly "fixed" answer would hide that. The contract lives in
+    /// [`validate_subset`], which `gdp_serve`'s indexed fast path also
+    /// routes its errors through, so the two paths agree on every
+    /// input by construction.
+    ///
+    /// Terms are accumulated **per node in subset order**, each term
+    /// evaluated as `noisy(g(v)) / |g(v)|`; the indexed path gathers
+    /// its precomputed per-group value with the same expression in the
+    /// same order, which is what makes the two estimates bit-identical.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidConfig`] if a node index is out of
-    /// range for the side.
+    /// * [`CoreError::SubsetNodeOutOfRange`] if a node index is out of
+    ///   range for the side.
+    /// * [`CoreError::DuplicateSubsetNode`] if a node appears more than
+    ///   once.
     pub fn estimate(&self, side: Side, nodes: &[u32]) -> Result<f64> {
         let (partition, noisy, sizes) = match side {
             Side::Left => (self.level.left(), &self.left_noisy, &self.left_sizes),
             Side::Right => (self.level.right(), &self.right_noisy, &self.right_sizes),
         };
-        let n = partition.node_count();
-        let mut overlap = vec![0u32; noisy.len()];
-        let mut seen = std::collections::HashSet::with_capacity(nodes.len());
-        for &node in nodes {
-            if node >= n {
-                return Err(CoreError::InvalidConfig(format!(
-                    "node {node} out of range for {side} side of {n} nodes"
-                )));
-            }
-            if seen.insert(node) {
-                overlap[partition.block_of(node) as usize] += 1;
-            }
-        }
+        validate_subset(side, nodes, partition.node_count())?;
         let mut total = 0.0;
-        for (g, &hits) in overlap.iter().enumerate() {
-            if hits > 0 {
-                total += noisy[g] * hits as f64 / sizes[g] as f64;
-            }
+        for &node in nodes {
+            let g = partition.block_of(node) as usize;
+            total += noisy[g] / sizes[g] as f64;
         }
         Ok(total)
     }
@@ -140,9 +147,9 @@ impl<'a> SubsetCountEstimator<'a> {
     ///
     /// # Errors
     ///
-    /// Returns a [`CoreError::InvalidConfig`] if any subset contains an
-    /// out-of-range node (which failing subset's error surfaces is
-    /// unspecified).
+    /// Returns the same typed errors as [`SubsetCountEstimator::estimate`]
+    /// if any subset is malformed (which failing subset's error surfaces
+    /// is unspecified).
     pub fn estimate_batch(&self, side: Side, subsets: &[Vec<u32>]) -> Result<Vec<f64>> {
         subsets
             .par_iter()
@@ -158,6 +165,35 @@ impl<'a> SubsetCountEstimator<'a> {
             Side::Right => self.right_noisy.iter().sum(),
         }
     }
+}
+
+/// The canonical subset well-formedness check: every node in range for
+/// a side of `node_count` nodes and no node listed twice, with the
+/// **first offending node in subset order** reported. This is the
+/// single source of truth for subset-query error semantics — the
+/// scan-path estimator above and `gdp_serve::IndexedRelease`'s indexed
+/// gather both route their error reporting through it, which is what
+/// keeps the two paths error-identical by construction.
+///
+/// # Errors
+///
+/// * [`CoreError::SubsetNodeOutOfRange`] for the first node `≥ node_count`.
+/// * [`CoreError::DuplicateSubsetNode`] for the first repeated node.
+pub fn validate_subset(side: Side, nodes: &[u32], node_count: u32) -> Result<()> {
+    let mut seen = std::collections::HashSet::with_capacity(nodes.len());
+    for &node in nodes {
+        if node >= node_count {
+            return Err(CoreError::SubsetNodeOutOfRange {
+                side,
+                node,
+                node_count,
+            });
+        }
+        if !seen.insert(node) {
+            return Err(CoreError::DuplicateSubsetNode { side, node });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -230,16 +266,22 @@ mod tests {
     }
 
     #[test]
-    fn duplicates_count_once() {
+    fn duplicates_rejected_with_typed_error() {
         let (_, hierarchy, release) = setup(0.9);
         let est = SubsetCountEstimator::new(
             release.level(1).unwrap(),
             hierarchy.level(1).unwrap(),
         )
         .unwrap();
-        let once = est.estimate(Side::Left, &[3, 4]).unwrap();
-        let dup = est.estimate(Side::Left, &[3, 4, 3, 4, 4]).unwrap();
-        assert!((once - dup).abs() < 1e-12);
+        assert!(est.estimate(Side::Left, &[3, 4]).is_ok());
+        let err = est.estimate(Side::Left, &[3, 4, 3]).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::DuplicateSubsetNode {
+                side: Side::Left,
+                node: 3
+            }
+        ));
     }
 
     #[test]
@@ -251,7 +293,38 @@ mod tests {
         )
         .unwrap();
         let bad = graph.left_count() + 5;
-        assert!(est.estimate(Side::Left, &[bad]).is_err());
+        let err = est.estimate(Side::Left, &[bad]).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::SubsetNodeOutOfRange {
+                side: Side::Left,
+                node,
+                ..
+            } if node == bad
+        ));
+    }
+
+    #[test]
+    fn error_precedence_follows_subset_order() {
+        // The first offending node in subset order wins, whichever kind
+        // of defect it is — the indexed path mirrors this exactly.
+        let (graph, hierarchy, release) = setup(0.9);
+        let est = SubsetCountEstimator::new(
+            release.level(1).unwrap(),
+            hierarchy.level(1).unwrap(),
+        )
+        .unwrap();
+        let bad = graph.left_count() + 1;
+        // Duplicate occurs before the out-of-range node.
+        assert!(matches!(
+            est.estimate(Side::Left, &[2, 2, bad]).unwrap_err(),
+            CoreError::DuplicateSubsetNode { node: 2, .. }
+        ));
+        // Out-of-range occurs before the duplicate.
+        assert!(matches!(
+            est.estimate(Side::Left, &[2, bad, 2]).unwrap_err(),
+            CoreError::SubsetNodeOutOfRange { node, .. } if node == bad
+        ));
     }
 
     #[test]

@@ -1,0 +1,392 @@
+//! Sealed, versioned release artifacts — the publishable unit of the
+//! multi-level disclosure pipeline.
+//!
+//! The paper's product is not the pipeline run but the published
+//! multi-level bundle `{I_{L,i}}` that audiences consume under graded
+//! privileges, long after the raw graph is gone. [`ReleaseArtifact`]
+//! is that bundle as a first-class object: a manifest (schema version,
+//! budget, mechanism, hierarchy shape), the public [`GroupHierarchy`]
+//! consumers need to interpret per-group values, and the noisy
+//! [`MultiLevelRelease`] itself. Artifacts are **sealed** — they can
+//! only be constructed through [`ReleaseArtifact::seal`] (or
+//! [`crate::DisclosureSession::publish`]), which cross-validates every
+//! manifest field against the payload, and deserialization re-runs the
+//! same validation, so a loaded artifact carries the same guarantees
+//! as a freshly published one.
+//!
+//! Save/load follows the `gdp_graph::io` conventions: plain
+//! `Write`/`Read` streams, pretty-printed JSON documents, typed errors
+//! ([`gdp_graph::io::write_json`] / [`gdp_graph::io::read_json`] under
+//! the hood). Everything downstream of a saved artifact is pure
+//! post-processing of a differentially private release — serving,
+//! indexing, caching and re-answering it are all budget-free.
+
+use std::io::{Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+use gdp_graph::io as graph_io;
+
+use crate::disclosure::NoiseMechanism;
+use crate::error::CoreError;
+use crate::hierarchy::GroupHierarchy;
+use crate::release::MultiLevelRelease;
+use crate::Result;
+
+/// The artifact schema version this build writes and accepts.
+///
+/// Bumped whenever the serialized layout changes incompatibly; loading
+/// an artifact with any other version fails with
+/// [`CoreError::Artifact`] instead of misinterpreting the payload.
+pub const ARTIFACT_SCHEMA_VERSION: u32 = 1;
+
+/// Artifact metadata — everything a consumer (or an artifact store) can
+/// know about a release without touching the payload.
+///
+/// Every field is redundant with (and validated against) the payload;
+/// the manifest exists so stores and services can route, list and gate
+/// artifacts from metadata alone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArtifactManifest {
+    /// Schema version of the serialized layout
+    /// ([`ARTIFACT_SCHEMA_VERSION`] at write time).
+    pub schema_version: u32,
+    /// Which dataset this release describes (store key, part 1).
+    pub dataset: String,
+    /// Publication epoch — a monotonically meaningful number chosen by
+    /// the publisher (week number, unix day, …; store key, part 2).
+    pub epoch: u64,
+    /// The noise mechanism every level was released through.
+    pub mechanism: NoiseMechanism,
+    /// The per-level group-privacy budget `εg`.
+    pub epsilon_g: f64,
+    /// The per-level `δ` (zero for pure-ε mechanisms).
+    pub delta: f64,
+    /// Number of hierarchy levels (finest first in the payload).
+    pub level_count: usize,
+    /// Groups per level, finest first.
+    pub group_counts: Vec<u64>,
+    /// Left-side node count of the underlying graph.
+    pub left_nodes: u32,
+    /// Right-side node count of the underlying graph.
+    pub right_nodes: u32,
+}
+
+/// Serde-facing mirror of [`ReleaseArtifact`]; deserializing goes
+/// through `TryFrom`, which re-runs the sealing validation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArtifactPayload {
+    manifest: ArtifactManifest,
+    hierarchy: GroupHierarchy,
+    release: MultiLevelRelease,
+}
+
+/// A sealed multi-level release bundle: manifest + public hierarchy +
+/// noisy per-level releases.
+///
+/// Construction only through [`ReleaseArtifact::seal`] /
+/// [`ReleaseArtifact::read_json`] — both validate that the manifest,
+/// hierarchy and release agree on level count, group counts, node
+/// counts, budget and mechanism, so holders of a `ReleaseArtifact`
+/// never need to re-check internal consistency.
+///
+/// ```
+/// # use gdp_core::{DisclosureConfig, MultiLevelDiscloser, Query, ReleaseArtifact,
+/// #     SpecializationConfig, Specializer};
+/// # use gdp_datagen::{DblpConfig, DblpGenerator};
+/// # use rand::SeedableRng;
+/// # fn main() -> Result<(), gdp_core::CoreError> {
+/// # let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+/// # let graph = DblpGenerator::new(DblpConfig::tiny()).generate(&mut rng);
+/// # let hierarchy = Specializer::new(SpecializationConfig::median(2)?)
+/// #     .specialize(&graph, &mut rng)?;
+/// # let release = MultiLevelDiscloser::new(
+/// #     DisclosureConfig::count_only(0.5, 1e-6)?
+/// #         .with_queries(vec![Query::PerGroupCounts]))
+/// #     .disclose(&graph, &hierarchy, &mut rng)?;
+/// let artifact = ReleaseArtifact::seal("dblp-tiny", 7, hierarchy, release)?;
+/// let mut buf = Vec::new();
+/// artifact.write_json(&mut buf)?;
+/// let back = ReleaseArtifact::read_json(buf.as_slice())?;
+/// assert_eq!(artifact, back); // lossless round trip
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "ArtifactPayload", into = "ArtifactPayload")]
+pub struct ReleaseArtifact {
+    manifest: ArtifactManifest,
+    hierarchy: GroupHierarchy,
+    release: MultiLevelRelease,
+}
+
+impl From<ReleaseArtifact> for ArtifactPayload {
+    fn from(a: ReleaseArtifact) -> Self {
+        Self {
+            manifest: a.manifest,
+            hierarchy: a.hierarchy,
+            release: a.release,
+        }
+    }
+}
+
+impl TryFrom<ArtifactPayload> for ReleaseArtifact {
+    type Error = CoreError;
+
+    fn try_from(p: ArtifactPayload) -> Result<Self> {
+        validate(&p.manifest, &p.hierarchy, &p.release)?;
+        Ok(Self {
+            manifest: p.manifest,
+            hierarchy: p.hierarchy,
+            release: p.release,
+        })
+    }
+}
+
+/// The sealing invariants, shared by [`ReleaseArtifact::seal`] and
+/// deserialization.
+fn validate(
+    manifest: &ArtifactManifest,
+    hierarchy: &GroupHierarchy,
+    release: &MultiLevelRelease,
+) -> Result<()> {
+    let fail = |msg: String| Err(CoreError::Artifact(msg));
+    if manifest.schema_version != ARTIFACT_SCHEMA_VERSION {
+        return fail(format!(
+            "schema version {} unsupported (this build reads version {})",
+            manifest.schema_version, ARTIFACT_SCHEMA_VERSION
+        ));
+    }
+    if manifest.dataset.is_empty() {
+        return fail("dataset name must be non-empty".to_string());
+    }
+    if manifest.level_count != hierarchy.level_count() {
+        return fail(format!(
+            "manifest declares {} levels, hierarchy has {}",
+            manifest.level_count,
+            hierarchy.level_count()
+        ));
+    }
+    if release.levels().len() != hierarchy.level_count() {
+        return fail(format!(
+            "release holds {} levels, hierarchy has {}",
+            release.levels().len(),
+            hierarchy.level_count()
+        ));
+    }
+    if manifest.group_counts != hierarchy.group_counts() {
+        return fail("manifest group counts disagree with the hierarchy".to_string());
+    }
+    for (level_release, level) in release.levels().iter().zip(hierarchy.levels()) {
+        if level_release.group_count != level.group_count() {
+            return fail(format!(
+                "level {} release covers {} groups, hierarchy level has {}",
+                level_release.level,
+                level_release.group_count,
+                level.group_count()
+            ));
+        }
+    }
+    let finest = hierarchy.finest();
+    if manifest.left_nodes != finest.left().node_count()
+        || manifest.right_nodes != finest.right().node_count()
+    {
+        return fail("manifest node counts disagree with the hierarchy".to_string());
+    }
+    if manifest.mechanism != release.mechanism() {
+        return fail(format!(
+            "manifest mechanism {:?} disagrees with release {:?}",
+            manifest.mechanism,
+            release.mechanism()
+        ));
+    }
+    if manifest.epsilon_g != release.epsilon_g() || manifest.delta != release.delta() {
+        return fail("manifest budget disagrees with the release".to_string());
+    }
+    Ok(())
+}
+
+impl ReleaseArtifact {
+    /// Seals a disclosure into an artifact, deriving the manifest from
+    /// the payload and validating the result.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Artifact`] when `dataset` is empty or the
+    ///   hierarchy and release disagree (wrong level count, mismatched
+    ///   group counts, …).
+    pub fn seal(
+        dataset: impl Into<String>,
+        epoch: u64,
+        hierarchy: GroupHierarchy,
+        release: MultiLevelRelease,
+    ) -> Result<Self> {
+        let finest = hierarchy.finest();
+        let manifest = ArtifactManifest {
+            schema_version: ARTIFACT_SCHEMA_VERSION,
+            dataset: dataset.into(),
+            epoch,
+            mechanism: release.mechanism(),
+            epsilon_g: release.epsilon_g(),
+            delta: release.delta(),
+            level_count: hierarchy.level_count(),
+            group_counts: hierarchy.group_counts(),
+            left_nodes: finest.left().node_count(),
+            right_nodes: finest.right().node_count(),
+        };
+        validate(&manifest, &hierarchy, &release)?;
+        Ok(Self {
+            manifest,
+            hierarchy,
+            release,
+        })
+    }
+
+    /// The artifact metadata.
+    pub fn manifest(&self) -> &ArtifactManifest {
+        &self.manifest
+    }
+
+    /// The dataset this release describes.
+    pub fn dataset(&self) -> &str {
+        &self.manifest.dataset
+    }
+
+    /// The publication epoch.
+    pub fn epoch(&self) -> u64 {
+        self.manifest.epoch
+    }
+
+    /// The public group hierarchy (needed to interpret per-group
+    /// values and to index subset queries).
+    pub fn hierarchy(&self) -> &GroupHierarchy {
+        &self.hierarchy
+    }
+
+    /// The noisy per-level releases.
+    pub fn release(&self) -> &MultiLevelRelease {
+        &self.release
+    }
+
+    /// Number of hierarchy levels in the bundle.
+    pub fn level_count(&self) -> usize {
+        self.manifest.level_count
+    }
+
+    /// Writes the artifact as a JSON document (the on-disk format).
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO/serialization failures as [`CoreError::Graph`]
+    /// (`GraphError::Io` / `GraphError::Json`).
+    pub fn write_json<W: Write>(&self, writer: W) -> Result<()> {
+        Ok(graph_io::write_json(self, writer)?)
+    }
+
+    /// Reads an artifact written by [`ReleaseArtifact::write_json`],
+    /// re-running the sealing validation (including the schema-version
+    /// check).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Graph`] (`GraphError::Json`) for malformed JSON,
+    ///   shape mismatches, or failed sealing validation — including an
+    ///   unsupported [`ArtifactManifest::schema_version`].
+    /// * [`CoreError::Graph`] (`GraphError::Io`) for reader failures.
+    pub fn read_json<R: Read>(reader: R) -> Result<Self> {
+        Ok(graph_io::read_json(reader)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disclosure::{DisclosureConfig, MultiLevelDiscloser};
+    use crate::queries::Query;
+    use crate::specialize::{SpecializationConfig, Specializer};
+    use gdp_datagen::{DblpConfig, DblpGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn publishable() -> (GroupHierarchy, MultiLevelRelease) {
+        let mut rng = StdRng::seed_from_u64(70);
+        let graph = DblpGenerator::new(DblpConfig::tiny()).generate(&mut rng);
+        let hierarchy = Specializer::new(SpecializationConfig::median(3).unwrap())
+            .specialize(&graph, &mut rng)
+            .unwrap();
+        let release = MultiLevelDiscloser::new(
+            DisclosureConfig::count_only(0.7, 1e-6)
+                .unwrap()
+                .with_queries(vec![Query::TotalAssociations, Query::PerGroupCounts]),
+        )
+        .disclose(&graph, &hierarchy, &mut rng)
+        .unwrap();
+        (hierarchy, release)
+    }
+
+    #[test]
+    fn seal_derives_consistent_manifest() {
+        let (hierarchy, release) = publishable();
+        let a = ReleaseArtifact::seal("dblp", 3, hierarchy.clone(), release).unwrap();
+        let m = a.manifest();
+        assert_eq!(m.schema_version, ARTIFACT_SCHEMA_VERSION);
+        assert_eq!(m.dataset, "dblp");
+        assert_eq!(m.epoch, 3);
+        assert_eq!(m.level_count, hierarchy.level_count());
+        assert_eq!(m.group_counts, hierarchy.group_counts());
+        assert_eq!(a.dataset(), "dblp");
+        assert_eq!(a.epoch(), 3);
+        assert_eq!(a.level_count(), hierarchy.level_count());
+    }
+
+    #[test]
+    fn seal_rejects_mismatched_payload() {
+        let (hierarchy, release) = publishable();
+        // A hierarchy truncated to fewer levels than the release covers.
+        let fewer = GroupHierarchy::new(hierarchy.levels()[..2].to_vec()).unwrap();
+        let err = ReleaseArtifact::seal("dblp", 1, fewer, release.clone()).unwrap_err();
+        assert!(matches!(err, CoreError::Artifact(_)), "{err}");
+        // Empty dataset names are refused.
+        let err = ReleaseArtifact::seal("", 1, hierarchy, release).unwrap_err();
+        assert!(err.to_string().contains("non-empty"));
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let (hierarchy, release) = publishable();
+        let a = ReleaseArtifact::seal("dblp", 9, hierarchy, release).unwrap();
+        let mut buf = Vec::new();
+        a.write_json(&mut buf).unwrap();
+        let back = ReleaseArtifact::read_json(buf.as_slice()).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn load_rejects_foreign_schema_version() {
+        let (hierarchy, release) = publishable();
+        let a = ReleaseArtifact::seal("dblp", 9, hierarchy, release).unwrap();
+        let mut buf = Vec::new();
+        a.write_json(&mut buf).unwrap();
+        let doctored = String::from_utf8(buf)
+            .unwrap()
+            .replacen("\"schema_version\": 1", "\"schema_version\": 99", 1);
+        let err = ReleaseArtifact::read_json(doctored.as_bytes()).unwrap_err();
+        assert!(
+            err.to_string().contains("schema version 99"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn load_rejects_tampered_payload() {
+        let (hierarchy, release) = publishable();
+        let a = ReleaseArtifact::seal("dblp", 9, hierarchy, release).unwrap();
+        let mut buf = Vec::new();
+        a.write_json(&mut buf).unwrap();
+        // Lie about the level count: re-validation must catch it.
+        let doctored = String::from_utf8(buf)
+            .unwrap()
+            .replacen("\"level_count\": 5", "\"level_count\": 4", 1);
+        assert!(ReleaseArtifact::read_json(doctored.as_bytes()).is_err());
+    }
+}

@@ -1,7 +1,7 @@
 use std::error::Error;
 use std::fmt;
 
-use gdp_graph::GraphError;
+use gdp_graph::{GraphError, Side};
 use gdp_mechanisms::MechanismError;
 
 /// Errors produced by the group-privacy pipeline.
@@ -34,6 +34,29 @@ pub enum CoreError {
     /// The graph is too small for the requested operation (e.g. cannot
     /// specialize an empty side).
     GraphTooSmall(String),
+    /// A subset-count query referenced a node beyond the side's node
+    /// count (consumer-side answering; see `answering`).
+    SubsetNodeOutOfRange {
+        /// Which side the subset lives on.
+        side: Side,
+        /// The offending node index.
+        node: u32,
+        /// Number of nodes on that side.
+        node_count: u32,
+    },
+    /// A subset-count query listed the same node more than once.
+    /// Duplicates are rejected rather than silently merged (or worse,
+    /// double-counted): the caller's subset is malformed and the error
+    /// names the first repeated node.
+    DuplicateSubsetNode {
+        /// Which side the subset lives on.
+        side: Side,
+        /// The first node that appeared twice.
+        node: u32,
+    },
+    /// A release artifact failed sealing, validation, or carried an
+    /// unsupported schema version.
+    Artifact(String),
 }
 
 impl fmt::Display for CoreError {
@@ -56,6 +79,18 @@ impl fmt::Display for CoreError {
                  (finest allowed: {finest_allowed})"
             ),
             Self::GraphTooSmall(msg) => write!(f, "graph too small: {msg}"),
+            Self::SubsetNodeOutOfRange {
+                side,
+                node,
+                node_count,
+            } => write!(
+                f,
+                "subset node {node} out of range for {side} side of {node_count} nodes"
+            ),
+            Self::DuplicateSubsetNode { side, node } => {
+                write!(f, "subset lists {side} node {node} more than once")
+            }
+            Self::Artifact(msg) => write!(f, "artifact error: {msg}"),
         }
     }
 }
@@ -98,6 +133,24 @@ mod tests {
         };
         assert!(e.to_string().contains('9'));
         assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn subset_and_artifact_errors_display() {
+        let e = CoreError::SubsetNodeOutOfRange {
+            side: Side::Left,
+            node: 7,
+            node_count: 4,
+        };
+        assert!(e.to_string().contains("left"));
+        assert!(e.to_string().contains('7'));
+        let e = CoreError::DuplicateSubsetNode {
+            side: Side::Right,
+            node: 3,
+        };
+        assert!(e.to_string().contains("more than once"));
+        let e = CoreError::Artifact("schema version 9 unsupported".to_string());
+        assert!(e.to_string().contains("schema version 9"));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use gdp_mechanisms::{
     Delta, GaussianRdpAccountant, PrivacyAccountant, PrivacyBudget,
 };
 
+use crate::artifact::ReleaseArtifact;
 use crate::disclosure::{DisclosureConfig, MultiLevelDiscloser, NoiseMechanism};
 use crate::error::CoreError;
 use crate::hierarchy::GroupHierarchy;
@@ -144,6 +145,43 @@ impl DisclosureSession {
         Ok(release)
     }
 
+    /// The hierarchy the session discloses over (the public structure a
+    /// published artifact ships alongside the noisy releases).
+    pub fn hierarchy(&self) -> &GroupHierarchy {
+        &self.hierarchy
+    }
+
+    /// Runs one disclosure and seals it into a publishable
+    /// [`ReleaseArtifact`] for `dataset` at `epoch` — the serving-side
+    /// entry point: the artifact is what gets written to disk, loaded
+    /// by `gdp-serve` stores, and answered from under graded
+    /// privileges. The session is charged exactly as by
+    /// [`DisclosureSession::disclose`]; everything downstream of the
+    /// sealed artifact is budget-free post-processing.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Artifact`] when `dataset` is empty — checked
+    ///   **before** anything is charged or randomized, so a malformed
+    ///   publish request never burns budget.
+    /// * Everything [`DisclosureSession::disclose`] can return
+    ///   (including `BudgetExhausted`).
+    pub fn publish<R: Rng + ?Sized>(
+        &mut self,
+        config: &DisclosureConfig,
+        dataset: &str,
+        epoch: u64,
+        rng: &mut R,
+    ) -> Result<ReleaseArtifact> {
+        if dataset.is_empty() {
+            return Err(CoreError::Artifact(
+                "dataset name must be non-empty".to_string(),
+            ));
+        }
+        let release = self.disclose(config, rng)?;
+        ReleaseArtifact::seal(dataset, epoch, self.hierarchy.clone(), release)
+    }
+
     /// The tighter `(ε, δ)` bound on everything disclosed so far per the
     /// RDP ledger (Gaussian releases only), for comparison against the
     /// enforced sequential ledger.
@@ -230,6 +268,24 @@ mod tests {
         assert!(s.rdp_bound(Delta::new(1e-5).unwrap()).is_err());
         // And Laplace charges pure ε.
         assert_eq!(s.accountant().spent_delta(), 0.0);
+    }
+
+    #[test]
+    fn publish_charges_and_seals() {
+        let mut s = session(1.0);
+        let config = DisclosureConfig::count_only(0.4, 1e-6).unwrap();
+        let mut rng = StdRng::seed_from_u64(66);
+        let artifact = s.publish(&config, "dblp", 12, &mut rng).unwrap();
+        assert_eq!(artifact.dataset(), "dblp");
+        assert_eq!(artifact.epoch(), 12);
+        assert_eq!(artifact.level_count(), s.hierarchy().level_count());
+        assert_eq!(s.releases_made(), 1);
+        assert!((s.accountant().spent_epsilon() - 0.4).abs() < 1e-12);
+        // Empty dataset names are refused up front: nothing is
+        // disclosed and nothing is charged.
+        assert!(s.publish(&config, "", 13, &mut rng).is_err());
+        assert_eq!(s.releases_made(), 1);
+        assert!((s.accountant().spent_epsilon() - 0.4).abs() < 1e-12);
     }
 
     #[test]

@@ -27,6 +27,50 @@ pub struct ZipfSampler {
     h_x1: f64,
     h_half: f64,
     hx0: f64,
+    head: HeadTable,
+}
+
+/// Precomputed envelope boundaries and acceptance thresholds for the
+/// first [`HEAD_TABLE_MAX`] ranks — where a Zipf distribution holds
+/// nearly all of its mass. The batched sampling path
+/// ([`ZipfSampler::sample_into`]) replaces its per-draw transcendental
+/// work (`H⁻¹`, `H`, `k^{−s}`) with one binary search plus one
+/// comparison against these tables whenever the uniform lands in the
+/// head region; only tail draws fall back to the closed-form path.
+#[derive(Debug, Clone)]
+struct HeadTable {
+    /// `upper[k-1] = H(k + 0.5)` for `k = 1..=len` — ascending, so the
+    /// candidate rank for a uniform `u` is the first entry `≥ u`.
+    upper: Vec<f64>,
+    /// `threshold[k-1] = H(k + 0.5) − k^{−s}`: accept candidate `k`
+    /// iff `u ≥ threshold[k-1]` — the same float expression the
+    /// per-draw path evaluates. (Candidate *selection* may still differ
+    /// from the per-draw path by one rank when a uniform lands within a
+    /// few ulps of an envelope boundary — `H⁻¹` is only an approximate
+    /// inverse of the tabulated `H` — so the two paths sample the same
+    /// law but are not stream-identical; the statistical tests pin the
+    /// distribution, not the draw sequence.)
+    threshold: Vec<f64>,
+}
+
+/// Head-table size cap: covers the whole support for small universes
+/// and the high-mass head for large ones (≈90 % of draws at the
+/// bibliographic exponents this workspace uses).
+const HEAD_TABLE_MAX: u64 = 1024;
+
+impl HeadTable {
+    fn build(n: u64, s: f64) -> Self {
+        let len = n.min(HEAD_TABLE_MAX) as usize;
+        let mut upper = Vec::with_capacity(len);
+        let mut threshold = Vec::with_capacity(len);
+        for k in 1..=len as u64 {
+            let kf = k as f64;
+            let h_upper = h_integral(kf + 0.5, s);
+            upper.push(h_upper);
+            threshold.push(h_upper - (-s * kf.ln()).exp());
+        }
+        Self { upper, threshold }
+    }
 }
 
 impl ZipfSampler {
@@ -45,6 +89,7 @@ impl ZipfSampler {
             h_x1: h(1.5) - 1.0,
             h_half: h(0.5),
             hx0: h(n as f64 + 0.5),
+            head: HeadTable::build(n, s),
         })
     }
 
@@ -84,6 +129,15 @@ impl ZipfSampler {
     /// (see `docs/batched-noise.md`): one calibrated sampler, `N`
     /// draws, no per-value re-setup.
     ///
+    /// Unlike the closed-form per-draw path, this routes every draw
+    /// through the precomputed head table: a uniform landing among the
+    /// first 1024 ranks (≈90 % of draws at bibliographic exponents)
+    /// resolves by binary search + one table comparison —
+    /// no `ln`/`exp` at all — which is what lifts the sampler-bound
+    /// Zipf-attachment datagen model (`gdp-bench`'s
+    /// `zipf_sample_into_1m_universe` vs `zipf_sample_1m_universe`
+    /// criterion pair measures the two paths head-to-head).
+    ///
     /// ```
     /// use gdp_datagen::zipf::ZipfSampler;
     /// use rand::SeedableRng;
@@ -96,7 +150,41 @@ impl ZipfSampler {
     /// ```
     pub fn sample_into<R: Rng + ?Sized>(&self, out: &mut [u64], rng: &mut R) {
         for slot in out {
-            *slot = self.sample(rng);
+            *slot = self.sample_assisted(rng);
+        }
+    }
+
+    /// One draw through the head table (tail draws fall back to the
+    /// closed-form rejection-inversion step).
+    fn sample_assisted<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        // The uniform runs over (H(0.5), H(n+0.5)]; small u ↔ small
+        // rank. `head_ceiling` is H(len+0.5), the upper edge of the
+        // last tabulated rank's envelope region.
+        let head_ceiling = *self.head.upper.last().expect("table is non-empty");
+        loop {
+            let u = self.hx0 + rng.gen::<f64>() * (self.h_half - self.hx0);
+            if u <= head_ceiling {
+                // Candidate rank: first k with u ≤ H(k + 0.5).
+                let idx = self.head.upper.partition_point(|&b| b < u);
+                if u >= self.head.threshold[idx] {
+                    return idx as u64 + 1;
+                }
+            } else {
+                // Tail: the same closed-form step `sample` performs.
+                let x = h_integral_inverse(u, self.s);
+                let k64 = x.clamp(1.0, self.n as f64);
+                let k = (k64 + 0.5) as u64;
+                let k = k.clamp(1, self.n);
+                let kf = k as f64;
+                if u >= h_integral(kf + 0.5, self.s) - (-self.s * kf.ln()).exp() {
+                    return k;
+                }
+            }
+            // Shortcut acceptance for the head of the distribution
+            // (the same rule the per-draw path applies).
+            if u >= self.h_x1 {
+                return 1;
+            }
         }
     }
 
@@ -289,6 +377,61 @@ mod tests {
         for _ in 0..10_000 {
             let k = z.sample(&mut rng);
             assert!((1..=2_000_000).contains(&k));
+        }
+    }
+
+    #[test]
+    fn batched_frequencies_match_pmf() {
+        // The table-assisted batch path samples the same law as the
+        // per-draw path: compare its empirical frequencies to the pmf.
+        let z = ZipfSampler::new(20, 1.3).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 400_000usize;
+        let mut draws = vec![0u64; n];
+        z.sample_into(&mut draws, &mut rng);
+        let mut counts = [0u64; 21];
+        for &k in &draws {
+            assert!((1..=20).contains(&k));
+            counts[k as usize] += 1;
+        }
+        for k in 1..=20u64 {
+            let freq = counts[k as usize] as f64 / n as f64;
+            let want = z.pmf(k);
+            assert!(
+                (freq - want).abs() < 0.01,
+                "k={k}: freq {freq} vs pmf {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_tail_beyond_table_stays_in_support_and_occupied() {
+        // A universe far larger than the head table: tail ranks must
+        // still be reachable and in range through the fallback branch.
+        let z = ZipfSampler::new(2_000_000, 1.05).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut draws = vec![0u64; 20_000];
+        z.sample_into(&mut draws, &mut rng);
+        assert!(draws.iter().all(|&k| (1..=2_000_000).contains(&k)));
+        let tail = draws.iter().filter(|&&k| k > HEAD_TABLE_MAX).count();
+        assert!(tail > 0, "no draw ever left the head table");
+    }
+
+    #[test]
+    fn batched_head_matches_per_draw_distribution() {
+        // Head-region agreement between the two paths, rank by rank:
+        // both must put statistically identical mass on the top ranks.
+        let z = ZipfSampler::new(5_000, 1.15).unwrap();
+        let n = 300_000usize;
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut batched = vec![0u64; n];
+        z.sample_into(&mut batched, &mut rng);
+        let mut rng = StdRng::seed_from_u64(10);
+        let per_draw: Vec<u64> = (0..n).map(|_| z.sample(&mut rng)).collect();
+        for k in 1..=8u64 {
+            let fb = batched.iter().filter(|&&x| x == k).count() as f64 / n as f64;
+            let fp = per_draw.iter().filter(|&&x| x == k).count() as f64 / n as f64;
+            assert!((fb - fp).abs() < 0.01, "k={k}: batched {fb} vs per-draw {fp}");
         }
     }
 

@@ -50,6 +50,9 @@ pub enum GraphError {
         /// What went wrong.
         message: String,
     },
+    /// A JSON document could not be rendered or parsed (see
+    /// [`crate::io::read_json`] / [`crate::io::write_json`]).
+    Json(String),
     /// An underlying IO failure while reading/writing an edge list.
     Io(std::io::Error),
 }
@@ -76,6 +79,7 @@ impl fmt::Display for GraphError {
                 write!(f, "partition is not a refinement: {message}")
             }
             Self::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            Self::Json(message) => write!(f, "json error: {message}"),
             Self::Io(e) => write!(f, "io error: {e}"),
         }
     }

@@ -1,6 +1,8 @@
-//! Plain-text edge-list serialization.
+//! Plain-text edge-list serialization, plus the JSON document helpers
+//! every persisted artifact in the workspace shares.
 //!
-//! Format (whitespace-separated, `#`-prefixed comment lines ignored):
+//! Edge-list format (whitespace-separated, `#`-prefixed comment lines
+//! ignored):
 //!
 //! ```text
 //! # optional comments
@@ -13,6 +15,12 @@
 //! actual number of parsed edges wins. This mirrors common graph-dataset
 //! distribution formats so that real edge lists (e.g. an actual DBLP
 //! export) can be dropped in for the synthetic generator.
+//!
+//! [`write_json`] / [`read_json`] persist any serde-able value as a
+//! pretty-printed JSON document over arbitrary `Write`/`Read` streams,
+//! with IO and parse failures mapped onto [`GraphError`] exactly like
+//! the edge-list functions — release artifacts (`gdp-core`) and the
+//! serving layer (`gdp-serve`) build their save/load on these.
 
 use std::io::{BufRead, BufReader, Read, Write};
 
@@ -116,6 +124,35 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<BipartiteGraph> {
     Ok(builder.build())
 }
 
+/// Writes any serializable value as a pretty-printed JSON document
+/// (newline-terminated), the persistence convention shared by every
+/// artifact the workspace saves to disk.
+///
+/// # Errors
+///
+/// * [`GraphError::Json`] when the value cannot be rendered.
+/// * [`GraphError::Io`] for underlying writer failures.
+pub fn write_json<T: serde::Serialize, W: Write>(value: &T, mut writer: W) -> Result<()> {
+    let text = serde_json::to_string_pretty(value).map_err(|e| GraphError::Json(e.0))?;
+    writer.write_all(text.as_bytes())?;
+    writer.write_all(b"\n")?;
+    Ok(())
+}
+
+/// Reads a JSON document written by [`write_json`] back into `T`.
+///
+/// # Errors
+///
+/// * [`GraphError::Json`] for malformed JSON or shape/domain mismatches
+///   (including a type's own validation, e.g. a sealed artifact
+///   rejecting an unsupported schema version).
+/// * [`GraphError::Io`] for underlying reader failures.
+pub fn read_json<T: serde::Deserialize, R: Read>(mut reader: R) -> Result<T> {
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    serde_json::from_str(&text).map_err(|e| GraphError::Json(e.0))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +206,23 @@ mod tests {
     fn header_parse_errors_name_the_field() {
         let err = read_edge_list("2 2\n".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("edge count"));
+    }
+
+    #[test]
+    fn json_document_round_trips() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_json(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.ends_with('\n'), "document is newline-terminated");
+        let back: BipartiteGraph = read_json(buf.as_slice()).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn malformed_json_is_a_typed_error() {
+        let err = read_json::<BipartiteGraph, _>("{not json".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Json(_)), "{err}");
     }
 
     #[test]

@@ -1,0 +1,124 @@
+use std::error::Error;
+use std::fmt;
+
+use gdp_core::CoreError;
+use gdp_graph::GraphError;
+
+/// Errors produced by the serving subsystem.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A core-pipeline error (access denial, malformed subset, level
+    /// out of range, artifact validation, …).
+    Core(CoreError),
+    /// No artifact registered under the requested `(dataset, epoch)`.
+    UnknownRelease {
+        /// Requested dataset key.
+        dataset: String,
+        /// Requested epoch.
+        epoch: u64,
+    },
+    /// An artifact for this `(dataset, epoch)` is already registered —
+    /// published releases are immutable, so re-inserting a key is
+    /// almost certainly a deployment bug rather than an update.
+    DuplicateRelease {
+        /// Conflicting dataset key.
+        dataset: String,
+        /// Conflicting epoch.
+        epoch: u64,
+    },
+    /// The artifact does not carry per-group counts at this level, so
+    /// subset queries cannot be answered from it.
+    LevelNotIndexed {
+        /// The level that lacks a per-group release.
+        level: usize,
+    },
+    /// A subset-query workload file could not be parsed.
+    Workload {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Core(e) => write!(f, "{e}"),
+            Self::UnknownRelease { dataset, epoch } => {
+                write!(f, "no release registered for dataset `{dataset}` epoch {epoch}")
+            }
+            Self::DuplicateRelease { dataset, epoch } => write!(
+                f,
+                "a release for dataset `{dataset}` epoch {epoch} is already registered"
+            ),
+            Self::LevelNotIndexed { level } => write!(
+                f,
+                "level {level} released no per-group counts; subset queries need them"
+            ),
+            Self::Workload { line, message } => {
+                write!(f, "workload parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        Self::Core(e)
+    }
+}
+
+impl From<GraphError> for ServeError {
+    fn from(e: GraphError) -> Self {
+        Self::Core(CoreError::Graph(e))
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Core(CoreError::Graph(GraphError::Io(e)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ServeError::UnknownRelease {
+            dataset: "dblp".to_string(),
+            epoch: 7,
+        };
+        assert!(e.to_string().contains("dblp"));
+        assert!(e.source().is_none());
+
+        let e = ServeError::from(CoreError::Artifact("bad".to_string()));
+        assert!(e.source().is_some());
+
+        let e = ServeError::LevelNotIndexed { level: 3 };
+        assert!(e.to_string().contains('3'));
+
+        let e = ServeError::Workload {
+            line: 4,
+            message: "bad side".to_string(),
+        };
+        assert!(e.to_string().contains("line 4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeError>();
+    }
+}

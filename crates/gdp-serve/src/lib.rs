@@ -1,0 +1,78 @@
+//! **Serving subsystem** for published multi-level releases — the
+//! consumer half of the group-DP pipeline as a first-class, scalable
+//! component.
+//!
+//! The paper's long-lived product is the published bundle `{I_{L,i}}`
+//! consumed under graded privileges, not the pipeline run that produced
+//! it; and because differential privacy is closed under
+//! post-processing, anything a server does with a sealed
+//! [`ReleaseArtifact`](gdp_core::ReleaseArtifact) — indexing, caching,
+//! batching, re-answering the same query a million times — costs zero
+//! additional privacy budget. That freedom is what this crate exploits:
+//!
+//! * [`IndexedRelease`] — a query-optimized view of one artifact:
+//!   per-level node→group tables plus per-group noisy mass pre-divided
+//!   by `|g|`, turning a subset-count estimate into an `O(|S|)` gather
+//!   (bit-identical to [`gdp_core::answering::SubsetCountEstimator`],
+//!   which remains the equivalence baseline) instead of an `O(groups)`
+//!   scan behind a per-query estimator rebuild.
+//! * [`ReleaseStore`] — artifacts keyed by `(dataset, epoch)`, the
+//!   registry a deployment keeps as it republishes week after week.
+//! * [`AnswerService`] — the front door: enforces
+//!   [`AccessPolicy`](gdp_core::AccessPolicy)/[`Privilege`](gdp_core::Privilege)
+//!   on **every** request, fans batched workloads out over rayon
+//!   (deterministically — answering is RNG-free pure post-processing,
+//!   see `docs/determinism.md`), and memoizes repeated subset queries.
+//! * [`workload`] — the plain-text subset-query file format the CLI's
+//!   `gdp answer` consumes, following `gdp_graph::io` conventions.
+//!
+//! ```
+//! use gdp_core::{DisclosureConfig, DisclosureSession, Privilege, Query,
+//!     SpecializationConfig, Specializer};
+//! use gdp_datagen::{DblpConfig, DblpGenerator};
+//! use gdp_mechanisms::PrivacyBudget;
+//! use gdp_graph::Side;
+//! use gdp_serve::{AnswerService, IndexedRelease, ReleaseStore, SubsetQuery};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+//! # let graph = DblpGenerator::new(DblpConfig::tiny()).generate(&mut rng);
+//! # let hierarchy = Specializer::new(SpecializationConfig::median(3)?)
+//! #     .specialize(&graph, &mut rng)?;
+//! // Publisher side: a budget-enforced session seals an artifact…
+//! let mut session = DisclosureSession::new(graph, hierarchy, PrivacyBudget::new(1.0, 1e-5)?);
+//! let config = DisclosureConfig::count_only(0.5, 1e-6)?
+//!     .with_queries(vec![Query::PerGroupCounts]);
+//! let artifact = session.publish(&config, "dblp", 1, &mut rng)?;
+//!
+//! // …serving side: index it, register it, answer under a privilege.
+//! let mut store = ReleaseStore::new();
+//! store.insert(IndexedRelease::new(artifact)?)?;
+//! let service = AnswerService::new(store);
+//! let query = SubsetQuery { side: Side::Left, nodes: vec![0, 1, 2] };
+//! let coarse = service.answer("dblp", 1, Privilege::new(2), 2, &query)?;
+//! assert!(coarse.is_finite());
+//! // The same reader may NOT touch a finer level than their clearance.
+//! assert!(service.answer("dblp", 1, Privilege::new(2), 0, &query).is_err());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod index;
+mod service;
+mod store;
+
+pub mod workload;
+
+pub use error::ServeError;
+pub use index::IndexedRelease;
+pub use service::{AnswerService, CacheStats, SubsetQuery};
+pub use store::ReleaseStore;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,320 @@
+//! The privilege-gated, concurrent answering front door.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use rayon::prelude::*;
+
+use gdp_core::Privilege;
+use gdp_graph::Side;
+
+use crate::error::ServeError;
+use crate::store::ReleaseStore;
+use crate::Result;
+
+/// One subset-count query: "how many associations touch *these* nodes
+/// on this side?"
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SubsetQuery {
+    /// Which side the subset lives on.
+    pub side: Side,
+    /// The queried node indices (must be in range and duplicate-free).
+    pub nodes: Vec<u32>,
+}
+
+/// Memoization counters, for observability and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered straight from the memo table.
+    pub hits: u64,
+    /// Requests that computed a fresh estimate.
+    pub misses: u64,
+    /// Distinct memoized queries.
+    pub entries: usize,
+}
+
+type CacheKey = (String, u64, usize, SubsetQuery);
+
+/// Answers subset-count queries from a [`ReleaseStore`] under the
+/// paper's graded-privilege model — the serving path a heavy-traffic
+/// deployment runs.
+///
+/// Three properties define the service:
+///
+/// * **Every request is privilege-checked.** The artifact's monotone
+///   [`AccessPolicy`](gdp_core::AccessPolicy) is enforced before any
+///   value is touched; a reader cleared for level `p` can answer from
+///   levels `p..` and nothing finer, exactly the paper's
+///   `I_{L,i}`-per-audience mapping.
+/// * **Batched workloads fan out over rayon.** Answering is RNG-free
+///   pure post-processing, so batch output is identical to a
+///   sequential loop at any thread count (the degenerate case of the
+///   `docs/determinism.md` convention: no per-task randomness at all).
+/// * **Repeated queries are memoized.** Post-processing invariance
+///   means re-answering a released value costs no privacy budget, so
+///   caching is always *sound*; memory is the only constraint, and the
+///   memo table stops admitting new entries at
+///   [`AnswerService::CACHE_CAPACITY`] (existing entries keep hitting —
+///   correctness never depends on the cache, every miss just recomputes
+///   the gather). The memo key is `(dataset, epoch, level, query)`.
+#[derive(Debug)]
+pub struct AnswerService {
+    store: ReleaseStore,
+    cache: Mutex<HashMap<CacheKey, f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl AnswerService {
+    /// Upper bound on memoized entries: beyond this the table stops
+    /// admitting new keys (misses still answer, they just recompute),
+    /// bounding memory on workloads of mostly-unique queries.
+    pub const CACHE_CAPACITY: usize = 1 << 20;
+
+    /// Wraps a store with an empty memo table.
+    pub fn new(store: ReleaseStore) -> Self {
+        Self {
+            store,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &ReleaseStore {
+        &self.store
+    }
+
+    /// Answers one subset-count query from `(dataset, epoch)` at
+    /// `level`, enforcing `privilege`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::UnknownRelease`] for an unregistered key.
+    /// * [`ServeError::Core`] with
+    ///   [`CoreError::AccessDenied`](gdp_core::CoreError::AccessDenied)
+    ///   when `level` is finer than `privilege` allows, or
+    ///   [`CoreError::LevelOutOfRange`](gdp_core::CoreError::LevelOutOfRange)
+    ///   for unknown levels — access is checked **before** the query is
+    ///   looked at.
+    /// * The estimate's own errors
+    ///   ([`IndexedRelease::estimate`](crate::IndexedRelease::estimate)).
+    pub fn answer(
+        &self,
+        dataset: &str,
+        epoch: u64,
+        privilege: Privilege,
+        level: usize,
+        query: &SubsetQuery,
+    ) -> Result<f64> {
+        let indexed = self.store.get(dataset, epoch)?;
+        indexed
+            .policy()
+            .check(privilege, level)
+            .map_err(ServeError::Core)?;
+        let key: CacheKey = (dataset.to_string(), epoch, level, query.clone());
+        if let Some(&value) = self.cache.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(value);
+        }
+        let value = indexed.estimate(level, query.side, &query.nodes)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut cache = self.cache.lock().expect("cache lock");
+        if cache.len() < Self::CACHE_CAPACITY {
+            cache.insert(key, value);
+        }
+        Ok(value)
+    }
+
+    /// Answers a batch of queries against one `(dataset, epoch, level)`
+    /// under one privilege, fanning out over rayon. The privilege is
+    /// checked once up front so a denied workload is refused as a
+    /// whole, before any answer is computed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AnswerService::answer`]; for malformed subsets, which
+    /// failing query's error surfaces is unspecified.
+    pub fn answer_batch(
+        &self,
+        dataset: &str,
+        epoch: u64,
+        privilege: Privilege,
+        level: usize,
+        queries: &[SubsetQuery],
+    ) -> Result<Vec<f64>> {
+        let indexed = self.store.get(dataset, epoch)?;
+        indexed
+            .policy()
+            .check(privilege, level)
+            .map_err(ServeError::Core)?;
+        queries
+            .par_iter()
+            .map(|query| self.answer(dataset, epoch, privilege, level, query))
+            .collect()
+    }
+
+    /// The finest level `privilege` may read from `(dataset, epoch)`,
+    /// or `None` when the privilege is coarser than the whole
+    /// hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownRelease`] for an unregistered key.
+    pub fn finest_allowed(
+        &self,
+        dataset: &str,
+        epoch: u64,
+        privilege: Privilege,
+    ) -> Result<Option<usize>> {
+        let indexed = self.store.get(dataset, epoch)?;
+        let mut range = indexed.policy().accessible_levels(privilege);
+        Ok(range.next())
+    }
+
+    /// Current memoization counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.cache.lock().expect("cache lock").len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IndexedRelease;
+    use gdp_core::{
+        CoreError, DisclosureConfig, MultiLevelDiscloser, Query, ReleaseArtifact,
+        SpecializationConfig, Specializer,
+    };
+    use gdp_datagen::{DblpConfig, DblpGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn service() -> AnswerService {
+        let mut rng = StdRng::seed_from_u64(90);
+        let graph = DblpGenerator::new(DblpConfig::tiny()).generate(&mut rng);
+        let hierarchy = Specializer::new(SpecializationConfig::median(3).unwrap())
+            .specialize(&graph, &mut rng)
+            .unwrap();
+        let release = MultiLevelDiscloser::new(
+            DisclosureConfig::count_only(0.9, 1e-6)
+                .unwrap()
+                .with_queries(vec![Query::PerGroupCounts]),
+        )
+        .disclose(&graph, &hierarchy, &mut rng)
+        .unwrap();
+        let artifact = ReleaseArtifact::seal("dblp", 4, hierarchy, release).unwrap();
+        let mut store = ReleaseStore::new();
+        store.insert(IndexedRelease::new(artifact).unwrap()).unwrap();
+        AnswerService::new(store)
+    }
+
+    fn query(nodes: &[u32]) -> SubsetQuery {
+        SubsetQuery {
+            side: Side::Left,
+            nodes: nodes.to_vec(),
+        }
+    }
+
+    #[test]
+    fn privilege_gates_every_level() {
+        let service = service();
+        let q = query(&[0, 1, 2]);
+        let levels = service.store().get("dblp", 4).unwrap().level_count();
+        for finest in 0..levels {
+            let privilege = Privilege::new(finest);
+            for level in 0..levels {
+                let got = service.answer("dblp", 4, privilege, level, &q);
+                if level >= finest {
+                    assert!(got.is_ok(), "privilege {finest} refused level {level}");
+                } else {
+                    assert!(matches!(
+                        got.unwrap_err(),
+                        ServeError::Core(CoreError::AccessDenied { .. })
+                    ));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_keys_and_levels_are_typed() {
+        let service = service();
+        let q = query(&[0]);
+        assert!(matches!(
+            service.answer("dblp", 99, Privilege::full(), 0, &q).unwrap_err(),
+            ServeError::UnknownRelease { epoch: 99, .. }
+        ));
+        assert!(matches!(
+            service.answer("movies", 4, Privilege::full(), 0, &q).unwrap_err(),
+            ServeError::UnknownRelease { .. }
+        ));
+        assert!(matches!(
+            service.answer("dblp", 4, Privilege::full(), 99, &q).unwrap_err(),
+            ServeError::Core(CoreError::LevelOutOfRange { level: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn memoization_hits_on_repeats_without_changing_answers() {
+        let service = service();
+        let q = query(&[3, 1, 7]);
+        let first = service.answer("dblp", 4, Privilege::full(), 1, &q).unwrap();
+        let again = service.answer("dblp", 4, Privilege::full(), 1, &q).unwrap();
+        assert_eq!(first.to_bits(), again.to_bits());
+        let stats = service.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        // A different level is a different memo entry.
+        service.answer("dblp", 4, Privilege::full(), 2, &q).unwrap();
+        assert_eq!(service.cache_stats().entries, 2);
+    }
+
+    #[test]
+    fn batch_is_checked_before_answering_and_matches_singles() {
+        let service = service();
+        let queries: Vec<SubsetQuery> =
+            (0..20u32).map(|k| query(&(0..=k).collect::<Vec<_>>())).collect();
+        // Denied as a whole…
+        assert!(matches!(
+            service
+                .answer_batch("dblp", 4, Privilege::new(2), 0, &queries)
+                .unwrap_err(),
+            ServeError::Core(CoreError::AccessDenied { .. })
+        ));
+        assert_eq!(service.cache_stats().misses, 0, "no answer was computed");
+        // …and allowed batches equal the sequential loop.
+        let batch = service
+            .answer_batch("dblp", 4, Privilege::new(2), 2, &queries)
+            .unwrap();
+        for (q, &got) in queries.iter().zip(&batch) {
+            let single = service.answer("dblp", 4, Privilege::new(2), 2, q).unwrap();
+            assert_eq!(single.to_bits(), got.to_bits());
+        }
+    }
+
+    #[test]
+    fn finest_allowed_follows_policy() {
+        let service = service();
+        assert_eq!(
+            service.finest_allowed("dblp", 4, Privilege::full()).unwrap(),
+            Some(0)
+        );
+        assert_eq!(
+            service.finest_allowed("dblp", 4, Privilege::new(3)).unwrap(),
+            Some(3)
+        );
+        assert_eq!(
+            service.finest_allowed("dblp", 4, Privilege::new(99)).unwrap(),
+            None
+        );
+        assert!(service.finest_allowed("dblp", 9, Privilege::full()).is_err());
+    }
+}

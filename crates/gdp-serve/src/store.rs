@@ -1,0 +1,186 @@
+//! The artifact registry a deployment keeps as it republishes.
+
+use std::collections::BTreeMap;
+
+use crate::error::ServeError;
+use crate::index::IndexedRelease;
+use crate::Result;
+
+/// Indexed release artifacts keyed by `(dataset, epoch)`.
+///
+/// A deployment that republishes weekly accumulates one artifact per
+/// epoch per dataset; the store is the lookup structure the
+/// [`AnswerService`](crate::AnswerService) routes requests through.
+/// Keys are unique — published artifacts are immutable, so inserting a
+/// second artifact under an existing `(dataset, epoch)` is rejected
+/// with [`ServeError::DuplicateRelease`] instead of silently replacing
+/// answers consumers may already have seen.
+///
+/// ```
+/// # use gdp_core::{DisclosureConfig, MultiLevelDiscloser, Query, ReleaseArtifact,
+/// #     SpecializationConfig, Specializer};
+/// # use gdp_datagen::{DblpConfig, DblpGenerator};
+/// # use gdp_serve::{IndexedRelease, ReleaseStore};
+/// # use rand::SeedableRng;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// # let graph = DblpGenerator::new(DblpConfig::tiny()).generate(&mut rng);
+/// # let hierarchy = Specializer::new(SpecializationConfig::median(2)?)
+/// #     .specialize(&graph, &mut rng)?;
+/// # let release = MultiLevelDiscloser::new(
+/// #     DisclosureConfig::count_only(0.5, 1e-6)?
+/// #         .with_queries(vec![Query::PerGroupCounts]))
+/// #     .disclose(&graph, &hierarchy, &mut rng)?;
+/// # let week1 = ReleaseArtifact::seal("dblp", 1, hierarchy, release)?;
+/// let mut store = ReleaseStore::new();
+/// store.insert(IndexedRelease::new(week1)?)?;
+/// assert_eq!(store.epochs("dblp"), vec![1]);
+/// assert!(store.get("dblp", 1).is_ok());
+/// assert_eq!(store.latest("dblp").unwrap().artifact().epoch(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReleaseStore {
+    releases: BTreeMap<(String, u64), IndexedRelease>,
+}
+
+impl ReleaseStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an indexed artifact under its manifest's
+    /// `(dataset, epoch)` key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::DuplicateRelease`] when the key is taken.
+    pub fn insert(&mut self, release: IndexedRelease) -> Result<()> {
+        let manifest = release.artifact().manifest();
+        let key = (manifest.dataset.clone(), manifest.epoch);
+        if self.releases.contains_key(&key) {
+            return Err(ServeError::DuplicateRelease {
+                dataset: key.0,
+                epoch: key.1,
+            });
+        }
+        self.releases.insert(key, release);
+        Ok(())
+    }
+
+    /// Looks an artifact up by dataset and epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownRelease`] when absent.
+    pub fn get(&self, dataset: &str, epoch: u64) -> Result<&IndexedRelease> {
+        self.releases
+            .get(&(dataset.to_string(), epoch))
+            .ok_or_else(|| ServeError::UnknownRelease {
+                dataset: dataset.to_string(),
+                epoch,
+            })
+    }
+
+    /// The highest-epoch artifact for a dataset, if any.
+    pub fn latest(&self, dataset: &str) -> Option<&IndexedRelease> {
+        self.releases
+            .range((dataset.to_string(), 0)..=(dataset.to_string(), u64::MAX))
+            .next_back()
+            .map(|(_, release)| release)
+    }
+
+    /// Every epoch registered for a dataset, ascending.
+    pub fn epochs(&self, dataset: &str) -> Vec<u64> {
+        self.releases
+            .range((dataset.to_string(), 0)..=(dataset.to_string(), u64::MAX))
+            .map(|((_, epoch), _)| *epoch)
+            .collect()
+    }
+
+    /// Every dataset with at least one artifact, ascending, deduped.
+    pub fn datasets(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for (dataset, _) in self.releases.keys() {
+            if out.last() != Some(&dataset.as_str()) {
+                out.push(dataset);
+            }
+        }
+        out
+    }
+
+    /// Number of registered artifacts.
+    pub fn len(&self) -> usize {
+        self.releases.len()
+    }
+
+    /// Whether the store holds no artifacts.
+    pub fn is_empty(&self) -> bool {
+        self.releases.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_core::{
+        DisclosureConfig, MultiLevelDiscloser, Query, ReleaseArtifact,
+        SpecializationConfig, Specializer,
+    };
+    use gdp_datagen::{DblpConfig, DblpGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn indexed(dataset: &str, epoch: u64, seed: u64) -> IndexedRelease {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = DblpGenerator::new(DblpConfig::tiny()).generate(&mut rng);
+        let hierarchy = Specializer::new(SpecializationConfig::median(2).unwrap())
+            .specialize(&graph, &mut rng)
+            .unwrap();
+        let release = MultiLevelDiscloser::new(
+            DisclosureConfig::count_only(0.5, 1e-6)
+                .unwrap()
+                .with_queries(vec![Query::PerGroupCounts]),
+        )
+        .disclose(&graph, &hierarchy, &mut rng)
+        .unwrap();
+        IndexedRelease::new(
+            ReleaseArtifact::seal(dataset, epoch, hierarchy, release).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn keyed_lookup_latest_and_listings() {
+        let mut store = ReleaseStore::new();
+        store.insert(indexed("dblp", 1, 1)).unwrap();
+        store.insert(indexed("dblp", 3, 2)).unwrap();
+        store.insert(indexed("pharmacy", 2, 3)).unwrap();
+        assert_eq!(store.len(), 3);
+        assert!(!store.is_empty());
+        assert_eq!(store.get("dblp", 3).unwrap().artifact().epoch(), 3);
+        assert!(matches!(
+            store.get("dblp", 2).unwrap_err(),
+            ServeError::UnknownRelease { epoch: 2, .. }
+        ));
+        assert_eq!(store.latest("dblp").unwrap().artifact().epoch(), 3);
+        assert!(store.latest("movies").is_none());
+        assert_eq!(store.epochs("dblp"), vec![1, 3]);
+        assert_eq!(store.datasets(), vec!["dblp", "pharmacy"]);
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let mut store = ReleaseStore::new();
+        store.insert(indexed("dblp", 1, 1)).unwrap();
+        let err = store.insert(indexed("dblp", 1, 9)).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::DuplicateRelease { epoch: 1, .. }
+        ));
+        // The original stays.
+        assert_eq!(store.len(), 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Plain-text subset-query workload files — the format `gdp answer`
+//! consumes.
+//!
+//! One query per line: a side tag (`L` or `R`) followed by the queried
+//! node indices, whitespace-separated; `#`-prefixed comment lines and
+//! blank lines are ignored, mirroring the `gdp_graph::io` edge-list
+//! conventions:
+//!
+//! ```text
+//! # side node node node ...
+//! L 0 1 2
+//! R 5 7
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use gdp_graph::Side;
+
+use crate::error::ServeError;
+use crate::service::SubsetQuery;
+use crate::Result;
+
+/// Writes a workload as a text query file.
+///
+/// # Errors
+///
+/// Propagates IO failures from the writer.
+pub fn write_query_file<W: Write>(queries: &[SubsetQuery], mut writer: W) -> Result<()> {
+    for query in queries {
+        let tag = match query.side {
+            Side::Left => "L",
+            Side::Right => "R",
+        };
+        write!(writer, "{tag}")?;
+        for node in &query.nodes {
+            write!(writer, " {node}")?;
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+/// Reads a workload from a text query file.
+///
+/// Parsing is syntactic only: node ranges and duplicates are the
+/// answering path's to enforce (with its typed errors), so a workload
+/// file can be written before the artifact it will be asked against
+/// exists.
+///
+/// # Errors
+///
+/// * [`ServeError::Workload`] for an unknown side tag, a non-numeric
+///   node, or a query with no nodes.
+/// * IO failures from the reader (as [`ServeError::Core`]).
+pub fn read_query_file<R: Read>(reader: R) -> Result<Vec<SubsetQuery>> {
+    let reader = BufReader::new(reader);
+    let mut queries = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let side = match parts.next() {
+            Some("L") => Side::Left,
+            Some("R") => Side::Right,
+            Some(other) => {
+                return Err(ServeError::Workload {
+                    line: line_no,
+                    message: format!("unknown side tag `{other}` (expected L or R)"),
+                })
+            }
+            None => unreachable!("trimmed line is non-empty"),
+        };
+        let nodes: Vec<u32> = parts
+            .map(|tok| {
+                tok.parse::<u32>().map_err(|e| ServeError::Workload {
+                    line: line_no,
+                    message: format!("bad node index `{tok}`: {e}"),
+                })
+            })
+            .collect::<Result<_>>()?;
+        if nodes.is_empty() {
+            return Err(ServeError::Workload {
+                line: line_no,
+                message: "query lists no nodes".to_string(),
+            });
+        }
+        queries.push(SubsetQuery { side, nodes });
+    }
+    Ok(queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let queries = vec![
+            SubsetQuery {
+                side: Side::Left,
+                nodes: vec![0, 1, 2],
+            },
+            SubsetQuery {
+                side: Side::Right,
+                nodes: vec![9],
+            },
+        ];
+        let mut buf = Vec::new();
+        write_query_file(&queries, &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf.clone()).unwrap(), "L 0 1 2\nR 9\n");
+        let back = read_query_file(buf.as_slice()).unwrap();
+        assert_eq!(queries, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# workload\n\nL 3 4\n# more\nR 1\n";
+        let queries = read_query_file(text.as_bytes()).unwrap();
+        assert_eq!(queries.len(), 2);
+        assert_eq!(queries[0].nodes, vec![3, 4]);
+    }
+
+    #[test]
+    fn malformed_lines_name_the_line() {
+        for (bad, needle) in [
+            ("X 1 2\n", "side tag"),
+            ("L 1 banana\n", "banana"),
+            ("L\n", "no nodes"),
+        ] {
+            let err = read_query_file(bad.as_bytes()).unwrap_err();
+            match err {
+                ServeError::Workload { line, message } => {
+                    assert_eq!(line, 1, "input {bad:?}");
+                    assert!(message.contains(needle), "{message}");
+                }
+                other => panic!("expected workload error for {bad:?}, got {other}"),
+            }
+        }
+    }
+}

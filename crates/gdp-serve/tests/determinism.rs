@@ -1,0 +1,117 @@
+//! Thread-count invariance of the batched answering path.
+//!
+//! Serving is RNG-free pure post-processing, so this is the degenerate
+//! case of the `docs/determinism.md` convention: there are no per-task
+//! seeds to discipline, and batch output must be bit-identical to the
+//! sequential loop at every thread count (the in-tree rayon stand-in
+//! re-reads `RAYON_NUM_THREADS` per call, making the count flippable
+//! mid-process). Memoization must not break this either: a cache-warm
+//! service returns the same bits as a cold one.
+
+use std::sync::Mutex;
+
+use gdp_core::{
+    DisclosureConfig, MultiLevelDiscloser, Privilege, Query, ReleaseArtifact,
+    SpecializationConfig, Specializer,
+};
+use gdp_graph::Side;
+use gdp_serve::{AnswerService, IndexedRelease, ReleaseStore, SubsetQuery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_thread_count<R>(threads: &str, f: impl FnOnce() -> R) -> R {
+    let prior = std::env::var("RAYON_NUM_THREADS").ok();
+    std::env::set_var("RAYON_NUM_THREADS", threads);
+    let out = f();
+    match prior {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    out
+}
+
+fn service() -> AnswerService {
+    let mut rng = StdRng::seed_from_u64(77);
+    let graph = gdp_datagen::engine::GraphModel::ErdosRenyi {
+        left: 500,
+        right: 500,
+        edges: 4_000,
+    }
+    .generate(&mut rng);
+    let hierarchy = Specializer::new(SpecializationConfig::paper_default(5).unwrap())
+        .specialize(&graph, &mut rng)
+        .unwrap();
+    let release = MultiLevelDiscloser::new(
+        DisclosureConfig::count_only(0.7, 1e-6)
+            .unwrap()
+            .with_queries(vec![Query::PerGroupCounts]),
+    )
+    .disclose(&graph, &hierarchy, &mut rng)
+    .unwrap();
+    let artifact = ReleaseArtifact::seal("det", 1, hierarchy, release).unwrap();
+    let mut store = ReleaseStore::new();
+    store.insert(IndexedRelease::new(artifact).unwrap()).unwrap();
+    AnswerService::new(store)
+}
+
+fn workload(n_left: u32) -> Vec<SubsetQuery> {
+    let mut rng = StdRng::seed_from_u64(78);
+    (0..200)
+        .map(|_| {
+            let mut nodes = Vec::with_capacity(16);
+            while nodes.len() < 16 {
+                let node = rng.gen_range(0..n_left);
+                if !nodes.contains(&node) {
+                    nodes.push(node);
+                }
+            }
+            SubsetQuery {
+                side: Side::Left,
+                nodes,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn batch_answers_bit_identical_across_thread_counts() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let queries = workload(500);
+    let answers: Vec<Vec<f64>> = ["1", "4", "13"]
+        .iter()
+        .map(|threads| {
+            with_thread_count(threads, || {
+                // A fresh (cache-cold) service per thread count.
+                service()
+                    .answer_batch("det", 1, Privilege::new(1), 1, &queries)
+                    .unwrap()
+            })
+        })
+        .collect();
+    for other in &answers[1..] {
+        assert_eq!(answers[0].len(), other.len());
+        for (x, y) in answers[0].iter().zip(other) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
+
+#[test]
+fn warm_cache_answers_equal_cold_answers() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let queries = workload(500);
+    let service = service();
+    let cold = service
+        .answer_batch("det", 1, Privilege::full(), 2, &queries)
+        .unwrap();
+    let warm = service
+        .answer_batch("det", 1, Privilege::full(), 2, &queries)
+        .unwrap();
+    for (x, y) in cold.iter().zip(&warm) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+    let stats = service.cache_stats();
+    assert!(stats.hits >= queries.len() as u64, "stats {stats:?}");
+}

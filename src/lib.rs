@@ -9,8 +9,11 @@
 //! * [`datagen`] — synthetic workload generators (DBLP-like, scenarios)
 //! * [`core`] — g-group differential privacy: hierarchy specialization
 //!   and multi-level disclosure
+//! * [`serve`] — the serving subsystem: indexed release artifacts,
+//!   dataset/epoch stores, the privilege-gated answering service
 
 pub use gdp_core as core;
 pub use gdp_datagen as datagen;
 pub use gdp_graph as graph;
 pub use gdp_mechanisms as mechanisms;
+pub use gdp_serve as serve;

@@ -62,6 +62,38 @@ fn gated_release_round_trips() {
 }
 
 #[test]
+fn sealed_artifact_round_trips_and_stays_answerable() {
+    use group_dp::core::{Privilege, ReleaseArtifact};
+    use group_dp::graph::Side;
+    use group_dp::serve::{AnswerService, IndexedRelease, ReleaseStore, SubsetQuery};
+
+    let (_, hierarchy, release) = setup();
+    let artifact = ReleaseArtifact::seal("dblp", 7, hierarchy, release).unwrap();
+    let json = serde_json::to_string(&artifact).unwrap();
+    let back: ReleaseArtifact = serde_json::from_str(&json).unwrap();
+    assert_eq!(artifact, back);
+
+    // The loaded artifact serves the same answers as the original.
+    let answer_from = |a: ReleaseArtifact| {
+        let mut store = ReleaseStore::new();
+        store.insert(IndexedRelease::new(a).unwrap()).unwrap();
+        AnswerService::new(store)
+            .answer(
+                "dblp",
+                7,
+                Privilege::full(),
+                0,
+                &SubsetQuery {
+                    side: Side::Left,
+                    nodes: vec![0, 1, 2, 3],
+                },
+            )
+            .unwrap()
+    };
+    assert_eq!(answer_from(artifact).to_bits(), answer_from(back).to_bits());
+}
+
+#[test]
 fn validated_newtypes_reject_bad_json() {
     // Epsilon deserialization goes through the validating constructor.
     assert!(serde_json::from_str::<Epsilon>("0.5").is_ok());
