@@ -9,21 +9,26 @@
 //! pair-count rescans vs the one-sweep + rollup `HierarchyStats` engine
 //! (ISSUE 2), the incremental-builder datagen baseline vs the parallel
 //! streaming engine at 1M edge draws, model by model (ISSUE 3, the
-//! `datagen_1m` entries), and — ISSUE 4, the `answer_qps` entries — a
-//! batch subset-query workload answered by a per-query
-//! `SubsetCountEstimator` rebuild vs the `gdp-serve` indexed path
-//! (artifact → `IndexedRelease` → `AnswerService`), asserted
-//! bit-identical on every rep. Results are written as
-//! `BENCH_pipeline.json` so successive PRs can track the trajectory.
+//! `datagen_1m` entries), and — ISSUEs 4/5, the `answer_qps` entries —
+//! per-`Query`-variant serving workloads (subset counts, group masses,
+//! degree histograms, side totals) each answered by a per-query core
+//! rescan (`SubsetCountEstimator` rebuild / `scan_*` baseline) vs the
+//! `gdp-serve` indexed path (artifact → `IndexedRelease` →
+//! `AnswerService`), asserted bit-identical on every rep, plus a
+//! `reader_throughput` entry driving one shared `AnswerService` from
+//! four concurrent OS threads over the sharded store. Results are
+//! written as `BENCH_pipeline.json` so successive PRs can track the
+//! trajectory.
 //!
 //! `--assert-disclose-100k-under MS` makes the binary exit non-zero when
 //! the 100k-edge disclose phase exceeds the given ceiling,
 //! `--assert-datagen-1m-under MS` does the same for the streaming
 //! Erdős–Rényi `datagen_1m` time, and `--assert-answer-qps-over QPS`
-//! requires the 100k-edge indexed serving path to clear a throughput
-//! floor — the CI smoke step uses all three so a future PR can neither
-//! reintroduce per-level edge scans, nor fall back to single-stream
-//! sampling, nor regress serving to per-query estimator rebuilds.
+//! requires **every variant's** 100k-edge indexed serving path to clear
+//! a throughput floor — the CI smoke step uses all three so a future PR
+//! can neither reintroduce per-level edge scans, nor fall back to
+//! single-stream sampling, nor regress serving to per-query estimator
+//! rebuilds or release rescans.
 //!
 //! ```text
 //! bench_pipeline [--out FILE] [--seed N] [--max-edges N] [--reps N]
@@ -49,7 +54,10 @@ use gdp_core::{
 use gdp_datagen::engine::GraphModel;
 use gdp_datagen::models;
 use gdp_graph::{PairCounts, Side};
-use gdp_serve::{AnswerService, IndexedRelease, ReleaseStore, SubsetQuery};
+use gdp_serve::{
+    AnswerService, IndexedRelease, Query as ServeQuery, ReleaseStore, SubsetQuery,
+    TypedAnswer,
+};
 
 #[derive(Debug, Serialize)]
 struct ScorerComparison {
@@ -96,6 +104,7 @@ struct DatagenComparison {
 
 #[derive(Debug, Serialize)]
 struct AnswerQpsComparison {
+    query_type: String,
     edges: u64,
     level: usize,
     queries: usize,
@@ -104,6 +113,21 @@ struct AnswerQpsComparison {
     indexed_ms: f64,
     speedup: f64,
     indexed_qps: f64,
+}
+
+/// Aggregate throughput of N OS threads answering concurrently through
+/// one shared `AnswerService` over the sharded store — the reader-side
+/// scaling entry (single-reader time over the same total workload is
+/// the baseline; on a single-core runner the two are comparable and
+/// the entry mainly proves the path is contention-safe).
+#[derive(Debug, Serialize)]
+struct ReaderThroughput {
+    edges: u64,
+    readers: usize,
+    queries_per_reader: usize,
+    single_reader_ms: f64,
+    concurrent_ms: f64,
+    aggregate_qps: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -115,6 +139,9 @@ struct Report {
     pair_counts_1m: PairCountsComparison,
     datagen_1m: Vec<DatagenComparison>,
     answer_qps: Vec<AnswerQpsComparison>,
+    /// `None` only when `--max-edges` clips the 100k scale it is
+    /// measured at.
+    reader_throughput: Option<ReaderThroughput>,
     phases: Vec<PhaseTimings>,
 }
 
@@ -285,7 +312,7 @@ fn answer_qps_at(
     release: &MultiLevelRelease,
     seed: u64,
     reps: usize,
-) -> AnswerQpsComparison {
+) -> Vec<AnswerQpsComparison> {
     let level = 1;
     let queries_n = 1000;
     let subset_size = 64;
@@ -331,7 +358,7 @@ fn answer_qps_at(
     }
     // And the full service front door (policy check + memo cache) must
     // serve the same bits.
-    let mut store = ReleaseStore::new();
+    let store = ReleaseStore::new();
     store
         .insert(IndexedRelease::new(artifact.clone()).expect("artifact indexes"))
         .expect("store accepts");
@@ -345,7 +372,8 @@ fn answer_qps_at(
             "AnswerService must be bit-identical to the estimator"
         );
     }
-    AnswerQpsComparison {
+    let mut out = vec![AnswerQpsComparison {
+        query_type: "subset_count".to_string(),
         edges: graph_edges,
         level,
         queries: queries_n,
@@ -354,10 +382,213 @@ fn answer_qps_at(
         indexed_ms,
         speedup: rebuild_ms / indexed_ms,
         indexed_qps: queries_n as f64 / (indexed_ms / 1e3),
+    }];
+    out.extend(typed_qps_entries(
+        graph_edges,
+        hierarchy,
+        release,
+        &indexed,
+        level,
+        queries_n,
+        reps,
+    ));
+    out
+}
+
+/// The per-variant serving measurements for the non-subset `Query`
+/// variants: each workload answered by a per-query core rescan
+/// (`gdp_core::answering::scan_*`, re-resolving the release's query
+/// list every time — the pre-serving pattern) vs the indexed tables,
+/// asserted bit-identical on every rep.
+fn typed_qps_entries(
+    graph_edges: u64,
+    hierarchy: &GroupHierarchy,
+    release: &MultiLevelRelease,
+    indexed: &IndexedRelease,
+    level: usize,
+    queries_n: usize,
+    reps: usize,
+) -> Vec<AnswerQpsComparison> {
+    use gdp_core::answering::{scan_degree_histogram, scan_group_mass, scan_side_total};
+
+    let rel = release.level(level).expect("level released");
+    let lvl = hierarchy.level(level).expect("level exists");
+    let left_groups = lvl.left().block_count();
+
+    let workloads: Vec<(&str, Vec<ServeQuery>)> = vec![
+        (
+            "group_mass",
+            (0..queries_n)
+                .map(|i| ServeQuery::GroupMass {
+                    side: Side::Left,
+                    group: (i as u32) % left_groups,
+                })
+                .collect(),
+        ),
+        (
+            "degree_histogram",
+            (0..queries_n)
+                .map(|_| ServeQuery::DegreeHistogram { side: Side::Left })
+                .collect(),
+        ),
+        (
+            "side_total",
+            (0..queries_n)
+                .map(|i| ServeQuery::SideTotal {
+                    side: if i % 2 == 0 { Side::Left } else { Side::Right },
+                })
+                .collect(),
+        ),
+    ];
+
+    workloads
+        .into_iter()
+        .map(|(name, queries)| {
+            let (rebuild_ms, baseline) = time_best_of(reps, || {
+                queries
+                    .iter()
+                    .map(|q| match q {
+                        ServeQuery::GroupMass { side, group } => TypedAnswer::Scalar(
+                            scan_group_mass(rel, lvl, *side, *group).expect("group in range"),
+                        ),
+                        ServeQuery::DegreeHistogram { side } => TypedAnswer::Histogram(
+                            scan_degree_histogram(rel, *side)
+                                .expect("histogram released")
+                                .to_vec()
+                                .into(),
+                        ),
+                        ServeQuery::SideTotal { side } => TypedAnswer::Scalar(
+                            scan_side_total(rel, lvl, *side).expect("per-group released"),
+                        ),
+                        ServeQuery::SubsetCount(_) => unreachable!("subset measured above"),
+                    })
+                    .collect::<Vec<TypedAnswer>>()
+            });
+            let (indexed_ms, served) = time_best_of(reps, || {
+                indexed.answer_batch(level, &queries).expect("batch answers")
+            });
+            assert_eq!(
+                baseline, served,
+                "indexed {name} must be bit-identical to the core rescan"
+            );
+            AnswerQpsComparison {
+                query_type: name.to_string(),
+                edges: graph_edges,
+                level,
+                queries: queries_n,
+                subset_size: 0,
+                rebuild_ms,
+                indexed_ms,
+                speedup: rebuild_ms / indexed_ms,
+                indexed_qps: queries_n as f64 / (indexed_ms / 1e3),
+            }
+        })
+        .collect()
+}
+
+/// The multi-threaded reader entry: N OS threads answering distinct
+/// subset workloads through one shared `AnswerService` (each reader
+/// issues single `answer` calls — the request-at-a-time pattern a
+/// network frontend would drive), against the same total workload
+/// answered by one reader. Answers are asserted identical between the
+/// two runs.
+fn reader_throughput_at(
+    graph_edges: u64,
+    n_left: u32,
+    hierarchy: &GroupHierarchy,
+    release: &MultiLevelRelease,
+    seed: u64,
+) -> ReaderThroughput {
+    let level = 1;
+    let readers = 4;
+    let queries_per_reader = 500;
+    let workloads: Vec<Vec<SubsetQuery>> = (0..readers)
+        .map(|r| {
+            let mut qrng = StdRng::seed_from_u64(seed ^ 0x40 ^ r as u64);
+            distinct_subsets(&mut qrng, n_left, queries_per_reader, 64)
+                .into_iter()
+                .map(|nodes| SubsetQuery {
+                    side: Side::Left,
+                    nodes,
+                })
+                .collect()
+        })
+        .collect();
+    let artifact = ReleaseArtifact::seal("bench", 1, hierarchy.clone(), release.clone())
+        .expect("artifact seals");
+    let fresh_service = || {
+        let store = ReleaseStore::new();
+        store
+            .insert(IndexedRelease::new(artifact.clone()).expect("artifact indexes"))
+            .expect("store accepts");
+        AnswerService::new(store)
+    };
+
+    // One reader, all workloads, sequentially (cache-cold service).
+    let service = fresh_service();
+    let t = Instant::now();
+    let single: Vec<Vec<f64>> = workloads
+        .iter()
+        .map(|workload| {
+            workload
+                .iter()
+                .map(|q| {
+                    service
+                        .answer("bench", 1, Privilege::full(), level, q)
+                        .expect("answers")
+                })
+                .collect()
+        })
+        .collect();
+    let single_reader_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // N readers, one workload each, concurrently (fresh cache-cold
+    // service again so memoization cannot transfer between the runs).
+    let service = fresh_service();
+    let t = Instant::now();
+    let concurrent: Vec<Vec<f64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|workload| {
+                let service = &service;
+                scope.spawn(move || {
+                    workload
+                        .iter()
+                        .map(|q| {
+                            service
+                                .answer("bench", 1, Privilege::full(), level, q)
+                                .expect("answers")
+                        })
+                        .collect::<Vec<f64>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("reader joins")).collect()
+    });
+    let concurrent_ms = t.elapsed().as_secs_f64() * 1e3;
+    for (a, b) in single.iter().flatten().zip(concurrent.iter().flatten()) {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "concurrent readers must serve the single-reader bits"
+        );
+    }
+    let total_queries = (readers * queries_per_reader) as f64;
+    ReaderThroughput {
+        edges: graph_edges,
+        readers,
+        queries_per_reader,
+        single_reader_ms,
+        concurrent_ms,
+        aggregate_qps: total_queries / (concurrent_ms / 1e3),
     }
 }
 
-fn pipeline_at(edges: usize, seed: u64, reps: usize) -> (PhaseTimings, AnswerQpsComparison) {
+fn pipeline_at(
+    edges: usize,
+    seed: u64,
+    reps: usize,
+) -> (PhaseTimings, Vec<AnswerQpsComparison>, Option<ReaderThroughput>) {
     // Side sizes scale with the edge count: density stays ~constant.
     let side = ((edges as f64).sqrt() * 6.3) as u32;
     let rounds = 8u32;
@@ -381,7 +612,11 @@ fn pipeline_at(edges: usize, seed: u64, reps: usize) -> (PhaseTimings, AnswerQps
     let discloser = MultiLevelDiscloser::new(
         DisclosureConfig::count_only(0.5, 1e-6)
             .expect("valid budget")
-            .with_queries(vec![Query::TotalAssociations, Query::PerGroupCounts]),
+            .with_queries(vec![
+                Query::TotalAssociations,
+                Query::PerGroupCounts,
+                Query::LeftDegreeHistogram { max_degree: 64 },
+            ]),
     );
     let (disclose_ms, release) = time_best_of(reps, || {
         let mut rng = StdRng::seed_from_u64(seed ^ 2);
@@ -429,6 +664,10 @@ fn pipeline_at(edges: usize, seed: u64, reps: usize) -> (PhaseTimings, AnswerQps
         seed,
         reps,
     );
+    // The concurrent-reader entry is measured once, at the 100k scale
+    // (like the CI answer-qps floor), so the report carries exactly one.
+    let readers = ((90_000..=110_000).contains(&edges))
+        .then(|| reader_throughput_at(graph.edge_count(), n_left, &hierarchy, &release, seed));
 
     let timings = PhaseTimings {
         edges: graph.edge_count(),
@@ -444,7 +683,7 @@ fn pipeline_at(edges: usize, seed: u64, reps: usize) -> (PhaseTimings, AnswerQps
         answering_queries: subsets.len(),
         total_ms: datagen_ms + specialize_ms + disclose_ms + postprocess_ms + answering_ms,
     };
-    (timings, qps)
+    (timings, qps, readers)
 }
 
 fn main() {
@@ -545,35 +784,51 @@ fn main() {
 
     let mut phases = Vec::new();
     let mut answer_qps = Vec::new();
+    let mut reader_throughput = None;
     for edges in [10_000usize, 100_000, 1_000_000] {
         if edges > max_edges {
             eprintln!("skipping {edges} edges (--max-edges {max_edges})");
             continue;
         }
         eprintln!("running pipeline at {edges} edges…");
-        let (t, qps) = pipeline_at(edges, seed, reps);
+        let (t, qps, readers) = pipeline_at(edges, seed, reps);
         eprintln!(
             "  datagen {:.1} ms | specialize {:.1} ms | disclose {:.1} ms | \
              postprocess {:.3} ms | answering {:.1} ms",
             t.datagen_ms, t.specialize_ms, t.disclose_ms, t.postprocess_ms, t.answering_ms
         );
-        eprintln!(
-            "  serving {} queries: rebuild {:.2} ms | indexed {:.2} ms | \
-             speedup {:.1}× | {:.0} q/s",
-            qps.queries, qps.rebuild_ms, qps.indexed_ms, qps.speedup, qps.indexed_qps
-        );
+        for q in &qps {
+            eprintln!(
+                "  serving {} × {:<16} rebuild {:.3} ms | indexed {:.3} ms | \
+                 speedup {:.1}× | {:.0} q/s",
+                q.queries, q.query_type, q.rebuild_ms, q.indexed_ms, q.speedup, q.indexed_qps
+            );
+        }
+        if let Some(r) = &readers {
+            eprintln!(
+                "  {} readers × {} queries: single {:.1} ms | concurrent {:.1} ms | \
+                 {:.0} q/s aggregate",
+                r.readers,
+                r.queries_per_reader,
+                r.single_reader_ms,
+                r.concurrent_ms,
+                r.aggregate_qps
+            );
+            reader_throughput = readers;
+        }
         phases.push(t);
-        answer_qps.push(qps);
+        answer_qps.extend(qps);
     }
 
     let disclose_100k = phases
         .iter()
         .find(|p| (90_000..=110_000).contains(&p.edges))
         .map(|p| p.disclose_ms);
-    let answer_qps_100k = answer_qps
+    let answer_qps_100k: Vec<(String, f64)> = answer_qps
         .iter()
-        .find(|q| (90_000..=110_000).contains(&q.edges))
-        .map(|q| q.indexed_qps);
+        .filter(|q| (90_000..=110_000).contains(&q.edges))
+        .map(|q| (q.query_type.clone(), q.indexed_qps))
+        .collect();
 
     let report = Report {
         generated_by: "gdp-bench bench_pipeline".to_string(),
@@ -583,6 +838,7 @@ fn main() {
         pair_counts_1m: pair_counts,
         datagen_1m,
         answer_qps,
+        reader_throughput,
         phases,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -635,27 +891,33 @@ fn main() {
         );
     }
 
-    // Regression gate for CI: the indexed serving path at 100k edges
-    // must clear the throughput floor (a fallback to per-query
-    // estimator rebuilds is an order of magnitude below it).
+    // Regression gate for CI: **every** query variant's indexed serving
+    // path at 100k edges must clear the throughput floor (a fallback to
+    // per-query estimator rebuilds or release rescans is an order of
+    // magnitude below it for the gather, and the O(1) variants have far
+    // more headroom still).
     if let Some(floor) = answer_qps_floor {
-        match answer_qps_100k {
-            Some(qps) if qps < floor => {
+        if answer_qps_100k.is_empty() {
+            eprintln!("FAIL: --assert-answer-qps-over set but the 100k phase did not run");
+            std::process::exit(1);
+        }
+        let mut failed = false;
+        for (query_type, qps) in &answer_qps_100k {
+            if *qps < floor {
                 eprintln!(
-                    "FAIL: indexed answering at 100k edges ran {qps:.0} q/s \
+                    "FAIL: indexed {query_type} answering at 100k edges ran {qps:.0} q/s \
                      (floor {floor:.0} q/s)"
                 );
-                std::process::exit(1);
-            }
-            Some(qps) => eprintln!(
-                "indexed answering at 100k edges: {qps:.0} q/s ≥ floor {floor:.0} q/s"
-            ),
-            None => {
+                failed = true;
+            } else {
                 eprintln!(
-                    "FAIL: --assert-answer-qps-over set but the 100k phase did not run"
+                    "indexed {query_type} answering at 100k edges: {qps:.0} q/s \
+                     ≥ floor {floor:.0} q/s"
                 );
-                std::process::exit(1);
             }
+        }
+        if failed {
+            std::process::exit(1);
         }
     }
 }

@@ -15,7 +15,9 @@ use gdp_datagen::engine::GraphModel;
 use gdp_datagen::{DblpConfig, DblpGenerator};
 use gdp_graph::{io as graph_io, GraphStats};
 use gdp_mechanisms::PrivacyBudget;
-use gdp_serve::{workload, AnswerService, IndexedRelease, ReleaseStore};
+use gdp_serve::{
+    workload, AnswerService, IndexedRelease, Query as ServeQuery, ReleaseStore, TypedAnswer,
+};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -44,14 +46,23 @@ commands:
           [--budget-eps E] [--budget-delta D]
           [--strategy exponential|median|random]
           [--mechanism gaussian|analytic|laplace|geometric] [--seed N]
+          [--hist-max D]
       run the pipeline inside a budget-enforced session and write the
       sealed release artifact (manifest + hierarchy + noisy levels) as
-      a JSON document — the long-lived product consumers answer from
-  answer --artifact FILE --queries FILE [--privilege P] [--level L]
-      load a published artifact and answer a subset-query workload file
-      (lines `L 0 1 2` / `R 5 7`, `#` comments) through the privilege-
-      gated serving path; --level defaults to the finest level the
-      privilege may read. Pure post-processing: no budget is spent
+      a JSON document — the long-lived product consumers answer from.
+      Releases the total, per-group counts and the left-degree
+      histogram (bins 0..=--hist-max, default 64) at every level
+  answer (--artifact FILE | --artifact-dir DIR) --queries FILE
+         [--privilege P] [--level L] [--dataset NAME] [--epoch N]
+         [--query-type subset|mass|hist|total|all]
+      load one published artifact (or scan a directory of them into a
+      sharded store) and answer a typed-query workload file (subset
+      lines `L 0 1 2` / `R 5 7`, plus `mass L 3`, `hist L`, `total R`,
+      `#` comments) through the privilege-gated serving path.
+      --level defaults to the finest level the privilege may read;
+      with --artifact-dir, --dataset defaults to the only scanned
+      dataset and --epoch to its latest; --query-type filters the
+      workload to one variant. Pure post-processing: no budget is spent
   help
       show this message
 ";
@@ -340,11 +351,18 @@ pub fn publish(args: &[String]) -> CmdResult {
         .specialize(&graph, &mut rng)
         .map_err(|e| e.to_string())?;
 
+    let hist_max: u32 = get_num(&flags, "hist-max", 64)?;
     let total = PrivacyBudget::new(budget_eps, budget_delta).map_err(|e| e.to_string())?;
     let config = DisclosureConfig::count_only(eps, delta)
         .map_err(|e| e.to_string())?
         .with_mechanism(mechanism)
-        .with_queries(vec![Query::TotalAssociations, Query::PerGroupCounts]);
+        .with_queries(vec![
+            Query::TotalAssociations,
+            Query::PerGroupCounts,
+            Query::LeftDegreeHistogram {
+                max_degree: hist_max,
+            },
+        ]);
     eprintln!(
         "phase 2: publishing dataset `{dataset}` epoch {epoch} ({mechanism:?}, eps_g {eps})..."
     );
@@ -370,32 +388,107 @@ pub fn publish(args: &[String]) -> CmdResult {
     Ok(())
 }
 
-/// `gdp answer` — load a published artifact and answer a subset-query
-/// workload under a privilege through the serving path.
+/// Parses the `--query-type` filter into a predicate over typed
+/// queries (`None` keeps every variant).
+fn query_type_filter(
+    flags: &HashMap<String, String>,
+) -> Result<Option<&'static str>, String> {
+    match flags.get("query-type").map(String::as_str).unwrap_or("all") {
+        "all" => Ok(None),
+        "subset" => Ok(Some("subset_count")),
+        "mass" => Ok(Some("group_mass")),
+        "hist" => Ok(Some("degree_histogram")),
+        "total" => Ok(Some("side_total")),
+        other => Err(format!(
+            "unknown query type `{other}` (subset|mass|hist|total|all)"
+        )),
+    }
+}
+
+/// A short human-readable parameter column for the answer table.
+fn query_detail(query: &ServeQuery) -> String {
+    match query {
+        ServeQuery::SubsetCount(q) => format!("|S|={}", q.nodes.len()),
+        ServeQuery::GroupMass { group, .. } => format!("g={group}"),
+        ServeQuery::DegreeHistogram { .. } | ServeQuery::SideTotal { .. } => "-".to_string(),
+    }
+}
+
+/// `gdp answer` — load a published artifact (or scan a directory of
+/// them) and answer a typed-query workload under a privilege through
+/// the serving path.
 pub fn answer(args: &[String]) -> CmdResult {
     let flags = parse_flags(args)?;
-    let artifact_path = flags.get("artifact").ok_or("answer requires --artifact FILE")?;
     let queries_path = flags.get("queries").ok_or("answer requires --queries FILE")?;
     let privilege = Privilege::new(get_num(&flags, "privilege", 0)?);
+    let type_filter = query_type_filter(&flags)?;
 
-    let file = File::open(artifact_path)
-        .map_err(|e| format!("cannot open {artifact_path}: {e}"))?;
-    let artifact = ReleaseArtifact::read_json(BufReader::new(file))
-        .map_err(|e| format!("{artifact_path}: {e}"))?;
-    let dataset = artifact.dataset().to_string();
-    let epoch = artifact.epoch();
-    let artifact_levels = artifact.level_count();
+    // One artifact file, or a scanned directory of them.
+    let store = match (flags.get("artifact"), flags.get("artifact-dir")) {
+        (Some(_), Some(_)) => {
+            return Err("--artifact and --artifact-dir are mutually exclusive".to_string())
+        }
+        (None, None) => {
+            return Err("answer requires --artifact FILE or --artifact-dir DIR".to_string())
+        }
+        (Some(artifact_path), None) => {
+            let file = File::open(artifact_path)
+                .map_err(|e| format!("cannot open {artifact_path}: {e}"))?;
+            let artifact = ReleaseArtifact::read_json(BufReader::new(file))
+                .map_err(|e| format!("{artifact_path}: {e}"))?;
+            let store = ReleaseStore::new();
+            store
+                .insert(IndexedRelease::new(artifact).map_err(|e| e.to_string())?)
+                .map_err(|e| e.to_string())?;
+            store
+        }
+        (None, Some(dir)) => {
+            let store = ReleaseStore::open_dir(dir).map_err(|e| format!("{dir}: {e}"))?;
+            eprintln!(
+                "scanned {dir}: {} artifacts across {:?}",
+                store.len(),
+                store.datasets()
+            );
+            store
+        }
+    };
+
+    let dataset = match flags.get("dataset") {
+        Some(name) => name.clone(),
+        None => {
+            let datasets = store.datasets();
+            match datasets.as_slice() {
+                [only] => only.clone(),
+                many => {
+                    return Err(format!(
+                        "--dataset required: the store holds {many:?}"
+                    ))
+                }
+            }
+        }
+    };
+    let epoch = match flags.get("epoch") {
+        Some(_) => get_num(&flags, "epoch", 0)?,
+        None => *store
+            .epochs(&dataset)
+            .last()
+            .ok_or_else(|| format!("no artifacts for dataset `{dataset}`"))?,
+    };
+    let artifact_levels = store
+        .get(&dataset, epoch)
+        .map_err(|e| e.to_string())?
+        .level_count();
+    let service = AnswerService::new(store);
 
     let file = File::open(queries_path)
         .map_err(|e| format!("cannot open {queries_path}: {e}"))?;
-    let queries = workload::read_query_file(BufReader::new(file))
+    let mut queries = workload::read_query_file(BufReader::new(file))
         .map_err(|e| format!("{queries_path}: {e}"))?;
-
-    let mut store = ReleaseStore::new();
-    store
-        .insert(IndexedRelease::new(artifact).map_err(|e| e.to_string())?)
-        .map_err(|e| e.to_string())?;
-    let service = AnswerService::new(store);
+    if let Some(name) = type_filter {
+        let before = queries.len();
+        queries.retain(|q| q.name() == name);
+        eprintln!("--query-type kept {} of {before} queries", queries.len());
+    }
 
     let level = match flags.get("level") {
         Some(_) => get_num(&flags, "level", 0)?,
@@ -417,15 +510,24 @@ pub fn answer(args: &[String]) -> CmdResult {
         privilege.finest_level()
     );
     let answers = service
-        .answer_batch(&dataset, epoch, privilege, level, &queries)
+        .answer_typed_batch(&dataset, epoch, privilege, level, &queries)
         .map_err(|e| e.to_string())?;
 
-    println!("query   side  subset_size  estimate");
-    for (i, (query, estimate)) in queries.iter().zip(&answers).enumerate() {
+    println!("query  type              side  param    answer");
+    for (i, (query, answer)) in queries.iter().zip(&answers).enumerate() {
+        let rendered = match answer {
+            TypedAnswer::Scalar(v) => format!("{v:.2}"),
+            TypedAnswer::Histogram(bins) => format!(
+                "histogram[{} bins, mass {:.1}]",
+                bins.len(),
+                bins.iter().sum::<f64>()
+            ),
+        };
         println!(
-            "{i:>5}  {:>5}  {:>11}  {estimate:>9.2}",
-            query.side.to_string(),
-            query.nodes.len()
+            "{i:>5}  {:<16}  {:>4}  {:<7}  {rendered}",
+            query.name(),
+            query.side().to_string(),
+            query_detail(query),
         );
     }
     let stats = service.cache_stats();
@@ -581,8 +683,12 @@ mod tests {
             "4".into(),
         ])
         .unwrap();
-        std::fs::write(&queries_path, "# workload\nL 0 1 2\nR 10 11\n").unwrap();
-        // Default level (finest allowed by the privilege).
+        std::fs::write(
+            &queries_path,
+            "# workload\nL 0 1 2\nR 10 11\nmass L 0\nhist L\ntotal R\n",
+        )
+        .unwrap();
+        // Default level (finest allowed by the privilege), every variant.
         answer(&[
             "--artifact".into(),
             artifact_path.clone(),
@@ -592,6 +698,27 @@ mod tests {
             "2".into(),
         ])
         .unwrap();
+        // The --query-type filter narrows the workload to one variant.
+        answer(&[
+            "--artifact".into(),
+            artifact_path.clone(),
+            "--queries".into(),
+            queries_path.clone(),
+            "--privilege".into(),
+            "2".into(),
+            "--query-type".into(),
+            "hist".into(),
+        ])
+        .unwrap();
+        assert!(answer(&[
+            "--artifact".into(),
+            artifact_path.clone(),
+            "--queries".into(),
+            queries_path.clone(),
+            "--query-type".into(),
+            "galaxy".into(),
+        ])
+        .is_err());
         // An explicit level finer than the privilege is refused.
         let err = answer(&[
             "--artifact".into(),
@@ -605,6 +732,93 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("may not read"), "unexpected error: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn end_to_end_answer_from_scanned_directory() {
+        let dir = std::env::temp_dir().join(format!("gdp-cli-dir-{}", std::process::id()));
+        let store_dir = dir.join("store");
+        std::fs::create_dir_all(&store_dir).unwrap();
+        let graph_path = dir.join("g.txt").to_str().unwrap().to_string();
+        let queries_path = dir.join("q.txt").to_str().unwrap().to_string();
+        generate(&[
+            "--out".into(),
+            graph_path.clone(),
+            "--model".into(),
+            "erdos-renyi".into(),
+            "--left".into(),
+            "200".into(),
+            "--right".into(),
+            "200".into(),
+            "--edges".into(),
+            "1000".into(),
+        ])
+        .unwrap();
+        for epoch in ["1", "2"] {
+            publish(&[
+                "--in".into(),
+                graph_path.clone(),
+                "--out".into(),
+                store_dir
+                    .join(format!("e{epoch}.json"))
+                    .to_str()
+                    .unwrap()
+                    .to_string(),
+                "--dataset".into(),
+                "cli-dir".into(),
+                "--epoch".into(),
+                epoch.into(),
+                "--rounds".into(),
+                "4".into(),
+                "--seed".into(),
+                epoch.into(),
+            ])
+            .unwrap();
+        }
+        std::fs::write(&queries_path, "L 0 1 2\nmass R 0\nhist L\ntotal L\n").unwrap();
+        let store_dir_s = store_dir.to_str().unwrap().to_string();
+        // Scanned store, dataset inferred (only one), epoch defaults to
+        // the latest.
+        answer(&[
+            "--artifact-dir".into(),
+            store_dir_s.clone(),
+            "--queries".into(),
+            queries_path.clone(),
+            "--privilege".into(),
+            "1".into(),
+        ])
+        .unwrap();
+        // An explicit epoch is honored too.
+        answer(&[
+            "--artifact-dir".into(),
+            store_dir_s.clone(),
+            "--queries".into(),
+            queries_path.clone(),
+            "--epoch".into(),
+            "1".into(),
+        ])
+        .unwrap();
+        // Both sources at once is a usage error, as is an empty dir.
+        assert!(answer(&[
+            "--artifact-dir".into(),
+            store_dir_s,
+            "--artifact".into(),
+            "x.json".into(),
+            "--queries".into(),
+            queries_path.clone(),
+        ])
+        .is_err());
+        let empty = dir.join("empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        let err = answer(&[
+            "--artifact-dir".into(),
+            empty.to_str().unwrap().to_string(),
+            "--queries".into(),
+            queries_path,
+        ])
+        .unwrap_err();
+        assert!(err.contains("no artifact"), "unexpected error: {err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -10,9 +10,11 @@ use rayon::prelude::*;
 
 use gdp_graph::Side;
 
+#[cfg(test)]
+use crate::queries::Query;
+
 use crate::error::CoreError;
 use crate::hierarchy::GroupLevel;
-use crate::queries::Query;
 use crate::release::LevelRelease;
 use crate::Result;
 
@@ -72,31 +74,19 @@ pub struct SubsetCountEstimator<'a> {
 
 impl<'a> SubsetCountEstimator<'a> {
     /// Builds an estimator from a level release (which must contain the
-    /// [`Query::PerGroupCounts`] release) and its public group level.
+    /// [`Query::PerGroupCounts`](crate::Query::PerGroupCounts) release)
+    /// and its public group level.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidConfig`] when the release lacks the
     /// per-group query or does not match the level's group count.
     pub fn new(release: &LevelRelease, level: &'a GroupLevel) -> Result<Self> {
-        let per_group = release.query(Query::PerGroupCounts).ok_or_else(|| {
-            CoreError::InvalidConfig(
-                "release does not contain per-group counts".to_string(),
-            )
-        })?;
-        let lb = level.left().block_count() as usize;
-        let rb = level.right().block_count() as usize;
-        if per_group.noisy_values.len() != lb + rb {
-            return Err(CoreError::InvalidConfig(format!(
-                "per-group vector length {} does not match level group count {}",
-                per_group.noisy_values.len(),
-                lb + rb
-            )));
-        }
+        let (left_noisy, right_noisy) = per_group_slices(release, level)?;
         Ok(Self {
             level,
-            left_noisy: per_group.noisy_values[..lb].to_vec(),
-            right_noisy: per_group.noisy_values[lb..].to_vec(),
+            left_noisy: left_noisy.to_vec(),
+            right_noisy: right_noisy.to_vec(),
             left_sizes: level.left().block_sizes(),
             right_sizes: level.right().block_sizes(),
         })
@@ -165,6 +155,117 @@ impl<'a> SubsetCountEstimator<'a> {
             Side::Right => self.right_noisy.iter().sum(),
         }
     }
+}
+
+/// Splits a level's per-group release into its `(left, right)` noisy
+/// slices, validating the vector length — the shared entry point of
+/// [`SubsetCountEstimator::new`] and the scan-path baselines below, so
+/// the per-group presence/shape contract (and its error text) has one
+/// definition.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] when the release lacks the
+/// per-group query or its length disagrees with the level's group
+/// count.
+fn per_group_slices<'a>(
+    release: &'a LevelRelease,
+    level: &GroupLevel,
+) -> Result<(&'a [f64], &'a [f64])> {
+    let per_group = release.per_group_counts().ok_or_else(|| {
+        CoreError::InvalidConfig("release does not contain per-group counts".to_string())
+    })?;
+    let lb = level.left().block_count() as usize;
+    let rb = level.right().block_count() as usize;
+    if per_group.noisy_values.len() != lb + rb {
+        return Err(CoreError::InvalidConfig(format!(
+            "per-group vector length {} does not match level group count {}",
+            per_group.noisy_values.len(),
+            lb + rb
+        )));
+    }
+    Ok((
+        &per_group.noisy_values[..lb],
+        &per_group.noisy_values[lb..],
+    ))
+}
+
+/// Scan-path baseline for a **group-mass** query: the raw noisy
+/// incident-association mass of one group, read straight out of the
+/// level's per-group release. `gdp_serve`'s indexed path answers the
+/// same query from its prebuilt tables and is pinned bit-identical to
+/// this function (values and typed errors) by conformance proptests.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidConfig`] when the release lacks per-group
+///   counts (checked **before** the group index, the same precedence
+///   the estimator applies to its inputs).
+/// * [`CoreError::GroupOutOfRange`] when `group` exceeds the side's
+///   group count.
+pub fn scan_group_mass(
+    release: &LevelRelease,
+    level: &GroupLevel,
+    side: Side,
+    group: u32,
+) -> Result<f64> {
+    let (left, right) = per_group_slices(release, level)?;
+    let noisy = match side {
+        Side::Left => left,
+        Side::Right => right,
+    };
+    let group_count = noisy.len() as u32;
+    if group >= group_count {
+        return Err(CoreError::GroupOutOfRange {
+            side,
+            group,
+            group_count,
+        });
+    }
+    Ok(noisy[group as usize])
+}
+
+/// Scan-path baseline for a **side-total** query: the sum of every
+/// group's noisy mass on one side, accumulated in group order — exactly
+/// [`SubsetCountEstimator::estimate_side_total`] evaluated from the raw
+/// release. The indexed path is pinned bit-identical to this.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] when the release lacks
+/// per-group counts.
+pub fn scan_side_total(release: &LevelRelease, level: &GroupLevel, side: Side) -> Result<f64> {
+    let (left, right) = per_group_slices(release, level)?;
+    let noisy = match side {
+        Side::Left => left,
+        Side::Right => right,
+    };
+    Ok(noisy.iter().sum())
+}
+
+/// Scan-path baseline for a **degree-histogram** query: the noisy
+/// left-degree histogram released at the level (bins `0..=max_degree`),
+/// found by query kind regardless of the cap. Only the left side is
+/// released by the disclosure pipeline, so the right side is a typed
+/// refusal — the serving layer surfaces the same distinction as
+/// `ServeError::StatisticNotReleased`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] when `side` is
+/// [`Side::Right`] or the release carries no histogram.
+pub fn scan_degree_histogram(release: &LevelRelease, side: Side) -> Result<&[f64]> {
+    if side == Side::Right {
+        return Err(CoreError::InvalidConfig(
+            "no right-side degree histogram is released".to_string(),
+        ));
+    }
+    let hist = release.left_degree_histogram().ok_or_else(|| {
+        CoreError::InvalidConfig(
+            "release does not contain a left-degree histogram".to_string(),
+        )
+    })?;
+    Ok(&hist.noisy_values)
 }
 
 /// The canonical subset well-formedness check: every node in range for
@@ -377,6 +478,71 @@ mod tests {
         let bad = graph.left_count() + 1;
         let subsets = vec![vec![0u32], vec![bad], vec![1u32]];
         assert!(est.estimate_batch(Side::Left, &subsets).is_err());
+    }
+
+    #[test]
+    fn scan_baselines_read_the_release_directly() {
+        let (_, hierarchy, release) = setup(0.9);
+        let level = 1;
+        let rel = release.level(level).unwrap();
+        let lvl = hierarchy.level(level).unwrap();
+        let per_group = rel.per_group_counts().unwrap();
+        let lb = lvl.left().block_count() as usize;
+        // Group mass is the raw noisy value, side-offset for the right.
+        assert_eq!(
+            scan_group_mass(rel, lvl, Side::Left, 0).unwrap().to_bits(),
+            per_group.noisy_values[0].to_bits()
+        );
+        assert_eq!(
+            scan_group_mass(rel, lvl, Side::Right, 1).unwrap().to_bits(),
+            per_group.noisy_values[lb + 1].to_bits()
+        );
+        let err = scan_group_mass(rel, lvl, Side::Left, lb as u32).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::GroupOutOfRange { side: Side::Left, group, group_count }
+                if group == lb as u32 && group_count == lb as u32
+        ));
+        // Side totals equal the estimator's.
+        let est = SubsetCountEstimator::new(rel, lvl).unwrap();
+        for side in [Side::Left, Side::Right] {
+            assert_eq!(
+                scan_side_total(rel, lvl, side).unwrap().to_bits(),
+                est.estimate_side_total(side).to_bits()
+            );
+        }
+        // No histogram released in this setup: typed refusal either way.
+        assert!(matches!(
+            scan_degree_histogram(rel, Side::Left).unwrap_err(),
+            CoreError::InvalidConfig(_)
+        ));
+        assert!(matches!(
+            scan_degree_histogram(rel, Side::Right).unwrap_err(),
+            CoreError::InvalidConfig(_)
+        ));
+    }
+
+    #[test]
+    fn scan_degree_histogram_finds_release_by_kind() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let graph = DblpGenerator::new(DblpConfig::tiny()).generate(&mut rng);
+        let hierarchy = Specializer::new(SpecializationConfig::median(2).unwrap())
+            .specialize(&graph, &mut rng)
+            .unwrap();
+        let release = MultiLevelDiscloser::new(
+            DisclosureConfig::count_only(0.5, 1e-6)
+                .unwrap()
+                .with_queries(vec![Query::LeftDegreeHistogram { max_degree: 8 }]),
+        )
+        .disclose(&graph, &hierarchy, &mut rng)
+        .unwrap();
+        let rel = release.level(0).unwrap();
+        let hist = scan_degree_histogram(rel, Side::Left).unwrap();
+        assert_eq!(hist.len(), 9);
+        assert_eq!(
+            hist,
+            rel.left_degree_histogram().unwrap().noisy_values.as_slice()
+        );
     }
 
     #[test]

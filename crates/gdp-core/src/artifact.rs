@@ -81,6 +81,17 @@ pub struct ArtifactPayload {
     release: MultiLevelRelease,
 }
 
+impl ArtifactPayload {
+    /// The manifest as parsed, **before** sealing validation — what a
+    /// store scanning a directory inspects (schema version, dataset,
+    /// epoch) to produce typed errors with file context instead of one
+    /// opaque deserialization failure. Promote to a validated artifact
+    /// with `ReleaseArtifact::try_from`.
+    pub fn manifest(&self) -> &ArtifactManifest {
+        &self.manifest
+    }
+}
+
 /// A sealed multi-level release bundle: manifest + public hierarchy +
 /// noisy per-level releases.
 ///

@@ -54,6 +54,17 @@ pub enum CoreError {
         /// The first node that appeared twice.
         node: u32,
     },
+    /// A per-group query referenced a group index beyond the level's
+    /// group count on that side (consumer-side answering; see
+    /// `answering`).
+    GroupOutOfRange {
+        /// Which side the group lives on.
+        side: Side,
+        /// The offending group index.
+        group: u32,
+        /// Number of groups on that side at the level.
+        group_count: u32,
+    },
     /// A release artifact failed sealing, validation, or carried an
     /// unsupported schema version.
     Artifact(String),
@@ -90,6 +101,14 @@ impl fmt::Display for CoreError {
             Self::DuplicateSubsetNode { side, node } => {
                 write!(f, "subset lists {side} node {node} more than once")
             }
+            Self::GroupOutOfRange {
+                side,
+                group,
+                group_count,
+            } => write!(
+                f,
+                "group {group} out of range for {side} side with {group_count} groups"
+            ),
             Self::Artifact(msg) => write!(f, "artifact error: {msg}"),
         }
     }

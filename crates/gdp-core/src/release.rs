@@ -61,6 +61,22 @@ impl LevelRelease {
     pub fn total_associations(&self) -> Option<f64> {
         self.query(Query::TotalAssociations).and_then(QueryRelease::scalar)
     }
+
+    /// The per-group counts release, if configured — the statistic the
+    /// serving layer's subset gathers, group-mass lookups and side
+    /// totals are all post-processing of.
+    pub fn per_group_counts(&self) -> Option<&QueryRelease> {
+        self.query(Query::PerGroupCounts)
+    }
+
+    /// The left-degree histogram release, if configured, regardless of
+    /// its `max_degree` cap (queries are compared by kind here, not by
+    /// exact parameter — a level carries at most one histogram).
+    pub fn left_degree_histogram(&self) -> Option<&QueryRelease> {
+        self.queries
+            .iter()
+            .find(|q| matches!(q.query, Query::LeftDegreeHistogram { .. }))
+    }
 }
 
 /// The complete multi-level disclosure: one [`LevelRelease`] per

@@ -1,14 +1,54 @@
 use serde::{Deserialize, Serialize};
 
+/// Serde-facing mirror of [`DegreeHistogram`]; deserializing goes
+/// through `TryFrom`, which re-checks the construction invariants, so a
+/// histogram loaded from an untrusted document carries the same
+/// guarantees as one built by [`DegreeHistogram::from_degrees`].
+#[derive(Debug, Deserialize)]
+struct HistogramPayload {
+    counts: Vec<u64>,
+    total: u64,
+}
+
 /// A histogram over node degrees (or any non-negative integer quantity).
 ///
 /// Used by [`crate::GraphStats`] for degree-distribution summaries and by
 /// the `gdp-core` degree-histogram query, whose noisy release is one of
-/// the per-level disclosures.
+/// the per-level disclosures. Deserialization re-validates the
+/// construction invariants (total equals the summed counts, no empty
+/// trailing bin), so a histogram loaded from an untrusted document
+/// carries the same guarantees as one built by
+/// [`DegreeHistogram::from_degrees`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(try_from = "HistogramPayload")]
 pub struct DegreeHistogram {
     counts: Vec<u64>,
     total: u64,
+}
+
+impl TryFrom<HistogramPayload> for DegreeHistogram {
+    type Error = String;
+
+    fn try_from(p: HistogramPayload) -> Result<Self, String> {
+        let sum = p
+            .counts
+            .iter()
+            .try_fold(0u64, |acc, &c| acc.checked_add(c))
+            .ok_or_else(|| "histogram counts overflow u64".to_string())?;
+        if sum != p.total {
+            return Err(format!(
+                "histogram total {} disagrees with summed counts {sum}",
+                p.total
+            ));
+        }
+        if p.counts.last() == Some(&0) {
+            return Err("histogram carries an empty trailing bin".to_string());
+        }
+        Ok(Self {
+            counts: p.counts,
+            total: p.total,
+        })
+    }
 }
 
 impl DegreeHistogram {
@@ -218,5 +258,26 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn quantile_rejects_out_of_range() {
         DegreeHistogram::from_degrees(&[1]).quantile(1.5);
+    }
+
+    #[test]
+    fn serde_round_trip_revalidates() {
+        let h = DegreeHistogram::from_degrees(&[0, 1, 1, 3]);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: DegreeHistogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+        // A doctored total is refused instead of silently accepted.
+        let bad = json.replace("\"total\": 4", "\"total\": 9");
+        let bad = if bad == json { json.replace("\"total\":4", "\"total\":9") } else { bad };
+        assert!(serde_json::from_str::<DegreeHistogram>(&bad).is_err());
+        // A trailing zero bin cannot come from `from_degrees`: refused.
+        assert!(serde_json::from_str::<DegreeHistogram>(
+            "{\"counts\":[1,0],\"total\":1}"
+        )
+        .is_err());
+        // The empty histogram round-trips.
+        let empty = DegreeHistogram::from_degrees(&[]);
+        let json = serde_json::to_string(&empty).unwrap();
+        assert_eq!(serde_json::from_str::<DegreeHistogram>(&json).unwrap(), empty);
     }
 }

@@ -27,10 +27,37 @@ pub enum ServeError {
         epoch: u64,
     },
     /// The artifact does not carry per-group counts at this level, so
-    /// subset queries cannot be answered from it.
+    /// subset-count, group-mass and side-total queries cannot be
+    /// answered from it.
     LevelNotIndexed {
         /// The level that lacks a per-group release.
         level: usize,
+    },
+    /// The artifact released no such statistic at this level (e.g. a
+    /// degree histogram that was never disclosed, or the right side of
+    /// a left-only histogram release).
+    StatisticNotReleased {
+        /// The level that lacks the statistic.
+        level: usize,
+        /// Human-readable name of the missing statistic.
+        statistic: String,
+    },
+    /// A scanned artifact file carries a schema version this build does
+    /// not read — refused with file context instead of misinterpreting
+    /// the payload.
+    SchemaVersion {
+        /// Path of the offending file.
+        path: String,
+        /// The version found in its manifest.
+        found: u32,
+        /// The version this build reads.
+        supported: u32,
+    },
+    /// A directory scan found no artifact documents — almost certainly
+    /// a wrong path rather than an intentionally empty store.
+    EmptyDirectory {
+        /// The scanned directory.
+        path: String,
     },
     /// A subset-query workload file could not be parsed.
     Workload {
@@ -54,8 +81,24 @@ impl fmt::Display for ServeError {
             ),
             Self::LevelNotIndexed { level } => write!(
                 f,
-                "level {level} released no per-group counts; subset queries need them"
+                "level {level} released no per-group counts; subset, group-mass and \
+                 side-total queries need them"
             ),
+            Self::StatisticNotReleased { level, statistic } => {
+                write!(f, "level {level} released no {statistic}")
+            }
+            Self::SchemaVersion {
+                path,
+                found,
+                supported,
+            } => write!(
+                f,
+                "{path}: artifact schema version {found} unsupported \
+                 (this build reads version {supported})"
+            ),
+            Self::EmptyDirectory { path } => {
+                write!(f, "directory {path} holds no artifact JSON documents")
+            }
             Self::Workload { line, message } => {
                 write!(f, "workload parse error at line {line}: {message}")
             }
@@ -108,6 +151,25 @@ mod tests {
 
         let e = ServeError::LevelNotIndexed { level: 3 };
         assert!(e.to_string().contains('3'));
+
+        let e = ServeError::StatisticNotReleased {
+            level: 2,
+            statistic: "right degree histogram".to_string(),
+        };
+        assert!(e.to_string().contains("right degree histogram"));
+
+        let e = ServeError::SchemaVersion {
+            path: "store/a.json".to_string(),
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("a.json"));
+        assert!(e.to_string().contains('9'));
+
+        let e = ServeError::EmptyDirectory {
+            path: "store".to_string(),
+        };
+        assert!(e.to_string().contains("no artifact"));
 
         let e = ServeError::Workload {
             line: 4,

@@ -10,20 +10,32 @@
 //! batching, re-answering the same query a million times — costs zero
 //! additional privacy budget. That freedom is what this crate exploits:
 //!
+//! * [`Query`] / [`TypedAnswer`] — the typed query surface: subset
+//!   counts, per-group noisy masses, released degree histograms and
+//!   side totals, every variant answered on the indexed path and
+//!   pinned **bit-identical** (values and typed-error precedence) to a
+//!   core rescan baseline in [`gdp_core::answering`].
 //! * [`IndexedRelease`] — a query-optimized view of one artifact:
-//!   per-level node→group tables plus per-group noisy mass pre-divided
-//!   by `|g|`, turning a subset-count estimate into an `O(|S|)` gather
-//!   (bit-identical to [`gdp_core::answering::SubsetCountEstimator`],
-//!   which remains the equivalence baseline) instead of an `O(groups)`
-//!   scan behind a per-query estimator rebuild.
-//! * [`ReleaseStore`] — artifacts keyed by `(dataset, epoch)`, the
-//!   registry a deployment keeps as it republishes week after week.
+//!   per-level node→group tables plus per-group noisy mass, raw and
+//!   pre-divided by `|g|`, turning a subset-count estimate into an
+//!   `O(|S|)` gather (bit-identical to
+//!   [`gdp_core::answering::SubsetCountEstimator`], which remains the
+//!   equivalence baseline) instead of an `O(groups)` scan behind a
+//!   per-query estimator rebuild; histograms are materialized once per
+//!   level and served by `Arc` reference.
+//! * [`ReleaseStore`] / [`ShardedStoreHandle`] — artifacts keyed by
+//!   `(dataset, epoch)` in fixed `hash(dataset) % N` shards with one
+//!   `RwLock` each, so concurrent readers never serialize on one
+//!   registry lock and a republisher inserts without stopping the
+//!   world; [`ReleaseStore::open_dir`] scans a directory of artifact
+//!   JSONs and indexes each lazily on first access.
 //! * [`AnswerService`] — the front door: enforces
 //!   [`AccessPolicy`](gdp_core::AccessPolicy)/[`Privilege`](gdp_core::Privilege)
-//!   on **every** request, fans batched workloads out over rayon
-//!   (deterministically — answering is RNG-free pure post-processing,
-//!   see `docs/determinism.md`), and memoizes repeated subset queries.
-//! * [`workload`] — the plain-text subset-query file format the CLI's
+//!   on **every** request and variant, fans batched workloads out over
+//!   rayon (deterministically — answering is RNG-free pure
+//!   post-processing, see `docs/determinism.md`), and memoizes
+//!   repeated queries under variant-aware keys.
+//! * [`workload`] — the plain-text typed-query file format the CLI's
 //!   `gdp answer` consumes, following `gdp_graph::io` conventions.
 //!
 //! ```
@@ -47,12 +59,17 @@
 //! let artifact = session.publish(&config, "dblp", 1, &mut rng)?;
 //!
 //! // …serving side: index it, register it, answer under a privilege.
-//! let mut store = ReleaseStore::new();
+//! let store = ReleaseStore::new();
 //! store.insert(IndexedRelease::new(artifact)?)?;
 //! let service = AnswerService::new(store);
 //! let query = SubsetQuery { side: Side::Left, nodes: vec![0, 1, 2] };
 //! let coarse = service.answer("dblp", 1, Privilege::new(2), 2, &query)?;
 //! assert!(coarse.is_finite());
+//! // Typed variants ride the same privilege-gated path.
+//! let total = service.answer_typed(
+//!     "dblp", 1, Privilege::new(2), 2,
+//!     &gdp_serve::Query::SideTotal { side: Side::Left })?;
+//! assert!(total.scalar().unwrap().is_finite());
 //! // The same reader may NOT touch a finer level than their clearance.
 //! assert!(service.answer("dblp", 1, Privilege::new(2), 0, &query).is_err());
 //! # Ok(())
@@ -64,6 +81,7 @@
 
 mod error;
 mod index;
+mod query;
 mod service;
 mod store;
 
@@ -71,8 +89,9 @@ pub mod workload;
 
 pub use error::ServeError;
 pub use index::IndexedRelease;
-pub use service::{AnswerService, CacheStats, SubsetQuery};
-pub use store::ReleaseStore;
+pub use query::{Query, SubsetQuery, TypedAnswer};
+pub use service::{AnswerService, CacheStats};
+pub use store::{ReleaseStore, ShardedStoreHandle};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, ServeError>;

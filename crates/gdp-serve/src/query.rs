@@ -1,0 +1,171 @@
+//! The typed query surface — every statistic the serving layer answers.
+//!
+//! The paper's consumer path discloses more than subset counts: degree
+//! histograms and per-group noisy masses are first-class published
+//! statistics. [`Query`] names each of them as a variant; every variant
+//! is answered on the indexed path, pinned **bit-identical** to a
+//! core-path rescan baseline in `gdp_core::answering`
+//! ([`scan_group_mass`](gdp_core::answering::scan_group_mass),
+//! [`scan_side_total`](gdp_core::answering::scan_side_total),
+//! [`scan_degree_histogram`](gdp_core::answering::scan_degree_histogram),
+//! and [`SubsetCountEstimator`](gdp_core::answering::SubsetCountEstimator)
+//! for subset counts) by the conformance proptests in
+//! `crates/gdp-serve/tests/conformance.rs`.
+
+use std::sync::Arc;
+
+use gdp_graph::Side;
+
+/// One subset-count query: "how many associations touch *these* nodes
+/// on this side?"
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SubsetQuery {
+    /// Which side the subset lives on.
+    pub side: Side,
+    /// The queried node indices (must be in range and duplicate-free;
+    /// an empty subset is well-formed and estimates `0.0`).
+    pub nodes: Vec<u32>,
+}
+
+/// A typed query against one level of one published release — the
+/// generalization of [`SubsetQuery`] the answering service dispatches.
+///
+/// The hierarchy level is part of the request envelope
+/// ([`AnswerService::answer_typed`](crate::AnswerService::answer_typed)
+/// takes it alongside the privilege), uniform across variants, so
+/// privilege gating happens once per request before the variant is
+/// looked at.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Query {
+    /// The estimated association count incident to a node subset — the
+    /// `O(|S|)` gather over premass tables.
+    SubsetCount(SubsetQuery),
+    /// The **raw noisy incident-association mass** of one group, as
+    /// released (not divided by the group size) — the per-group lookup
+    /// a consumer uses to read a single neighborhood's disclosure.
+    GroupMass {
+        /// Which side the group lives on.
+        side: Side,
+        /// The group index at the queried level.
+        group: u32,
+    },
+    /// The noisy degree histogram released at the level (bins
+    /// `0..=max_degree`). Only the left side is released by the
+    /// disclosure pipeline; asking for the right side is a typed
+    /// refusal
+    /// ([`ServeError::StatisticNotReleased`](crate::ServeError::StatisticNotReleased)).
+    DegreeHistogram {
+        /// Which side's histogram to read.
+        side: Side,
+    },
+    /// The sum of every group's noisy mass on a side — the whole-side
+    /// estimate, for consistency checks against released totals.
+    SideTotal {
+        /// Which side to total.
+        side: Side,
+    },
+}
+
+impl Query {
+    /// Stable, human-readable variant name, used by workload files, CLI
+    /// output and bench report entries.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Query::SubsetCount(_) => "subset_count",
+            Query::GroupMass { .. } => "group_mass",
+            Query::DegreeHistogram { .. } => "degree_histogram",
+            Query::SideTotal { .. } => "side_total",
+        }
+    }
+
+    /// The side the query reads.
+    pub fn side(&self) -> Side {
+        match self {
+            Query::SubsetCount(q) => q.side,
+            Query::GroupMass { side, .. }
+            | Query::DegreeHistogram { side }
+            | Query::SideTotal { side } => *side,
+        }
+    }
+}
+
+impl From<SubsetQuery> for Query {
+    fn from(q: SubsetQuery) -> Self {
+        Query::SubsetCount(q)
+    }
+}
+
+/// A typed query's answer.
+///
+/// Histograms are **served by reference**: the index materializes each
+/// level's released histogram once ([`Arc`]d), and every answer —
+/// cached or fresh — clones the `Arc`, never the bins. Cloning a
+/// `TypedAnswer` is therefore always O(1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypedAnswer {
+    /// A scalar statistic (subset count, group mass, side total).
+    Scalar(f64),
+    /// A histogram statistic: noisy bin values `0..=max_degree`.
+    Histogram(Arc<[f64]>),
+}
+
+impl TypedAnswer {
+    /// The scalar value, if this is a scalar answer.
+    pub fn scalar(&self) -> Option<f64> {
+        match self {
+            TypedAnswer::Scalar(v) => Some(*v),
+            TypedAnswer::Histogram(_) => None,
+        }
+    }
+
+    /// The histogram bins, if this is a histogram answer.
+    pub fn histogram(&self) -> Option<&[f64]> {
+        match self {
+            TypedAnswer::Scalar(_) => None,
+            TypedAnswer::Histogram(bins) => Some(bins),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_sides_and_conversions() {
+        let subset = SubsetQuery {
+            side: Side::Left,
+            nodes: vec![1, 2],
+        };
+        let q: Query = subset.clone().into();
+        assert_eq!(q, Query::SubsetCount(subset));
+        assert_eq!(q.name(), "subset_count");
+        assert_eq!(q.side(), Side::Left);
+        assert_eq!(
+            Query::GroupMass {
+                side: Side::Right,
+                group: 3
+            }
+            .name(),
+            "group_mass"
+        );
+        assert_eq!(
+            Query::DegreeHistogram { side: Side::Left }.side(),
+            Side::Left
+        );
+        assert_eq!(Query::SideTotal { side: Side::Right }.side(), Side::Right);
+    }
+
+    #[test]
+    fn typed_answer_accessors() {
+        let s = TypedAnswer::Scalar(4.5);
+        assert_eq!(s.scalar(), Some(4.5));
+        assert!(s.histogram().is_none());
+        let h = TypedAnswer::Histogram(vec![1.0, 2.0].into());
+        assert!(h.scalar().is_none());
+        assert_eq!(h.histogram(), Some(&[1.0, 2.0][..]));
+        // Cloning a histogram answer shares the bins.
+        let h2 = h.clone();
+        assert_eq!(h, h2);
+    }
+}

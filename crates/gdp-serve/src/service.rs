@@ -7,61 +7,62 @@ use std::sync::Mutex;
 use rayon::prelude::*;
 
 use gdp_core::Privilege;
-use gdp_graph::Side;
 
 use crate::error::ServeError;
-use crate::store::ReleaseStore;
+use crate::query::{Query, SubsetQuery, TypedAnswer};
+use crate::store::ShardedStoreHandle;
 use crate::Result;
-
-/// One subset-count query: "how many associations touch *these* nodes
-/// on this side?"
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct SubsetQuery {
-    /// Which side the subset lives on.
-    pub side: Side,
-    /// The queried node indices (must be in range and duplicate-free).
-    pub nodes: Vec<u32>,
-}
 
 /// Memoization counters, for observability and tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
     /// Requests answered straight from the memo table.
     pub hits: u64,
-    /// Requests that computed a fresh estimate.
+    /// Requests that computed a fresh answer.
     pub misses: u64,
     /// Distinct memoized queries.
     pub entries: usize,
 }
 
-type CacheKey = (String, u64, usize, SubsetQuery);
+/// The memo key is variant-aware: two queries of different kinds (or
+/// the same kind with different parameters) at the same
+/// `(dataset, epoch, level)` are distinct entries.
+type CacheKey = (String, u64, usize, Query);
 
-/// Answers subset-count queries from a [`ReleaseStore`] under the
+/// Answers typed queries from a sharded release store under the
 /// paper's graded-privilege model — the serving path a heavy-traffic
 /// deployment runs.
 ///
 /// Three properties define the service:
 ///
 /// * **Every request is privilege-checked.** The artifact's monotone
-///   [`AccessPolicy`](gdp_core::AccessPolicy) is enforced before any
-///   value is touched; a reader cleared for level `p` can answer from
-///   levels `p..` and nothing finer, exactly the paper's
-///   `I_{L,i}`-per-audience mapping.
-/// * **Batched workloads fan out over rayon.** Answering is RNG-free
-///   pure post-processing, so batch output is identical to a
-///   sequential loop at any thread count (the degenerate case of the
-///   `docs/determinism.md` convention: no per-task randomness at all).
+///   [`AccessPolicy`](gdp_core::AccessPolicy) is enforced before the
+///   query variant is even looked at; a reader cleared for level `p`
+///   can answer from levels `p..` and nothing finer — for every
+///   [`Query`] variant alike — exactly the paper's `I_{L,i}`-per-
+///   audience mapping.
+/// * **Batched workloads fan out over rayon, readers over threads.**
+///   Answering is RNG-free pure post-processing, so batch output is
+///   identical to a sequential loop at any thread count (the
+///   degenerate case of the `docs/determinism.md` convention: no
+///   per-task randomness at all). [`AnswerService::answer`] takes
+///   `&self`, and the store behind it is sharded with one `RwLock` per
+///   shard, so any number of OS threads answer concurrently while a
+///   republisher inserts next week's artifact.
 /// * **Repeated queries are memoized.** Post-processing invariance
 ///   means re-answering a released value costs no privacy budget, so
 ///   caching is always *sound*; memory is the only constraint, and the
 ///   memo table stops admitting new entries at
 ///   [`AnswerService::CACHE_CAPACITY`] (existing entries keep hitting —
 ///   correctness never depends on the cache, every miss just recomputes
-///   the gather). The memo key is `(dataset, epoch, level, query)`.
+///   the lookup). The memo key is `(dataset, epoch, level, query)` with
+///   the full typed query, so variants never collide; histogram answers
+///   are `Arc`s, so a cached histogram costs one pointer, not one copy
+///   of the bins.
 #[derive(Debug)]
 pub struct AnswerService {
-    store: ReleaseStore,
-    cache: Mutex<HashMap<CacheKey, f64>>,
+    store: ShardedStoreHandle,
+    cache: Mutex<HashMap<CacheKey, TypedAnswer>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -72,23 +73,26 @@ impl AnswerService {
     /// bounding memory on workloads of mostly-unique queries.
     pub const CACHE_CAPACITY: usize = 1 << 20;
 
-    /// Wraps a store with an empty memo table.
-    pub fn new(store: ReleaseStore) -> Self {
+    /// Wraps a store (or an existing [`ShardedStoreHandle`] — services
+    /// sharing a handle share one registry) with an empty memo table.
+    pub fn new(store: impl Into<ShardedStoreHandle>) -> Self {
         Self {
-            store,
+            store: store.into(),
             cache: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
-    /// The underlying store.
-    pub fn store(&self) -> &ReleaseStore {
+    /// The underlying store handle (clone it to share the registry with
+    /// other services or writer threads).
+    pub fn store(&self) -> &ShardedStoreHandle {
         &self.store
     }
 
-    /// Answers one subset-count query from `(dataset, epoch)` at
-    /// `level`, enforcing `privilege`.
+    /// Answers one typed query from `(dataset, epoch)` at `level`,
+    /// enforcing `privilege` — the general entry point every variant
+    /// routes through.
     ///
     /// # Errors
     ///
@@ -99,8 +103,95 @@ impl AnswerService {
     ///   [`CoreError::LevelOutOfRange`](gdp_core::CoreError::LevelOutOfRange)
     ///   for unknown levels — access is checked **before** the query is
     ///   looked at.
-    /// * The estimate's own errors
-    ///   ([`IndexedRelease::estimate`](crate::IndexedRelease::estimate)).
+    /// * The variant's own errors
+    ///   ([`IndexedRelease::answer`](crate::IndexedRelease::answer)).
+    pub fn answer_typed(
+        &self,
+        dataset: &str,
+        epoch: u64,
+        privilege: Privilege,
+        level: usize,
+        query: &Query,
+    ) -> Result<TypedAnswer> {
+        let indexed = self.gated(dataset, epoch, privilege, level)?;
+        self.answer_resolved(&indexed, dataset, epoch, level, query.clone())
+    }
+
+    /// Resolves `(dataset, epoch)` and enforces `privilege` — the one
+    /// store lookup and policy check every request (or whole batch)
+    /// pays exactly once.
+    fn gated(
+        &self,
+        dataset: &str,
+        epoch: u64,
+        privilege: Privilege,
+        level: usize,
+    ) -> Result<std::sync::Arc<crate::IndexedRelease>> {
+        let indexed = self.store.get(dataset, epoch)?;
+        indexed
+            .policy()
+            .check(privilege, level)
+            .map_err(ServeError::Core)?;
+        Ok(indexed)
+    }
+
+    /// Memoized dispatch against an already-resolved, already-gated
+    /// release. Takes the query by value: it becomes the cache key's
+    /// tail, so the whole path costs exactly one query clone (paid by
+    /// the borrowing callers), never two.
+    fn answer_resolved(
+        &self,
+        indexed: &crate::IndexedRelease,
+        dataset: &str,
+        epoch: u64,
+        level: usize,
+        query: Query,
+    ) -> Result<TypedAnswer> {
+        let key: CacheKey = (dataset.to_string(), epoch, level, query);
+        if let Some(value) = self.cache.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(value.clone());
+        }
+        let value = indexed.answer(level, &key.3)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut cache = self.cache.lock().expect("cache lock");
+        if cache.len() < Self::CACHE_CAPACITY {
+            cache.insert(key, value.clone());
+        }
+        Ok(value)
+    }
+
+    /// Answers a batch of typed queries against one
+    /// `(dataset, epoch, level)` under one privilege, fanning out over
+    /// rayon. The privilege is checked once up front so a denied
+    /// workload is refused as a whole, before any answer is computed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AnswerService::answer_typed`]; for malformed queries,
+    /// which failing query's error surfaces is unspecified.
+    pub fn answer_typed_batch(
+        &self,
+        dataset: &str,
+        epoch: u64,
+        privilege: Privilege,
+        level: usize,
+        queries: &[Query],
+    ) -> Result<Vec<TypedAnswer>> {
+        let indexed = self.gated(dataset, epoch, privilege, level)?;
+        queries
+            .par_iter()
+            .map(|query| self.answer_resolved(&indexed, dataset, epoch, level, query.clone()))
+            .collect()
+    }
+
+    /// Answers one subset-count query — the scalar shorthand for
+    /// [`AnswerService::answer_typed`] with
+    /// [`Query::SubsetCount`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AnswerService::answer_typed`].
     pub fn answer(
         &self,
         dataset: &str,
@@ -109,29 +200,23 @@ impl AnswerService {
         level: usize,
         query: &SubsetQuery,
     ) -> Result<f64> {
-        let indexed = self.store.get(dataset, epoch)?;
-        indexed
-            .policy()
-            .check(privilege, level)
-            .map_err(ServeError::Core)?;
-        let key: CacheKey = (dataset.to_string(), epoch, level, query.clone());
-        if let Some(&value) = self.cache.lock().expect("cache lock").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(value);
-        }
-        let value = indexed.estimate(level, query.side, &query.nodes)?;
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut cache = self.cache.lock().expect("cache lock");
-        if cache.len() < Self::CACHE_CAPACITY {
-            cache.insert(key, value);
-        }
-        Ok(value)
+        let indexed = self.gated(dataset, epoch, privilege, level)?;
+        let answer = self.answer_resolved(
+            &indexed,
+            dataset,
+            epoch,
+            level,
+            Query::SubsetCount(query.clone()),
+        )?;
+        Ok(answer
+            .scalar()
+            .expect("a subset count is always a scalar"))
     }
 
-    /// Answers a batch of queries against one `(dataset, epoch, level)`
-    /// under one privilege, fanning out over rayon. The privilege is
-    /// checked once up front so a denied workload is refused as a
-    /// whole, before any answer is computed.
+    /// Answers a batch of subset-count queries against one
+    /// `(dataset, epoch, level)` under one privilege, fanning out over
+    /// rayon. The privilege is checked once up front so a denied
+    /// workload is refused as a whole, before any answer is computed.
     ///
     /// # Errors
     ///
@@ -145,14 +230,19 @@ impl AnswerService {
         level: usize,
         queries: &[SubsetQuery],
     ) -> Result<Vec<f64>> {
-        let indexed = self.store.get(dataset, epoch)?;
-        indexed
-            .policy()
-            .check(privilege, level)
-            .map_err(ServeError::Core)?;
+        let indexed = self.gated(dataset, epoch, privilege, level)?;
         queries
             .par_iter()
-            .map(|query| self.answer(dataset, epoch, privilege, level, query))
+            .map(|query| {
+                self.answer_resolved(
+                    &indexed,
+                    dataset,
+                    epoch,
+                    level,
+                    Query::SubsetCount(query.clone()),
+                )
+                .map(|answer| answer.scalar().expect("a subset count is always a scalar"))
+            })
             .collect()
     }
 
@@ -187,12 +277,13 @@ impl AnswerService {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::IndexedRelease;
+    use crate::{IndexedRelease, ReleaseStore};
     use gdp_core::{
-        CoreError, DisclosureConfig, MultiLevelDiscloser, Query, ReleaseArtifact,
-        SpecializationConfig, Specializer,
+        CoreError, DisclosureConfig, MultiLevelDiscloser, Query as CoreQuery,
+        ReleaseArtifact, SpecializationConfig, Specializer,
     };
     use gdp_datagen::{DblpConfig, DblpGenerator};
+    use gdp_graph::Side;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -205,12 +296,15 @@ mod tests {
         let release = MultiLevelDiscloser::new(
             DisclosureConfig::count_only(0.9, 1e-6)
                 .unwrap()
-                .with_queries(vec![Query::PerGroupCounts]),
+                .with_queries(vec![
+                    CoreQuery::PerGroupCounts,
+                    CoreQuery::LeftDegreeHistogram { max_degree: 12 },
+                ]),
         )
         .disclose(&graph, &hierarchy, &mut rng)
         .unwrap();
         let artifact = ReleaseArtifact::seal("dblp", 4, hierarchy, release).unwrap();
-        let mut store = ReleaseStore::new();
+        let store = ReleaseStore::new();
         store.insert(IndexedRelease::new(artifact).unwrap()).unwrap();
         AnswerService::new(store)
     }
@@ -223,21 +317,39 @@ mod tests {
     }
 
     #[test]
-    fn privilege_gates_every_level() {
+    fn privilege_gates_every_level_for_every_variant() {
         let service = service();
-        let q = query(&[0, 1, 2]);
+        let variants = [
+            Query::SubsetCount(query(&[0, 1, 2])),
+            Query::GroupMass {
+                side: Side::Left,
+                group: 0,
+            },
+            Query::DegreeHistogram { side: Side::Left },
+            Query::SideTotal { side: Side::Right },
+        ];
         let levels = service.store().get("dblp", 4).unwrap().level_count();
         for finest in 0..levels {
             let privilege = Privilege::new(finest);
             for level in 0..levels {
-                let got = service.answer("dblp", 4, privilege, level, &q);
-                if level >= finest {
-                    assert!(got.is_ok(), "privilege {finest} refused level {level}");
-                } else {
-                    assert!(matches!(
-                        got.unwrap_err(),
-                        ServeError::Core(CoreError::AccessDenied { .. })
-                    ));
+                for q in &variants {
+                    let got = service.answer_typed("dblp", 4, privilege, level, q);
+                    if level >= finest {
+                        assert!(
+                            got.is_ok(),
+                            "privilege {finest} refused level {level} {}",
+                            q.name()
+                        );
+                    } else {
+                        assert!(
+                            matches!(
+                                got.unwrap_err(),
+                                ServeError::Core(CoreError::AccessDenied { .. })
+                            ),
+                            "privilege {finest} was served level {level} {}",
+                            q.name()
+                        );
+                    }
                 }
             }
         }
@@ -278,6 +390,50 @@ mod tests {
     }
 
     #[test]
+    fn cache_keys_are_variant_aware() {
+        let service = service();
+        // Four different variants at the same (dataset, epoch, level):
+        // four distinct entries, no collisions.
+        let variants = [
+            Query::SubsetCount(query(&[0])),
+            Query::GroupMass {
+                side: Side::Left,
+                group: 0,
+            },
+            Query::DegreeHistogram { side: Side::Left },
+            Query::SideTotal { side: Side::Left },
+        ];
+        for q in &variants {
+            service.answer_typed("dblp", 4, Privilege::full(), 1, q).unwrap();
+        }
+        let stats = service.cache_stats();
+        assert_eq!(stats.entries, 4);
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.hits, 0);
+        // Replay: all hits, and each variant returns its own bits.
+        for q in &variants {
+            let a = service.answer_typed("dblp", 4, Privilege::full(), 1, q).unwrap();
+            let b = service.store().get("dblp", 4).unwrap().answer(1, q).unwrap();
+            assert_eq!(a, b, "{} cached answer drifted", q.name());
+        }
+        assert_eq!(service.cache_stats().hits, 4);
+        // Same variant kind, different parameter: a fresh entry.
+        service
+            .answer_typed(
+                "dblp",
+                4,
+                Privilege::full(),
+                1,
+                &Query::GroupMass {
+                    side: Side::Left,
+                    group: 1,
+                },
+            )
+            .unwrap();
+        assert_eq!(service.cache_stats().entries, 5);
+    }
+
+    #[test]
     fn batch_is_checked_before_answering_and_matches_singles() {
         let service = service();
         let queries: Vec<SubsetQuery> =
@@ -297,6 +453,40 @@ mod tests {
         for (q, &got) in queries.iter().zip(&batch) {
             let single = service.answer("dblp", 4, Privilege::new(2), 2, q).unwrap();
             assert_eq!(single.to_bits(), got.to_bits());
+        }
+    }
+
+    #[test]
+    fn typed_batch_fans_out_all_variants() {
+        let service = service();
+        let queries: Vec<Query> = (0..24u32)
+            .map(|k| match k % 4 {
+                0 => Query::SubsetCount(query(&(0..=k).collect::<Vec<_>>())),
+                1 => Query::GroupMass {
+                    side: Side::Right,
+                    group: k % 2,
+                },
+                2 => Query::DegreeHistogram { side: Side::Left },
+                _ => Query::SideTotal { side: Side::Left },
+            })
+            .collect();
+        // Denied as a whole before any variant is touched…
+        assert!(matches!(
+            service
+                .answer_typed_batch("dblp", 4, Privilege::new(2), 1, &queries)
+                .unwrap_err(),
+            ServeError::Core(CoreError::AccessDenied { .. })
+        ));
+        assert_eq!(service.cache_stats().misses, 0);
+        // …and allowed batches equal the sequential loop.
+        let batch = service
+            .answer_typed_batch("dblp", 4, Privilege::new(2), 2, &queries)
+            .unwrap();
+        for (q, got) in queries.iter().zip(&batch) {
+            let single = service
+                .answer_typed("dblp", 4, Privilege::new(2), 2, q)
+                .unwrap();
+            assert_eq!(&single, got, "{} batch answer drifted", q.name());
         }
     }
 

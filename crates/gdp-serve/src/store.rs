@@ -1,20 +1,65 @@
-//! The artifact registry a deployment keeps as it republishes.
+//! The artifact registry a deployment keeps as it republishes — fixed
+//! shards, `RwLock` per shard, lazy indexing of scanned directories.
 
 use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::BufReader;
+use std::ops::Deref;
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+use gdp_core::artifact::ArtifactPayload;
+use gdp_core::{ReleaseArtifact, ARTIFACT_SCHEMA_VERSION};
+use gdp_graph::io as graph_io;
 
 use crate::error::ServeError;
 use crate::index::IndexedRelease;
 use crate::Result;
 
-/// Indexed release artifacts keyed by `(dataset, epoch)`.
+/// Number of fixed shards. A power of two, sized so that even a
+/// many-dataset deployment sees almost no writer/writer contention
+/// while the per-shard maps stay small enough to walk for listings.
+const SHARD_COUNT: usize = 16;
+
+/// Deterministic FNV-1a over the dataset name — the shard router.
+/// (Not `std`'s `DefaultHasher`, whose keys are randomized per
+/// process: shard assignment must be a pure function of the dataset so
+/// tests and debugging tools can reason about placement.)
+fn shard_of(dataset: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in dataset.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % SHARD_COUNT as u64) as usize
+}
+
+/// One registered release: either still the sealed artifact a directory
+/// scan loaded (validated, not yet table-built), or the fully indexed
+/// form. Promotion happens on first access, under the shard's write
+/// lock.
+#[derive(Debug)]
+enum Entry {
+    Sealed(ReleaseArtifact),
+    Indexed(Arc<IndexedRelease>),
+}
+
+type Shard = BTreeMap<(String, u64), Entry>;
+
+/// Indexed release artifacts keyed by `(dataset, epoch)`, sharded
+/// `hash(dataset) % N` with one `RwLock` per shard.
 ///
 /// A deployment that republishes weekly accumulates one artifact per
 /// epoch per dataset; the store is the lookup structure the
 /// [`AnswerService`](crate::AnswerService) routes requests through.
-/// Keys are unique — published artifacts are immutable, so inserting a
-/// second artifact under an existing `(dataset, epoch)` is rejected
-/// with [`ServeError::DuplicateRelease`] instead of silently replacing
-/// answers consumers may already have seen.
+/// All operations take `&self`: readers of different datasets touch
+/// different shards entirely, readers of the same dataset share that
+/// shard's read lock, and a writer blocks only its own shard — the
+/// read-mostly serving path never serializes on a single registry
+/// lock. Keys are unique — published artifacts are immutable, so
+/// inserting a second artifact under an existing `(dataset, epoch)` is
+/// rejected with [`ServeError::DuplicateRelease`] instead of silently
+/// replacing answers consumers may already have seen.
 ///
 /// ```
 /// # use gdp_core::{DisclosureConfig, MultiLevelDiscloser, Query, ReleaseArtifact,
@@ -32,7 +77,7 @@ use crate::Result;
 /// #         .with_queries(vec![Query::PerGroupCounts]))
 /// #     .disclose(&graph, &hierarchy, &mut rng)?;
 /// # let week1 = ReleaseArtifact::seal("dblp", 1, hierarchy, release)?;
-/// let mut store = ReleaseStore::new();
+/// let store = ReleaseStore::new();
 /// store.insert(IndexedRelease::new(week1)?)?;
 /// assert_eq!(store.epochs("dblp"), vec![1]);
 /// assert!(store.get("dblp", 1).is_ok());
@@ -40,9 +85,17 @@ use crate::Result;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug)]
 pub struct ReleaseStore {
-    releases: BTreeMap<(String, u64), IndexedRelease>,
+    shards: Vec<RwLock<Shard>>,
+}
+
+impl Default for ReleaseStore {
+    fn default() -> Self {
+        Self {
+            shards: (0..SHARD_COUNT).map(|_| RwLock::new(Shard::new())).collect(),
+        }
+    }
 }
 
 impl ReleaseStore {
@@ -51,74 +104,260 @@ impl ReleaseStore {
         Self::default()
     }
 
+    /// The fixed shard fan-out (`hash(dataset) % shard_count()`).
+    pub fn shard_count() -> usize {
+        SHARD_COUNT
+    }
+
+    fn shard(&self, dataset: &str) -> &RwLock<Shard> {
+        &self.shards[shard_of(dataset)]
+    }
+
+    fn write_shard(&self, dataset: &str) -> std::sync::RwLockWriteGuard<'_, Shard> {
+        self.shard(dataset).write().expect("store shard lock")
+    }
+
+    fn read_shard(&self, dataset: &str) -> std::sync::RwLockReadGuard<'_, Shard> {
+        self.shard(dataset).read().expect("store shard lock")
+    }
+
+    fn insert_entry(&self, dataset: String, epoch: u64, entry: Entry) -> Result<()> {
+        let mut shard = self.write_shard(&dataset);
+        let key = (dataset, epoch);
+        if shard.contains_key(&key) {
+            return Err(ServeError::DuplicateRelease {
+                dataset: key.0,
+                epoch: key.1,
+            });
+        }
+        shard.insert(key, entry);
+        Ok(())
+    }
+
     /// Registers an indexed artifact under its manifest's
     /// `(dataset, epoch)` key.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::DuplicateRelease`] when the key is taken.
-    pub fn insert(&mut self, release: IndexedRelease) -> Result<()> {
+    pub fn insert(&self, release: IndexedRelease) -> Result<()> {
         let manifest = release.artifact().manifest();
-        let key = (manifest.dataset.clone(), manifest.epoch);
-        if self.releases.contains_key(&key) {
-            return Err(ServeError::DuplicateRelease {
-                dataset: key.0,
-                epoch: key.1,
-            });
-        }
-        self.releases.insert(key, release);
-        Ok(())
+        let (dataset, epoch) = (manifest.dataset.clone(), manifest.epoch);
+        self.insert_entry(dataset, epoch, Entry::Indexed(Arc::new(release)))
     }
 
-    /// Looks an artifact up by dataset and epoch.
+    /// Registers a sealed artifact **without building its index yet** —
+    /// the tables are built on first [`ReleaseStore::get`], under the
+    /// shard's write lock. This is what a directory scan uses so that
+    /// opening a store of a hundred epochs pays for the one epoch a
+    /// consumer actually reads.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::UnknownRelease`] when absent.
-    pub fn get(&self, dataset: &str, epoch: u64) -> Result<&IndexedRelease> {
-        self.releases
-            .get(&(dataset.to_string(), epoch))
-            .ok_or_else(|| ServeError::UnknownRelease {
-                dataset: dataset.to_string(),
-                epoch,
-            })
+    /// Returns [`ServeError::DuplicateRelease`] when the key is taken.
+    pub fn insert_sealed(&self, artifact: ReleaseArtifact) -> Result<()> {
+        let (dataset, epoch) = (artifact.dataset().to_string(), artifact.epoch());
+        self.insert_entry(dataset, epoch, Entry::Sealed(artifact))
     }
 
-    /// The highest-epoch artifact for a dataset, if any.
-    pub fn latest(&self, dataset: &str) -> Option<&IndexedRelease> {
-        self.releases
-            .range((dataset.to_string(), 0)..=(dataset.to_string(), u64::MAX))
-            .next_back()
-            .map(|(_, release)| release)
+    /// Looks an artifact up by dataset and epoch, lazily building its
+    /// index if this is the first access to a scanned entry.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::UnknownRelease`] when absent.
+    /// * [`IndexedRelease::new`]'s errors when a lazily registered
+    ///   artifact fails to index (the sealed entry stays registered, so
+    ///   the error is repeatable rather than turning into
+    ///   `UnknownRelease`).
+    pub fn get(&self, dataset: &str, epoch: u64) -> Result<Arc<IndexedRelease>> {
+        let key = (dataset.to_string(), epoch);
+        {
+            let shard = self.read_shard(dataset);
+            match shard.get(&key) {
+                Some(Entry::Indexed(release)) => return Ok(Arc::clone(release)),
+                Some(Entry::Sealed(_)) => {} // promote below, under the write lock
+                None => {
+                    return Err(ServeError::UnknownRelease {
+                        dataset: key.0,
+                        epoch,
+                    })
+                }
+            }
+        }
+        let mut shard = self.write_shard(dataset);
+        // Re-check under the write lock: another reader may have
+        // promoted the entry while we waited.
+        match shard.get(&key) {
+            Some(Entry::Indexed(release)) => Ok(Arc::clone(release)),
+            Some(Entry::Sealed(_)) => {
+                // Take the artifact out so promotion never clones it;
+                // a failed build hands it back, so the sealed entry
+                // stays registered and the error is repeatable. The
+                // build runs under the shard write lock — promotion
+                // happens at most once per artifact, so the one-time
+                // stall buys every later reader a lock-free Arc clone.
+                let Some(Entry::Sealed(artifact)) = shard.remove(&key) else {
+                    unreachable!("entry matched Sealed under the same lock");
+                };
+                match IndexedRelease::promote(artifact) {
+                    Ok(indexed) => {
+                        let indexed = Arc::new(indexed);
+                        shard.insert(key, Entry::Indexed(Arc::clone(&indexed)));
+                        Ok(indexed)
+                    }
+                    Err((err, artifact)) => {
+                        shard.insert(key, Entry::Sealed(artifact));
+                        Err(err)
+                    }
+                }
+            }
+            None => Err(ServeError::UnknownRelease {
+                dataset: key.0,
+                epoch,
+            }),
+        }
+    }
+
+    /// The highest-epoch **servable** artifact for a dataset, if any
+    /// (indexing it lazily like [`ReleaseStore::get`]). An epoch whose
+    /// artifact fails to index is skipped in favor of the next-newest
+    /// one rather than masking the whole dataset; the skipped epoch
+    /// stays listed by [`ReleaseStore::epochs`] and its typed,
+    /// repeatable error is available from [`ReleaseStore::get`].
+    pub fn latest(&self, dataset: &str) -> Option<Arc<IndexedRelease>> {
+        self.epochs(dataset)
+            .into_iter()
+            .rev()
+            .find_map(|epoch| self.get(dataset, epoch).ok())
     }
 
     /// Every epoch registered for a dataset, ascending.
     pub fn epochs(&self, dataset: &str) -> Vec<u64> {
-        self.releases
+        self.read_shard(dataset)
             .range((dataset.to_string(), 0)..=(dataset.to_string(), u64::MAX))
             .map(|((_, epoch), _)| *epoch)
             .collect()
     }
 
     /// Every dataset with at least one artifact, ascending, deduped.
-    pub fn datasets(&self) -> Vec<&str> {
-        let mut out: Vec<&str> = Vec::new();
-        for (dataset, _) in self.releases.keys() {
-            if out.last() != Some(&dataset.as_str()) {
-                out.push(dataset);
-            }
+    pub fn datasets(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read().expect("store shard lock");
+            out.extend(shard.keys().map(|(dataset, _)| dataset.clone()));
         }
+        out.sort_unstable();
+        out.dedup();
         out
     }
 
     /// Number of registered artifacts.
     pub fn len(&self) -> usize {
-        self.releases.len()
+        self.shards
+            .iter()
+            .map(|shard| shard.read().expect("store shard lock").len())
+            .sum()
     }
 
     /// Whether the store holds no artifacts.
     pub fn is_empty(&self) -> bool {
-        self.releases.is_empty()
+        self.len() == 0
+    }
+
+    /// Scans a directory of artifact JSON documents (one sealed
+    /// [`ReleaseArtifact`] per `.json` file, any other entries ignored)
+    /// into a store. Every document is parsed and **validated** during
+    /// the scan — so a corrupt file, a foreign schema version or a
+    /// duplicate `(dataset, epoch)` is a typed error naming the file,
+    /// not a latent failure — but the per-level index tables are only
+    /// built on first access ([`ReleaseStore::insert_sealed`]). Files
+    /// are visited in name order, so which of two duplicate files is
+    /// reported is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::EmptyDirectory`] when no `.json` files are
+    ///   found.
+    /// * [`ServeError::SchemaVersion`] for a manifest this build does
+    ///   not read.
+    /// * [`ServeError::DuplicateRelease`] when two files carry the same
+    ///   `(dataset, epoch)`.
+    /// * [`ServeError::Core`] wrapping `GraphError::Json` for malformed
+    ///   documents, `GraphError::Io` for filesystem failures, and
+    ///   `CoreError::Artifact` for payloads that fail sealing
+    ///   re-validation.
+    pub fn open_dir(dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref();
+        let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+            .collect::<std::io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|entry| entry.path())
+            .filter(|path| {
+                path.is_file() && path.extension().is_some_and(|ext| ext == "json")
+            })
+            .collect();
+        if paths.is_empty() {
+            return Err(ServeError::EmptyDirectory {
+                path: dir.display().to_string(),
+            });
+        }
+        paths.sort();
+        let store = Self::new();
+        for path in paths {
+            let file = File::open(&path)?;
+            let payload: ArtifactPayload = graph_io::read_json(BufReader::new(file))?;
+            let manifest = payload.manifest();
+            if manifest.schema_version != ARTIFACT_SCHEMA_VERSION {
+                return Err(ServeError::SchemaVersion {
+                    path: path.display().to_string(),
+                    found: manifest.schema_version,
+                    supported: ARTIFACT_SCHEMA_VERSION,
+                });
+            }
+            let artifact = ReleaseArtifact::try_from(payload).map_err(ServeError::Core)?;
+            store.insert_sealed(artifact)?;
+        }
+        Ok(store)
+    }
+}
+
+/// A cloneable, thread-shareable handle to a [`ReleaseStore`] — the
+/// read-mostly form the serving path holds.
+///
+/// The store itself already takes `&self` everywhere; the handle adds
+/// shared ownership (`Arc`) so any number of
+/// [`AnswerService`](crate::AnswerService)s, reader threads and
+/// background republishers can hold the *same* registry: a writer
+/// inserting next week's artifact is visible to every reader at the
+/// next lookup, without any reader holding more than a shard read
+/// lock. Derefs to [`ReleaseStore`], so every store method is available
+/// on the handle.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedStoreHandle {
+    inner: Arc<ReleaseStore>,
+}
+
+impl ShardedStoreHandle {
+    /// Wraps a store for shared ownership.
+    pub fn new(store: ReleaseStore) -> Self {
+        Self {
+            inner: Arc::new(store),
+        }
+    }
+}
+
+impl Deref for ShardedStoreHandle {
+    type Target = ReleaseStore;
+
+    fn deref(&self) -> &ReleaseStore {
+        &self.inner
+    }
+}
+
+impl From<ReleaseStore> for ShardedStoreHandle {
+    fn from(store: ReleaseStore) -> Self {
+        Self::new(store)
     }
 }
 
@@ -126,14 +365,13 @@ impl ReleaseStore {
 mod tests {
     use super::*;
     use gdp_core::{
-        DisclosureConfig, MultiLevelDiscloser, Query, ReleaseArtifact,
-        SpecializationConfig, Specializer,
+        DisclosureConfig, MultiLevelDiscloser, Query, SpecializationConfig, Specializer,
     };
     use gdp_datagen::{DblpConfig, DblpGenerator};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn indexed(dataset: &str, epoch: u64, seed: u64) -> IndexedRelease {
+    fn artifact(dataset: &str, epoch: u64, seed: u64) -> ReleaseArtifact {
         let mut rng = StdRng::seed_from_u64(seed);
         let graph = DblpGenerator::new(DblpConfig::tiny()).generate(&mut rng);
         let hierarchy = Specializer::new(SpecializationConfig::median(2).unwrap())
@@ -146,15 +384,16 @@ mod tests {
         )
         .disclose(&graph, &hierarchy, &mut rng)
         .unwrap();
-        IndexedRelease::new(
-            ReleaseArtifact::seal(dataset, epoch, hierarchy, release).unwrap(),
-        )
-        .unwrap()
+        ReleaseArtifact::seal(dataset, epoch, hierarchy, release).unwrap()
+    }
+
+    fn indexed(dataset: &str, epoch: u64, seed: u64) -> IndexedRelease {
+        IndexedRelease::new(artifact(dataset, epoch, seed)).unwrap()
     }
 
     #[test]
     fn keyed_lookup_latest_and_listings() {
-        let mut store = ReleaseStore::new();
+        let store = ReleaseStore::new();
         store.insert(indexed("dblp", 1, 1)).unwrap();
         store.insert(indexed("dblp", 3, 2)).unwrap();
         store.insert(indexed("pharmacy", 2, 3)).unwrap();
@@ -173,7 +412,7 @@ mod tests {
 
     #[test]
     fn duplicate_keys_rejected() {
-        let mut store = ReleaseStore::new();
+        let store = ReleaseStore::new();
         store.insert(indexed("dblp", 1, 1)).unwrap();
         let err = store.insert(indexed("dblp", 1, 9)).unwrap_err();
         assert!(matches!(
@@ -182,5 +421,101 @@ mod tests {
         ));
         // The original stays.
         assert_eq!(store.len(), 1);
+        // The sealed path hits the same guard.
+        assert!(matches!(
+            store.insert_sealed(artifact("dblp", 1, 2)).unwrap_err(),
+            ServeError::DuplicateRelease { epoch: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn sealed_entries_index_lazily_and_only_once() {
+        let store = ReleaseStore::new();
+        store.insert_sealed(artifact("dblp", 7, 4)).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.epochs("dblp"), vec![7]);
+        let first = store.get("dblp", 7).unwrap();
+        let second = store.get("dblp", 7).unwrap();
+        // Promotion happened once: both handles share the same index.
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(first.artifact().epoch(), 7);
+    }
+
+    #[test]
+    fn latest_skips_unindexable_epochs_and_get_keeps_their_error() {
+        // An artifact whose per-group vector is the wrong length slips
+        // past sealing (which cross-checks group *counts*, not query
+        // vector shapes) but cannot be indexed. `latest` must fall back
+        // to the newest servable epoch instead of reporting the whole
+        // dataset absent, while `get` keeps returning the typed error.
+        let good = artifact("dblp", 1, 1);
+        let mut bad_release_levels = Vec::new();
+        for (i, level) in good.hierarchy().levels().iter().enumerate() {
+            let mut rel = good.release().level(i).unwrap().clone();
+            if let Some(q) = rel.queries.first_mut() {
+                q.noisy_values = vec![0.0]; // wrong length for the level
+            }
+            assert_eq!(rel.group_count, level.group_count());
+            bad_release_levels.push(rel);
+        }
+        let bad_release = gdp_core::MultiLevelRelease::new(
+            good.release().mechanism(),
+            good.release().epsilon_g(),
+            good.release().delta(),
+            bad_release_levels,
+        )
+        .unwrap();
+        let bad = ReleaseArtifact::seal("dblp", 2, good.hierarchy().clone(), bad_release)
+            .unwrap();
+
+        let store = ReleaseStore::new();
+        store.insert_sealed(good).unwrap();
+        store.insert_sealed(bad).unwrap();
+        assert_eq!(store.epochs("dblp"), vec![1, 2]);
+        // Epoch 2 fails to index, repeatably; epoch 1 serves.
+        assert!(store.get("dblp", 2).is_err());
+        assert!(store.get("dblp", 2).is_err(), "error must be repeatable");
+        assert_eq!(store.latest("dblp").unwrap().artifact().epoch(), 1);
+    }
+
+    #[test]
+    fn shard_routing_is_deterministic_and_in_range() {
+        for dataset in ["dblp", "pharmacy", "movies", "", "a", "weekly-2026-07"] {
+            let s = shard_of(dataset);
+            assert!(s < SHARD_COUNT);
+            assert_eq!(s, shard_of(dataset), "routing must be a pure function");
+        }
+    }
+
+    #[test]
+    fn open_dir_scans_and_serves() {
+        let dir = std::env::temp_dir().join(format!("gdp-store-ok-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for (dataset, epoch, seed) in [("dblp", 1, 1), ("dblp", 2, 2), ("pharmacy", 1, 3)] {
+            let file = File::create(dir.join(format!("{dataset}-{epoch}.json"))).unwrap();
+            artifact(dataset, epoch, seed)
+                .write_json(std::io::BufWriter::new(file))
+                .unwrap();
+        }
+        // A non-artifact sibling is ignored.
+        std::fs::write(dir.join("README.txt"), "not an artifact").unwrap();
+        let store = ReleaseStore::open_dir(&dir).unwrap();
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.datasets(), vec!["dblp", "pharmacy"]);
+        assert_eq!(store.epochs("dblp"), vec![1, 2]);
+        assert_eq!(store.latest("dblp").unwrap().artifact().epoch(), 2);
+        assert!(store.get("pharmacy", 1).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn handle_shares_one_registry() {
+        let handle = ShardedStoreHandle::from(ReleaseStore::new());
+        let clone = handle.clone();
+        handle.insert(indexed("dblp", 1, 1)).unwrap();
+        // The clone sees the insert: one registry, shared.
+        assert_eq!(clone.len(), 1);
+        assert!(clone.get("dblp", 1).is_ok());
+        assert_eq!(ShardedStoreHandle::default().len(), 0);
     }
 }

@@ -15,7 +15,9 @@ use gdp_core::{
     SpecializationConfig, Specializer,
 };
 use gdp_graph::Side;
-use gdp_serve::{AnswerService, IndexedRelease, ReleaseStore, SubsetQuery};
+use gdp_serve::{
+    AnswerService, IndexedRelease, Query as Query2, ReleaseStore, SubsetQuery, TypedAnswer,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -46,14 +48,39 @@ fn service() -> AnswerService {
     let release = MultiLevelDiscloser::new(
         DisclosureConfig::count_only(0.7, 1e-6)
             .unwrap()
-            .with_queries(vec![Query::PerGroupCounts]),
+            .with_queries(vec![
+                Query::PerGroupCounts,
+                Query::LeftDegreeHistogram { max_degree: 24 },
+            ]),
     )
     .disclose(&graph, &hierarchy, &mut rng)
     .unwrap();
     let artifact = ReleaseArtifact::seal("det", 1, hierarchy, release).unwrap();
-    let mut store = ReleaseStore::new();
+    let store = ReleaseStore::new();
     store.insert(IndexedRelease::new(artifact).unwrap()).unwrap();
     AnswerService::new(store)
+}
+
+/// A sealed artifact for concurrency tests that need fresh epochs.
+fn sealed(epoch: u64, seed: u64) -> ReleaseArtifact {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = gdp_datagen::engine::GraphModel::ErdosRenyi {
+        left: 120,
+        right: 120,
+        edges: 600,
+    }
+    .generate(&mut rng);
+    let hierarchy = Specializer::new(SpecializationConfig::paper_default(3).unwrap())
+        .specialize(&graph, &mut rng)
+        .unwrap();
+    let release = MultiLevelDiscloser::new(
+        DisclosureConfig::count_only(0.7, 1e-6)
+            .unwrap()
+            .with_queries(vec![Query::PerGroupCounts]),
+    )
+    .disclose(&graph, &hierarchy, &mut rng)
+    .unwrap();
+    ReleaseArtifact::seal("det", epoch, hierarchy, release).unwrap()
 }
 
 fn workload(n_left: u32) -> Vec<SubsetQuery> {
@@ -75,11 +102,29 @@ fn workload(n_left: u32) -> Vec<SubsetQuery> {
         .collect()
 }
 
+/// A mixed typed workload cycling through every `Query` variant.
+fn typed_workload(n_left: u32) -> Vec<Query2> {
+    workload(n_left)
+        .into_iter()
+        .enumerate()
+        .map(|(i, subset)| match i % 4 {
+            0 => Query2::SubsetCount(subset),
+            1 => Query2::GroupMass {
+                side: Side::Left,
+                group: (i % 3) as u32,
+            },
+            2 => Query2::DegreeHistogram { side: Side::Left },
+            _ => Query2::SideTotal { side: Side::Right },
+        })
+        .collect()
+}
+
 #[test]
 fn batch_answers_bit_identical_across_thread_counts() {
+    // The docs/determinism.md checklist thread counts: 1, 2, 8.
     let _guard = ENV_LOCK.lock().unwrap();
     let queries = workload(500);
-    let answers: Vec<Vec<f64>> = ["1", "4", "13"]
+    let answers: Vec<Vec<f64>> = ["1", "2", "8"]
         .iter()
         .map(|threads| {
             with_thread_count(threads, || {
@@ -95,6 +140,93 @@ fn batch_answers_bit_identical_across_thread_counts() {
         for (x, y) in answers[0].iter().zip(other) {
             assert_eq!(x.to_bits(), y.to_bits());
         }
+    }
+}
+
+#[test]
+fn typed_batch_answers_bit_identical_across_thread_counts() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let queries = typed_workload(500);
+    let answers: Vec<Vec<TypedAnswer>> = ["1", "2", "8"]
+        .iter()
+        .map(|threads| {
+            with_thread_count(threads, || {
+                service()
+                    .answer_typed_batch("det", 1, Privilege::new(1), 1, &queries)
+                    .unwrap()
+            })
+        })
+        .collect();
+    for other in &answers[1..] {
+        assert_eq!(answers[0].len(), other.len());
+        for (x, y) in answers[0].iter().zip(other) {
+            // TypedAnswer equality is bitwise for scalars and bin-wise
+            // for histograms (f64 PartialEq — and the released values
+            // contain no NaNs, so == is bit equality here).
+            assert_eq!(x, y);
+        }
+    }
+}
+
+#[test]
+fn sharded_store_serves_under_concurrent_get_and_insert() {
+    // Scoped readers hammer epoch 1 through the service while writers
+    // register epochs 2..6 into the *same* sharded store mid-flight.
+    // Readers must never see torn state: every answer of the fixed
+    // workload is bit-identical to the single-threaded answer, and
+    // after the join every inserted epoch is present and answerable.
+    let _guard = ENV_LOCK.lock().unwrap();
+    let service = service();
+    let queries = workload(500);
+    let expected = service
+        .answer_batch("det", 1, Privilege::new(1), 1, &queries)
+        .unwrap();
+    let writer_epochs: Vec<u64> = (2..6).collect();
+    std::thread::scope(|scope| {
+        for reader in 0..4 {
+            let (service, queries, expected) = (&service, &queries, &expected);
+            scope.spawn(move || {
+                for round in 0..5 {
+                    let got = service
+                        .answer_batch("det", 1, Privilege::new(1), 1, queries)
+                        .unwrap();
+                    for (x, y) in expected.iter().zip(&got) {
+                        assert_eq!(
+                            x.to_bits(),
+                            y.to_bits(),
+                            "reader {reader} round {round} drifted"
+                        );
+                    }
+                }
+            });
+        }
+        for &epoch in &writer_epochs {
+            let service = &service;
+            scope.spawn(move || {
+                // Half the writers go through the lazy (sealed) path so
+                // first-access promotion races with the readers too.
+                if epoch % 2 == 0 {
+                    service.store().insert_sealed(sealed(epoch, epoch)).unwrap();
+                } else {
+                    service
+                        .store()
+                        .insert(IndexedRelease::new(sealed(epoch, epoch)).unwrap())
+                        .unwrap();
+                }
+                // A duplicate insert from the same thread is refused
+                // without disturbing anything.
+                assert!(service.store().insert_sealed(sealed(epoch, epoch)).is_err());
+            });
+        }
+    });
+    assert_eq!(service.store().epochs("det"), vec![1, 2, 3, 4, 5]);
+    assert_eq!(service.store().latest("det").unwrap().artifact().epoch(), 5);
+    for epoch in writer_epochs {
+        let q = SubsetQuery {
+            side: Side::Left,
+            nodes: vec![0, 1, 2],
+        };
+        assert!(service.answer("det", epoch, Privilege::full(), 1, &q).is_ok());
     }
 }
 

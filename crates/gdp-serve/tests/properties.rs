@@ -128,7 +128,7 @@ proptest! {
             })
             .collect();
         let serve = |a: ReleaseArtifact| -> Vec<f64> {
-            let mut store = ReleaseStore::new();
+            let store = ReleaseStore::new();
             store.insert(IndexedRelease::new(a).unwrap()).unwrap();
             let service = AnswerService::new(store);
             let level = artifact.level_count() - 1;
@@ -152,7 +152,7 @@ proptest! {
         let (hierarchy, release) = published(&graph, rounds, seed);
         let levels = hierarchy.level_count();
         let artifact = ReleaseArtifact::seal("prop", 1, hierarchy, release).unwrap();
-        let mut store = ReleaseStore::new();
+        let store = ReleaseStore::new();
         store.insert(IndexedRelease::new(artifact).unwrap()).unwrap();
         let service = AnswerService::new(store);
         let query = SubsetQuery { side: Side::Left, nodes: vec![0, 1] };

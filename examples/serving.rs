@@ -21,11 +21,13 @@
 //! privilege 3 and 6 read coarser levels whose per-node pre-mass
 //! averages the noise down — smaller absolute deviation, blurrier
 //! structure, the same resolution/noise trade-off `workload_error`
-//! quantifies. Then a privilege-enforcement demonstration (level finer
-//! than clearance → `AccessDenied`) and a memoization line showing the
-//! replayed workload was served entirely from cache. Exact noisy values
-//! vary with the build's RNG stream but are deterministic for a fixed
-//! seed.
+//! quantifies. Then the typed query surface at level 3 (one group's raw
+//! noisy mass, the left-side total, the released degree histogram —
+//! all through the same privilege gate), a privilege-enforcement
+//! demonstration (level finer than clearance → `AccessDenied`) and a
+//! memoization line showing the replayed workload was served entirely
+//! from cache. Exact noisy values vary with the build's RNG stream but
+//! are deterministic for a fixed seed.
 
 use group_dp::core::{
     DisclosureConfig, DisclosureSession, Privilege, Query, ReleaseArtifact,
@@ -34,7 +36,9 @@ use group_dp::core::{
 use group_dp::datagen::{DblpConfig, DblpGenerator};
 use group_dp::graph::Side;
 use group_dp::mechanisms::PrivacyBudget;
-use group_dp::serve::{AnswerService, IndexedRelease, ReleaseStore, SubsetQuery};
+use group_dp::serve::{
+    AnswerService, IndexedRelease, Query as TypedQuery, ReleaseStore, SubsetQuery,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -50,8 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .specialize(&graph, &mut rng)?;
     let mut session =
         DisclosureSession::new(graph, hierarchy, PrivacyBudget::new(1.0, 1e-5)?);
-    let config = DisclosureConfig::count_only(0.8, 1e-6)?
-        .with_queries(vec![Query::TotalAssociations, Query::PerGroupCounts]);
+    let config = DisclosureConfig::count_only(0.8, 1e-6)?.with_queries(vec![
+        Query::TotalAssociations,
+        Query::PerGroupCounts,
+        Query::LeftDegreeHistogram { max_degree: 32 },
+    ]);
     let artifact = session.publish(&config, "dblp-weekly", 1, &mut rng)?;
 
     // The artifact is the on-disk product: save, then serve from the
@@ -73,7 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ---- serving side ---------------------------------------------------
-    let mut store = ReleaseStore::new();
+    let store = ReleaseStore::new();
     store.insert(IndexedRelease::new(loaded)?)?;
     let service = AnswerService::new(store);
 
@@ -96,6 +103,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (estimate - truth).abs()
         );
     }
+
+    // The typed query surface: the same privilege-gated, memoized path
+    // serves group masses, the released degree histogram and side
+    // totals — every variant pure post-processing, every answer
+    // bit-identical to a rescan of the raw release.
+    let level = 3;
+    let mass = service
+        .answer_typed(
+            "dblp-weekly",
+            1,
+            Privilege::new(3),
+            level,
+            &TypedQuery::GroupMass { side: Side::Left, group: 0 },
+        )?
+        .scalar()
+        .unwrap();
+    let total = service
+        .answer_typed(
+            "dblp-weekly",
+            1,
+            Privilege::new(3),
+            level,
+            &TypedQuery::SideTotal { side: Side::Left },
+        )?
+        .scalar()
+        .unwrap();
+    let hist = service.answer_typed(
+        "dblp-weekly",
+        1,
+        Privilege::new(3),
+        level,
+        &TypedQuery::DegreeHistogram { side: Side::Left },
+    )?;
+    let bins = hist.histogram().unwrap();
+    println!(
+        "\ntyped queries at level {level}: group 0 mass {mass:.1}, left total {total:.1}, \
+         degree histogram [{} bins, noisy mass {:.0}]",
+        bins.len(),
+        bins.iter().sum::<f64>()
+    );
 
     // Enforcement: a privilege-3 reader asking for the individual level
     // is refused before any value is touched.

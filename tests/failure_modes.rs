@@ -153,3 +153,106 @@ fn error_chains_preserve_sources() {
     let msg = err.to_string();
     assert!(!msg.ends_with('.'));
 }
+
+/// `ReleaseStore::open_dir` error paths: every way a scanned artifact
+/// directory can be bad is a typed `ServeError` naming the defect —
+/// corrupt JSON, a foreign schema version, a duplicate
+/// `(dataset, epoch)`, an empty directory — and a failed scan leaves
+/// no half-built store behind (the constructor returns `Err`, not a
+/// store missing entries).
+#[test]
+fn release_store_directory_scan_failures_are_typed() {
+    use group_dp::core::{
+        DisclosureConfig as DC, MultiLevelDiscloser as MLD, Query, ReleaseArtifact,
+    };
+    use group_dp::serve::{ReleaseStore, ServeError};
+
+    let dir = std::env::temp_dir().join(format!("gdp-open-dir-{}", std::process::id()));
+    let fresh = |name: &str| {
+        let sub = dir.join(name);
+        std::fs::create_dir_all(&sub).unwrap();
+        sub
+    };
+    let artifact = |dataset: &str, epoch: u64| -> ReleaseArtifact {
+        let graph = tiny_graph();
+        let hierarchy = Specializer::new(SpecializationConfig::median(2).unwrap())
+            .specialize(&graph, &mut StdRng::seed_from_u64(7))
+            .unwrap();
+        let release = MLD::new(
+            DC::count_only(0.5, 1e-6)
+                .unwrap()
+                .with_queries(vec![Query::PerGroupCounts]),
+        )
+        .disclose(&graph, &hierarchy, &mut StdRng::seed_from_u64(8))
+        .unwrap();
+        ReleaseArtifact::seal(dataset, epoch, hierarchy, release).unwrap()
+    };
+    let write = |sub: &std::path::Path, name: &str, artifact: &ReleaseArtifact| {
+        let mut buf = Vec::new();
+        artifact.write_json(&mut buf).unwrap();
+        std::fs::write(sub.join(name), buf).unwrap();
+    };
+
+    // Empty directory: a wrong path should not masquerade as an empty
+    // store.
+    let sub = fresh("empty");
+    assert!(matches!(
+        ReleaseStore::open_dir(&sub).unwrap_err(),
+        ServeError::EmptyDirectory { .. }
+    ));
+    // Non-JSON files alone do not make the directory non-empty.
+    std::fs::write(sub.join("notes.txt"), "hello").unwrap();
+    assert!(matches!(
+        ReleaseStore::open_dir(&sub).unwrap_err(),
+        ServeError::EmptyDirectory { .. }
+    ));
+
+    // Corrupt JSON: typed as a graph-layer JSON error.
+    let sub = fresh("corrupt");
+    write(&sub, "good.json", &artifact("dblp", 1));
+    std::fs::write(sub.join("bad.json"), "{ this is not json").unwrap();
+    assert!(matches!(
+        ReleaseStore::open_dir(&sub).unwrap_err(),
+        ServeError::Core(CoreError::Graph(GraphError::Json(_)))
+    ));
+
+    // Foreign schema version: refused by variant, naming the file and
+    // both versions, before any payload interpretation.
+    let sub = fresh("schema");
+    let mut buf = Vec::new();
+    artifact("dblp", 1).write_json(&mut buf).unwrap();
+    let doctored = String::from_utf8(buf)
+        .unwrap()
+        .replacen("\"schema_version\": 1", "\"schema_version\": 99", 1);
+    std::fs::write(sub.join("future.json"), doctored).unwrap();
+    match ReleaseStore::open_dir(&sub).unwrap_err() {
+        ServeError::SchemaVersion {
+            path,
+            found,
+            supported,
+        } => {
+            assert!(path.contains("future.json"));
+            assert_eq!(found, 99);
+            assert_eq!(supported, group_dp::core::ARTIFACT_SCHEMA_VERSION);
+        }
+        other => panic!("wrong error: {other}"),
+    }
+
+    // Duplicate (dataset, epoch) across two files: refused by variant.
+    let sub = fresh("duplicate");
+    write(&sub, "a.json", &artifact("dblp", 3));
+    write(&sub, "b.json", &artifact("dblp", 3));
+    assert!(matches!(
+        ReleaseStore::open_dir(&sub).unwrap_err(),
+        ServeError::DuplicateRelease { epoch: 3, .. }
+    ));
+
+    // Control: the same artifacts under distinct keys scan fine.
+    let sub = fresh("ok");
+    write(&sub, "a.json", &artifact("dblp", 3));
+    write(&sub, "b.json", &artifact("dblp", 4));
+    let store = ReleaseStore::open_dir(&sub).unwrap();
+    assert_eq!(store.epochs("dblp"), vec![3, 4]);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

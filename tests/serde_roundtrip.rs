@@ -75,7 +75,7 @@ fn sealed_artifact_round_trips_and_stays_answerable() {
 
     // The loaded artifact serves the same answers as the original.
     let answer_from = |a: ReleaseArtifact| {
-        let mut store = ReleaseStore::new();
+        let store = ReleaseStore::new();
         store.insert(IndexedRelease::new(a).unwrap()).unwrap();
         AnswerService::new(store)
             .answer(
