@@ -63,6 +63,20 @@ commands:
       with --artifact-dir, --dataset defaults to the only scanned
       dataset and --epoch to its latest; --query-type filters the
       workload to one variant. Pure post-processing: no budget is spent
+  serve (--artifact FILE | --artifact-dir DIR) [--addr HOST:PORT]
+        [--workers N] [--queue N] [--deadline-ms N] [--io-timeout-ms N]
+        [--drain-ms N] [--retry-after S] [--cache-capacity N]
+        [--port-file FILE]
+      expose the answering service over HTTP (see docs/operations.md
+      for the endpoints and error taxonomy). The request queue is
+      bounded (--queue; overflow answers 503 + Retry-After), every
+      request carries a deadline (--deadline-ms; expiry answers 504),
+      sockets time out against slow peers (--io-timeout-ms), and
+      worker panics are supervised and respawned. SIGINT/SIGTERM or
+      POST /shutdown drains gracefully within --drain-ms and prints a
+      JSON drain report; a dirty drain exits nonzero. --addr defaults
+      to 127.0.0.1:7878 (:0 picks a free port; --port-file records the
+      bound address)
   help
       show this message
 ";
@@ -77,9 +91,12 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = arg
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got `{arg}`"))?;
-        let value = match iter.peek() {
-            Some(next) if !next.starts_with("--") => iter.next().unwrap().clone(),
-            _ => "true".to_string(),
+        let value = if iter.peek().is_some_and(|next| !next.starts_with("--")) {
+            // peek() just confirmed the pair's value is present; the
+            // fallback keeps this arm panic-free regardless.
+            iter.next().cloned().unwrap_or_else(|| "true".to_string())
+        } else {
+            "true".to_string()
         };
         map.insert(key.to_string(), value);
     }
@@ -414,23 +431,18 @@ fn query_detail(query: &ServeQuery) -> String {
     }
 }
 
-/// `gdp answer` — load a published artifact (or scan a directory of
-/// them) and answer a typed-query workload under a privilege through
-/// the serving path.
-pub fn answer(args: &[String]) -> CmdResult {
-    let flags = parse_flags(args)?;
-    let queries_path = flags.get("queries").ok_or("answer requires --queries FILE")?;
-    let privilege = Privilege::new(get_num(&flags, "privilege", 0)?);
-    let type_filter = query_type_filter(&flags)?;
-
-    // One artifact file, or a scanned directory of them.
-    let store = match (flags.get("artifact"), flags.get("artifact-dir")) {
+/// Opens the release store selected by `--artifact FILE` (one parsed
+/// artifact) or `--artifact-dir DIR` (a scanned directory) — the shared
+/// source for `answer` and `serve`. `who` names the subcommand in
+/// usage errors.
+fn open_store(flags: &HashMap<String, String>, who: &str) -> Result<ReleaseStore, String> {
+    match (flags.get("artifact"), flags.get("artifact-dir")) {
         (Some(_), Some(_)) => {
-            return Err("--artifact and --artifact-dir are mutually exclusive".to_string())
+            Err("--artifact and --artifact-dir are mutually exclusive".to_string())
         }
-        (None, None) => {
-            return Err("answer requires --artifact FILE or --artifact-dir DIR".to_string())
-        }
+        (None, None) => Err(format!(
+            "{who} requires --artifact FILE or --artifact-dir DIR"
+        )),
         (Some(artifact_path), None) => {
             let file = File::open(artifact_path)
                 .map_err(|e| format!("cannot open {artifact_path}: {e}"))?;
@@ -440,7 +452,7 @@ pub fn answer(args: &[String]) -> CmdResult {
             store
                 .insert(IndexedRelease::new(artifact).map_err(|e| e.to_string())?)
                 .map_err(|e| e.to_string())?;
-            store
+            Ok(store)
         }
         (None, Some(dir)) => {
             let store = ReleaseStore::open_dir(dir).map_err(|e| format!("{dir}: {e}"))?;
@@ -449,9 +461,20 @@ pub fn answer(args: &[String]) -> CmdResult {
                 store.len(),
                 store.datasets()
             );
-            store
+            Ok(store)
         }
-    };
+    }
+}
+
+/// `gdp answer` — load a published artifact (or scan a directory of
+/// them) and answer a typed-query workload under a privilege through
+/// the serving path.
+pub fn answer(args: &[String]) -> CmdResult {
+    let flags = parse_flags(args)?;
+    let queries_path = flags.get("queries").ok_or("answer requires --queries FILE")?;
+    let privilege = Privilege::new(get_num(&flags, "privilege", 0)?);
+    let type_filter = query_type_filter(&flags)?;
+    let store = open_store(&flags, "answer")?;
 
     let dataset = match flags.get("dataset") {
         Some(name) => name.clone(),
@@ -537,6 +560,66 @@ pub fn answer(args: &[String]) -> CmdResult {
         stats.hits
     );
     Ok(())
+}
+
+/// `gdp serve` — expose the answering service over HTTP until a
+/// `SIGINT`/`SIGTERM` or a `POST /shutdown` triggers a graceful drain.
+pub fn serve(args: &[String]) -> CmdResult {
+    let flags = parse_flags(args)?;
+    let store = open_store(&flags, "serve")?;
+    if store.is_empty() {
+        return Err("the store holds no artifacts; publish one first".to_string());
+    }
+    let cache_capacity: usize =
+        get_num(&flags, "cache-capacity", AnswerService::CACHE_CAPACITY)?;
+    let service = std::sync::Arc::new(AnswerService::with_cache_capacity(store, cache_capacity));
+
+    let config = gdp_net::ServerConfig {
+        addr: flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7878".to_string()),
+        workers: get_num(&flags, "workers", 4)?,
+        queue_capacity: get_num(&flags, "queue", 128)?,
+        request_deadline: std::time::Duration::from_millis(get_num(&flags, "deadline-ms", 2_000)?),
+        io_timeout: std::time::Duration::from_millis(get_num(&flags, "io-timeout-ms", 10_000)?),
+        drain_deadline: std::time::Duration::from_millis(get_num(&flags, "drain-ms", 10_000)?),
+        retry_after_secs: get_num(&flags, "retry-after", 1)?,
+        ..gdp_net::ServerConfig::default()
+    };
+
+    // The signal hook must be in place before the first connection so a
+    // supervisor can stop the server at any point of its lifetime.
+    gdp_net::signal::install();
+    let handle = gdp_net::Server::start(service, config, gdp_net::FaultPlan::none())
+        .map_err(|e| format!("cannot bind: {e}"))?;
+    let addr = handle.addr();
+    // Machine-readable on stdout (scripts capture the bound port, which
+    // matters with `--addr 127.0.0.1:0`); prose on stderr.
+    println!("listening on http://{addr}");
+    if let Some(port_file) = flags.get("port-file") {
+        std::fs::write(port_file, format!("{addr}\n"))
+            .map_err(|e| format!("cannot write {port_file}: {e}"))?;
+    }
+    eprintln!("serving; stop with SIGINT/SIGTERM or POST /shutdown");
+
+    while !gdp_net::signal::shutdown_requested() && !handle.is_draining() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("draining...");
+    let report = handle.join();
+    println!(
+        "{}",
+        serde_json::to_string(&report).map_err(|e| e.to_string())?
+    );
+    if report.clean {
+        Ok(())
+    } else {
+        Err(format!(
+            "drain was not clean: {} workers and {} queued connections abandoned",
+            report.abandoned_workers, report.abandoned_queue
+        ))
+    }
 }
 
 #[cfg(test)]

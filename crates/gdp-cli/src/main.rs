@@ -15,6 +15,9 @@
 //!              [--budget-eps E] [--budget-delta D] [--seed N]
 //! gdp answer   --artifact artifact.json --queries queries.txt
 //!              [--privilege P] [--level L]
+//! gdp serve    --artifact-dir DIR [--addr HOST:PORT] [--workers N]
+//!              [--queue N] [--deadline-ms N] [--io-timeout-ms N]
+//!              [--drain-ms N] [--cache-capacity N] [--port-file FILE]
 //! ```
 //!
 //! The default `dblp` model runs the serial DBLP-like generator; the
@@ -22,7 +25,9 @@
 //! `publish`/`answer` are the serving pair: one writes the sealed
 //! release artifact, the other loads it and answers subset-query
 //! workloads under a privilege via `gdp_serve` (budget-free
-//! post-processing).
+//! post-processing). `serve` keeps the same answering path up behind
+//! `gdp_net`'s hardened HTTP frontend — bounded queue, deadlines,
+//! supervised workers, graceful drain on `SIGINT`/`SIGTERM`.
 
 mod commands;
 
@@ -44,6 +49,7 @@ fn main() -> ExitCode {
         "disclose" => commands::disclose(&rest),
         "publish" => commands::publish(&rest),
         "answer" => commands::answer(&rest),
+        "serve" => commands::serve(&rest),
         "help" | "--help" | "-h" => {
             print!("{}", commands::USAGE);
             Ok(())

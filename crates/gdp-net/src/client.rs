@@ -1,0 +1,143 @@
+//! A minimal blocking HTTP client — enough for the load generator, the
+//! CLI's smoke checks, and the conformance/fault tests to drive a real
+//! server through a real socket.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::http::{self, ClientResponse, HttpError, HttpResult};
+
+/// One keep-alive client connection.
+pub struct ClientConn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl ClientConn {
+    /// Connects with `timeout` applied to connect, reads and writes.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] when the server refuses or times out.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and reads the response. `body`, when present,
+    /// is sent as `application/json`.
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError`] on transport or framing failures, including
+    /// [`HttpError::Closed`] when the server hung up (e.g. after a
+    /// `connection: close` response or mid-drain).
+    pub fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> HttpResult<ClientResponse> {
+        let body = body.unwrap_or(&[]);
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: gdp\r\ncontent-length: {}\r\n{}\r\n",
+            body.len(),
+            if body.is_empty() {
+                ""
+            } else {
+                "content-type: application/json\r\n"
+            }
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body)?;
+        self.writer.flush()?;
+        match http::read_response(&mut self.reader)? {
+            Some(response) => Ok(response),
+            None => Err(HttpError::Closed),
+        }
+    }
+}
+
+/// One-shot request on a fresh connection (closed afterwards).
+///
+/// # Errors
+///
+/// [`HttpError`]; connect failures surface as [`HttpError::Io`] (or
+/// [`HttpError::TimedOut`] on connect timeout).
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    timeout: Duration,
+) -> HttpResult<ClientResponse> {
+    let mut conn = ClientConn::connect(addr, timeout).map_err(HttpError::from)?;
+    conn.send(method, path, body)
+}
+
+/// `GET path` on a fresh connection.
+///
+/// # Errors
+///
+/// Same as [`request`].
+pub fn get(addr: SocketAddr, path: &str, timeout: Duration) -> HttpResult<ClientResponse> {
+    request(addr, "GET", path, None, timeout)
+}
+
+/// `POST path` with a JSON body on a fresh connection.
+///
+/// # Errors
+///
+/// Same as [`request`].
+pub fn post_json(
+    addr: SocketAddr,
+    path: &str,
+    json: &str,
+    timeout: Duration,
+) -> HttpResult<ClientResponse> {
+    request(addr, "POST", path, Some(json.as_bytes()), timeout)
+}
+
+/// Retries `send` with bounded exponential backoff while it returns a
+/// `503` (the server's explicit backpressure signal). Returns the first
+/// non-503 response, or the last 503 once `max_tries` is exhausted;
+/// the second element counts the retries performed.
+///
+/// # Errors
+///
+/// Propagates the underlying [`HttpError`] unchanged.
+pub fn with_backoff<F>(
+    mut send: F,
+    max_tries: u32,
+    base_backoff: Duration,
+) -> HttpResult<(ClientResponse, u32)>
+where
+    F: FnMut() -> HttpResult<ClientResponse>,
+{
+    let mut retries = 0;
+    let mut backoff = base_backoff;
+    loop {
+        let response = send()?;
+        if response.status != 503 || retries + 1 >= max_tries.max(1) {
+            return Ok((response, retries));
+        }
+        // Honor the server's Retry-After hint when it is shorter than
+        // the current backoff (the hint is in whole seconds, so the
+        // exponential schedule usually undercuts it).
+        let hint = response
+            .header("retry-after")
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_secs);
+        std::thread::sleep(hint.map_or(backoff, |h| h.min(backoff)));
+        retries += 1;
+        backoff = backoff.saturating_mul(2);
+    }
+}

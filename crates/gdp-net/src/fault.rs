@@ -1,0 +1,179 @@
+//! Deterministic fault injection for the serving path.
+//!
+//! Every degradation mode the server defends against is hard to hit by
+//! luck and easy to hit on purpose: a [`FaultPlan`] threaded into the
+//! request path triggers the configured [`FaultAction`] whenever an
+//! answer request names a matching dataset. Tests use it to pin
+//! deadline expiry ([`FaultAction::Delay`]), queue overflow under a
+//! wedged worker ([`FaultAction::Hold`]), supervisor respawn
+//! ([`FaultAction::Panic`]) and artifact-load failures
+//! ([`FaultAction::Fail`]) — torn reads and stalled writers are driven
+//! from the client side instead (partial writes against the socket
+//! timeouts). Production servers run with [`FaultPlan::none`], which
+//! costs one mutex lock and a hash probe per answer request.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// A manually released barrier: requests wait in
+/// [`Gate::wait_until_open`] until the test calls [`Gate::open`].
+#[derive(Debug, Default)]
+pub struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    /// A closed gate.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Opens the gate, releasing every waiter (idempotent).
+    pub fn open(&self) {
+        *self.open.lock().unwrap_or_else(PoisonError::into_inner) = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the gate opens, or until `cap` elapses — the cap
+    /// keeps a forgotten gate from wedging a worker forever.
+    pub fn wait_until_open(&self, cap: Duration) {
+        let mut open = self.open.lock().unwrap_or_else(PoisonError::into_inner);
+        let deadline = std::time::Instant::now() + cap;
+        while !*open {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(open, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            open = guard;
+        }
+    }
+}
+
+/// What to do to a matching request.
+#[derive(Debug, Clone)]
+pub enum FaultAction {
+    /// Sleep this long before answering (deadline-expiry tests).
+    Delay(Duration),
+    /// Block until the gate opens (deterministic queue-overflow and
+    /// drain tests; the wait is capped at 30 s as a safety net).
+    Hold(Arc<Gate>),
+    /// Panic inside the worker (supervisor-respawn tests).
+    Panic,
+    /// Fail the request with this message, surfaced as a 500 — the
+    /// stand-in for an artifact that cannot be loaded or indexed.
+    Fail(String),
+}
+
+/// A dataset-keyed table of fault actions, shared with the server.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    inner: Arc<Mutex<HashMap<String, FaultAction>>>,
+}
+
+impl FaultPlan {
+    /// An empty plan (production default): no request is touched.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, FaultAction>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Arms `action` for every answer request naming `dataset`.
+    pub fn set(&self, dataset: impl Into<String>, action: FaultAction) {
+        self.lock().insert(dataset.into(), action);
+    }
+
+    /// Disarms the action for `dataset`.
+    pub fn clear(&self, dataset: &str) {
+        self.lock().remove(dataset);
+    }
+
+    /// Applies the armed action for `dataset`, if any. Delays and holds
+    /// block; a panic action panics (the worker's supervisor owns it
+    /// from there).
+    ///
+    /// # Errors
+    ///
+    /// The [`FaultAction::Fail`] message.
+    pub fn apply(&self, dataset: &str) -> Result<(), String> {
+        // Clone the action out so the table lock is not held while a
+        // request sleeps, waits or panics.
+        let action = self.lock().get(dataset).cloned();
+        match action {
+            None => Ok(()),
+            Some(FaultAction::Delay(d)) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+            Some(FaultAction::Hold(gate)) => {
+                gate.wait_until_open(Duration::from_secs(30));
+                Ok(())
+            }
+            Some(FaultAction::Panic) => panic!("fault-injected worker panic ({dataset})"),
+            Some(FaultAction::Fail(msg)) => Err(msg),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_a_no_op() {
+        assert!(FaultPlan::none().apply("any").is_ok());
+    }
+
+    #[test]
+    fn delay_fail_and_clear() {
+        let plan = FaultPlan::none();
+        plan.set("slow", FaultAction::Delay(Duration::from_millis(5)));
+        plan.set("broken", FaultAction::Fail("disk gone".to_string()));
+        let t0 = std::time::Instant::now();
+        assert!(plan.apply("slow").is_ok());
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+        assert_eq!(plan.apply("broken").unwrap_err(), "disk gone");
+        assert!(plan.apply("other").is_ok());
+        plan.clear("broken");
+        assert!(plan.apply("broken").is_ok());
+    }
+
+    #[test]
+    fn panic_action_panics_in_the_caller() {
+        let plan = FaultPlan::none();
+        plan.set("boom", FaultAction::Panic);
+        let result = std::panic::catch_unwind(|| plan.apply("boom"));
+        assert!(result.is_err());
+        // The poisoned-by-panic table still works for other callers.
+        assert!(plan.apply("fine").is_ok());
+    }
+
+    #[test]
+    fn gate_releases_waiters() {
+        let gate = Gate::new();
+        let plan = FaultPlan::none();
+        plan.set("held", FaultAction::Hold(Arc::clone(&gate)));
+        let waiter = {
+            let plan = plan.clone();
+            std::thread::spawn(move || {
+                let t0 = std::time::Instant::now();
+                plan.apply("held").unwrap();
+                t0.elapsed()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        gate.open();
+        let waited = waiter.join().unwrap();
+        assert!(waited >= Duration::from_millis(25), "waited {waited:?}");
+        // An already-open gate does not block.
+        plan.apply("held").unwrap();
+    }
+}

@@ -1,0 +1,207 @@
+//! A fixed-capacity MPMC queue — the server's only buffer.
+//!
+//! Backpressure is the point: [`BoundedQueue::try_push`] never blocks
+//! and never grows the queue past its capacity, so the acceptor can
+//! refuse overflow with an immediate `503` instead of buffering
+//! connections without limit. Consumers block on a condvar with a
+//! timeout, and closing the queue drains it: pending items are still
+//! handed out, then every popper sees [`Pop::Closed`].
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Why a non-blocking push was refused.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back.
+    Full(T),
+    /// The queue was closed (shutdown); the item is handed back.
+    Closed(T),
+}
+
+/// The outcome of a blocking pop.
+#[derive(Debug)]
+pub enum Pop<T> {
+    /// An item.
+    Item(T),
+    /// The timeout elapsed with the queue open but empty.
+    Empty,
+    /// The queue is closed and fully drained.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded MPMC queue. All methods take `&self`.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue admitting at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        // Whole items only ever enter or leave under the lock, so a
+        // poisoned mutex holds consistent state; recover instead of
+        // wedging the server on an unrelated panic.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`BoundedQueue::close`] — both return the item so the caller can
+    /// refuse it explicitly.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues, blocking up to `timeout` for an item. A closed queue
+    /// hands out its remaining items before reporting [`Pop::Closed`].
+    pub fn pop(&self, timeout: Duration) -> Pop<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Pop::Item(item);
+            }
+            if inner.closed {
+                return Pop::Closed;
+            }
+            let (guard, wait) = self
+                .ready
+                .wait_timeout(inner, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            inner = guard;
+            if wait.timed_out() {
+                return match inner.items.pop_front() {
+                    Some(item) => Pop::Item(item),
+                    None if inner.closed => Pop::Closed,
+                    None => Pop::Empty,
+                };
+            }
+        }
+    }
+
+    /// Closes the queue: new pushes are refused, remaining items still
+    /// drain, and every blocked popper wakes.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo_and_overflow() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert!(matches!(q.try_push(3), Err(PushError::Full(3))));
+        assert_eq!(q.len(), 2);
+        assert!(matches!(q.pop(Duration::from_millis(1)), Pop::Item(1)));
+        assert!(matches!(q.pop(Duration::from_millis(1)), Pop::Item(2)));
+        assert!(matches!(q.pop(Duration::from_millis(1)), Pop::Empty));
+    }
+
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let q = BoundedQueue::new(4);
+        q.try_push('a').unwrap();
+        q.close();
+        assert!(matches!(q.try_push('b'), Err(PushError::Closed('b'))));
+        assert!(matches!(q.pop(Duration::from_millis(1)), Pop::Item('a')));
+        assert!(matches!(q.pop(Duration::from_millis(1)), Pop::Closed));
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers() {
+        let q = Arc::new(BoundedQueue::<u8>::new(1));
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop(Duration::from_secs(30)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(matches!(popper.join().unwrap(), Pop::Closed));
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_items() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let total = 200;
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = 0u32;
+                    loop {
+                        match q.pop(Duration::from_millis(50)) {
+                            Pop::Item(_) => got += 1,
+                            Pop::Empty => continue,
+                            Pop::Closed => break,
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut pushed = 0u32;
+        while pushed < total {
+            if q.try_push(pushed).is_ok() {
+                pushed += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        q.close();
+        let got: u32 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(got, total);
+    }
+}

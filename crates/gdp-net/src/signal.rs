@@ -1,0 +1,72 @@
+//! Minimal Unix signal hook: `SIGINT`/`SIGTERM` set a process-wide
+//! flag the serve loop polls to begin a graceful drain.
+//!
+//! The workspace builds offline with no `libc` crate, so the handler is
+//! registered through a direct `signal(2)` FFI declaration — the one
+//! place in the workspace that needs `unsafe`, confined to this module
+//! and compiled only on Unix. The handler itself just stores a relaxed
+//! atomic flag, which is async-signal-safe.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal has arrived since [`install`].
+pub fn shutdown_requested() -> bool {
+    REQUESTED.load(Ordering::Relaxed)
+}
+
+/// Marks shutdown as requested (what the signal handler does; public so
+/// non-Unix builds and tests can trigger the same path).
+pub fn request_shutdown() {
+    REQUESTED.store(true, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    extern "C" fn handler(_signum: i32) {
+        super::request_shutdown();
+    }
+
+    extern "C" {
+        // POSIX `signal(2)`. The return value (the previous handler) is
+        // pointer-sized; it is ignored here.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+
+    /// Registers the flag-setting handler for `SIGINT` (2) and
+    /// `SIGTERM` (15).
+    pub fn install() {
+        unsafe {
+            signal(2, handler);
+            signal(15, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No-op on non-Unix targets; callers can still use
+    /// [`super::request_shutdown`].
+    pub fn install() {}
+}
+
+/// Installs the `SIGINT`/`SIGTERM` handler (no-op off Unix). Call once
+/// before the serve loop; poll [`shutdown_requested`] afterwards.
+pub fn install() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_request_flips_the_flag() {
+        install();
+        assert!(!shutdown_requested() || cfg!(test));
+        request_shutdown();
+        assert!(shutdown_requested());
+    }
+}

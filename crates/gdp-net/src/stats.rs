@@ -1,0 +1,199 @@
+//! Server observability: lock-free counters and the `/stats` snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use gdp_serve::CacheStats;
+
+/// Per-variant served-query counters (successful answers only; a batch
+/// counts each of its queries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct VariantCounts {
+    /// Subset-count queries answered.
+    pub subset_count: u64,
+    /// Group-mass queries answered.
+    pub group_mass: u64,
+    /// Degree-histogram queries answered.
+    pub degree_histogram: u64,
+    /// Side-total queries answered.
+    pub side_total: u64,
+}
+
+/// The memo-cache section of the snapshot (mirrors
+/// [`gdp_serve::CacheStats`] plus the derived hit rate).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheSnapshot {
+    /// Requests answered straight from the memo table.
+    pub hits: u64,
+    /// Requests that computed a fresh answer.
+    pub misses: u64,
+    /// Entries displaced to admit newer keys.
+    pub evictions: u64,
+    /// Distinct memoized queries currently resident.
+    pub entries: usize,
+    /// The configured bound on resident entries.
+    pub capacity: usize,
+    /// `hits / (hits + misses)`, `0.0` before any request.
+    pub hit_rate: f64,
+}
+
+impl From<CacheStats> for CacheSnapshot {
+    fn from(stats: CacheStats) -> Self {
+        Self {
+            hits: stats.hits,
+            misses: stats.misses,
+            evictions: stats.evictions,
+            entries: stats.entries,
+            capacity: stats.capacity,
+            hit_rate: stats.hit_rate(),
+        }
+    }
+}
+
+/// One consistent-enough reading of every server counter — the
+/// `GET /stats` response body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// `"ok"` while accepting, `"draining"` after shutdown began.
+    pub status: String,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Connections accepted off the listener.
+    pub accepted: u64,
+    /// Requests answered with a written response.
+    pub completed: u64,
+    /// Requests currently being processed by workers.
+    pub in_flight: u64,
+    /// Connections waiting in the bounded queue right now.
+    pub queue_depth: usize,
+    /// The queue's capacity.
+    pub queue_capacity: usize,
+    /// Connections refused with `503` because the queue was full.
+    pub rejected_overflow: u64,
+    /// Requests refused with `504` because their deadline expired.
+    pub deadline_expired: u64,
+    /// Connections dropped on a socket read/write timeout (slow-loris
+    /// peers, stalled writers).
+    pub io_timeouts: u64,
+    /// Connections dropped on malformed or oversized requests.
+    pub bad_requests: u64,
+    /// Worker panics caught by the supervisor.
+    pub worker_panics: u64,
+    /// Workers respawned after a panic.
+    pub worker_restarts: u64,
+    /// Workers currently alive.
+    pub workers: u64,
+    /// Successful answers by query variant.
+    pub per_variant: VariantCounts,
+    /// Memo-cache counters from the answering service.
+    pub cache: CacheSnapshot,
+}
+
+/// The live counters, shared across acceptor, workers and supervisor.
+#[derive(Debug)]
+pub struct ServerStats {
+    started: Instant,
+    /// Connections accepted off the listener.
+    pub accepted: AtomicU64,
+    /// Requests answered with a written response.
+    pub completed: AtomicU64,
+    /// Requests currently being processed (gauge).
+    pub in_flight: AtomicU64,
+    /// Connections refused with `503` on queue overflow.
+    pub rejected_overflow: AtomicU64,
+    /// Requests refused with `504` on deadline expiry.
+    pub deadline_expired: AtomicU64,
+    /// Connections dropped on socket timeouts.
+    pub io_timeouts: AtomicU64,
+    /// Connections dropped on malformed input.
+    pub bad_requests: AtomicU64,
+    /// Worker panics caught.
+    pub worker_panics: AtomicU64,
+    /// Workers respawned.
+    pub worker_restarts: AtomicU64,
+    /// Workers currently alive (gauge).
+    pub live_workers: AtomicU64,
+    /// Successful answers by variant index (see [`variant_index`]).
+    pub per_variant: [AtomicU64; 4],
+}
+
+impl ServerStats {
+    /// Fresh counters, uptime starting now.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            accepted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            rejected_overflow: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            io_timeouts: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
+            live_workers: AtomicU64::new(0),
+            per_variant: Default::default(),
+        }
+    }
+
+    /// Counts one successfully answered query of the given variant.
+    pub fn count_variant(&self, name: &str) {
+        if let Some(i) = variant_index(name) {
+            self.per_variant[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshots every counter. `draining`, queue gauges and the cache
+    /// section come from the caller (they live elsewhere).
+    pub fn snapshot(
+        &self,
+        draining: bool,
+        queue_depth: usize,
+        queue_capacity: usize,
+        cache: CacheStats,
+    ) -> StatsSnapshot {
+        let v = |i: usize| self.per_variant[i].load(Ordering::Relaxed);
+        StatsSnapshot {
+            status: if draining { "draining" } else { "ok" }.to_string(),
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            accepted: self.accepted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            queue_depth,
+            queue_capacity,
+            rejected_overflow: self.rejected_overflow.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            io_timeouts: self.io_timeouts.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            workers: self.live_workers.load(Ordering::Relaxed),
+            per_variant: VariantCounts {
+                subset_count: v(0),
+                group_mass: v(1),
+                degree_histogram: v(2),
+                side_total: v(3),
+            },
+            cache: cache.into(),
+        }
+    }
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Maps a [`Query::name`](gdp_serve::Query::name) to its counter slot.
+pub fn variant_index(name: &str) -> Option<usize> {
+    match name {
+        "subset_count" => Some(0),
+        "group_mass" => Some(1),
+        "degree_histogram" => Some(2),
+        "side_total" => Some(3),
+        _ => None,
+    }
+}

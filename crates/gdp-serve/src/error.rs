@@ -66,6 +66,15 @@ pub enum ServeError {
         /// What went wrong.
         message: String,
     },
+    /// A serving-path invariant was violated (e.g. a subset count that
+    /// did not resolve to a scalar). Surfacing this as a typed error
+    /// instead of panicking keeps a malformed request from ever killing
+    /// a worker thread; seeing one is a bug in the serving layer, not
+    /// in the request.
+    Internal(
+        /// What invariant broke.
+        String,
+    ),
 }
 
 impl fmt::Display for ServeError {
@@ -101,6 +110,9 @@ impl fmt::Display for ServeError {
             }
             Self::Workload { line, message } => {
                 write!(f, "workload parse error at line {line}: {message}")
+            }
+            Self::Internal(message) => {
+                write!(f, "internal serving invariant violated: {message}")
             }
         }
     }

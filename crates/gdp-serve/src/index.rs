@@ -282,9 +282,16 @@ impl IndexedRelease {
             // the scan estimator — reports the error, so precedence
             // (first offender in subset order) is identical to the
             // baseline's by construction.
-            let err = gdp_core::answering::validate_subset(side, nodes, n)
-                .expect_err("caller detected a defect in the subset");
-            return Err(ServeError::Core(err));
+            return Err(match gdp_core::answering::validate_subset(side, nodes, n) {
+                Err(err) => ServeError::Core(err),
+                // The gather and the canonical walk disagreeing on
+                // defectiveness would be a serving-layer bug; report it
+                // typed rather than killing the worker.
+                Ok(()) => ServeError::Internal(
+                    "subset gather flagged a defect the canonical validation walk did not"
+                        .to_string(),
+                ),
+            });
         }
         Ok(total)
     }

@@ -14,11 +14,13 @@
 
 use std::sync::Arc;
 
+use serde::{Deserialize, Serialize};
+
 use gdp_graph::Side;
 
 /// One subset-count query: "how many associations touch *these* nodes
 /// on this side?"
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SubsetQuery {
     /// Which side the subset lives on.
     pub side: Side,
@@ -35,7 +37,7 @@ pub struct SubsetQuery {
 /// takes it alongside the privilege), uniform across variants, so
 /// privilege gating happens once per request before the variant is
 /// looked at.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Query {
     /// The estimated association count incident to a node subset — the
     /// `O(|S|)` gather over premass tables.

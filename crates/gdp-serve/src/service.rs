@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use rayon::prelude::*;
 
@@ -20,14 +20,123 @@ pub struct CacheStats {
     pub hits: u64,
     /// Requests that computed a fresh answer.
     pub misses: u64,
-    /// Distinct memoized queries.
+    /// Entries displaced to admit a newer key once the table was full.
+    pub evictions: u64,
+    /// Distinct memoized queries currently resident.
     pub entries: usize,
+    /// The configured upper bound on resident entries.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Fraction of requests answered from the memo table, in `[0, 1]`
+    /// (`0.0` before any request).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 /// The memo key is variant-aware: two queries of different kinds (or
 /// the same kind with different parameters) at the same
 /// `(dataset, epoch, level)` are distinct entries.
 type CacheKey = (String, u64, usize, Query);
+
+/// One resident memo entry in the clock ring.
+#[derive(Debug)]
+struct Slot {
+    key: Arc<CacheKey>,
+    value: TypedAnswer,
+    /// Second-chance bit: set on every hit, cleared when the clock hand
+    /// sweeps past; a slot is displaced only when the hand finds it
+    /// unreferenced.
+    referenced: bool,
+}
+
+/// A capacity-bounded memo table with CLOCK (second-chance) eviction.
+///
+/// The ring grows to `capacity` slots and then recycles them: the hand
+/// sweeps from its last position, giving every recently-hit entry one
+/// more round before displacement. Keys are `Arc`-shared between the
+/// ring and the index so each entry stores its key once.
+#[derive(Debug)]
+struct ClockCache {
+    capacity: usize,
+    slots: Vec<Slot>,
+    index: HashMap<Arc<CacheKey>, usize>,
+    hand: usize,
+}
+
+impl ClockCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            slots: Vec::new(),
+            index: HashMap::new(),
+            hand: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<TypedAnswer> {
+        let &pos = self.index.get(key)?;
+        let slot = self.slots.get_mut(pos)?;
+        slot.referenced = true;
+        Some(slot.value.clone())
+    }
+
+    /// Inserts `key → value`, displacing one unreferenced entry when the
+    /// ring is full. Returns the number of evictions performed (0 or 1).
+    fn insert(&mut self, key: CacheKey, value: TypedAnswer) -> u64 {
+        if self.capacity == 0 {
+            return 0;
+        }
+        if let Some(&pos) = self.index.get(&key) {
+            if let Some(slot) = self.slots.get_mut(pos) {
+                slot.value = value;
+                slot.referenced = true;
+            }
+            return 0;
+        }
+        let key = Arc::new(key);
+        if self.slots.len() < self.capacity {
+            self.index.insert(Arc::clone(&key), self.slots.len());
+            self.slots.push(Slot {
+                key,
+                value,
+                referenced: false,
+            });
+            return 0;
+        }
+        // Second-chance sweep: clear reference bits until an
+        // unreferenced victim turns up. Terminates within two laps — the
+        // first lap clears every bit in the worst case.
+        loop {
+            let pos = self.hand;
+            self.hand = (self.hand + 1) % self.slots.len();
+            let Some(slot) = self.slots.get_mut(pos) else {
+                return 0;
+            };
+            if slot.referenced {
+                slot.referenced = false;
+                continue;
+            }
+            self.index.remove(&slot.key);
+            self.index.insert(Arc::clone(&key), pos);
+            slot.key = key;
+            slot.value = value;
+            slot.referenced = false;
+            return 1;
+        }
+    }
+}
 
 /// Answers typed queries from a sharded release store under the
 /// paper's graded-privilege model — the serving path a heavy-traffic
@@ -49,39 +158,58 @@ type CacheKey = (String, u64, usize, Query);
 ///   `&self`, and the store behind it is sharded with one `RwLock` per
 ///   shard, so any number of OS threads answer concurrently while a
 ///   republisher inserts next week's artifact.
-/// * **Repeated queries are memoized.** Post-processing invariance
-///   means re-answering a released value costs no privacy budget, so
-///   caching is always *sound*; memory is the only constraint, and the
-///   memo table stops admitting new entries at
-///   [`AnswerService::CACHE_CAPACITY`] (existing entries keep hitting —
-///   correctness never depends on the cache, every miss just recomputes
-///   the lookup). The memo key is `(dataset, epoch, level, query)` with
-///   the full typed query, so variants never collide; histogram answers
-///   are `Arc`s, so a cached histogram costs one pointer, not one copy
-///   of the bins.
+/// * **Repeated queries are memoized, under a hard memory bound.**
+///   Post-processing invariance means re-answering a released value
+///   costs no privacy budget, so caching is always *sound*; memory is
+///   the only constraint, and the memo table is capacity-bounded with
+///   CLOCK (second-chance) eviction — a hostile or fully-unique
+///   workload displaces cold entries instead of growing the table
+///   without limit, and correctness never depends on the cache (every
+///   miss just recomputes the lookup). Evictions are counted in
+///   [`CacheStats`]. The memo key is `(dataset, epoch, level, query)`
+///   with the full typed query, so variants never collide; histogram
+///   answers are `Arc`s, so a cached histogram costs one pointer, not
+///   one copy of the bins.
 #[derive(Debug)]
 pub struct AnswerService {
     store: ShardedStoreHandle,
-    cache: Mutex<HashMap<CacheKey, TypedAnswer>>,
+    cache: Mutex<ClockCache>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl AnswerService {
-    /// Upper bound on memoized entries: beyond this the table stops
-    /// admitting new keys (misses still answer, they just recompute),
-    /// bounding memory on workloads of mostly-unique queries.
+    /// Default upper bound on resident memo entries; beyond this the
+    /// clock hand starts displacing unreferenced entries, bounding
+    /// memory on workloads of mostly-unique queries.
     pub const CACHE_CAPACITY: usize = 1 << 20;
 
     /// Wraps a store (or an existing [`ShardedStoreHandle`] — services
-    /// sharing a handle share one registry) with an empty memo table.
+    /// sharing a handle share one registry) with an empty memo table of
+    /// the default [`AnswerService::CACHE_CAPACITY`].
     pub fn new(store: impl Into<ShardedStoreHandle>) -> Self {
+        Self::with_cache_capacity(store, Self::CACHE_CAPACITY)
+    }
+
+    /// Like [`AnswerService::new`] with an explicit memo-table bound.
+    /// A capacity of `0` disables memoization entirely (every request
+    /// recomputes; still correct).
+    pub fn with_cache_capacity(store: impl Into<ShardedStoreHandle>, capacity: usize) -> Self {
         Self {
             store: store.into(),
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(ClockCache::new(capacity)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// The memo table, immune to lock poisoning: a panicking thread
+    /// elsewhere never wedges the cache, because entries are only ever
+    /// whole key→value pairs (a torn write cannot be observed).
+    fn cache(&self) -> MutexGuard<'_, ClockCache> {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The underlying store handle (clone it to share the registry with
@@ -148,15 +276,15 @@ impl AnswerService {
         query: Query,
     ) -> Result<TypedAnswer> {
         let key: CacheKey = (dataset.to_string(), epoch, level, query);
-        if let Some(value) = self.cache.lock().expect("cache lock").get(&key) {
+        if let Some(value) = self.cache().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(value.clone());
+            return Ok(value);
         }
         let value = indexed.answer(level, &key.3)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut cache = self.cache.lock().expect("cache lock");
-        if cache.len() < Self::CACHE_CAPACITY {
-            cache.insert(key, value.clone());
+        let evicted = self.cache().insert(key, value.clone());
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
         Ok(value)
     }
@@ -208,9 +336,7 @@ impl AnswerService {
             level,
             Query::SubsetCount(query.clone()),
         )?;
-        Ok(answer
-            .scalar()
-            .expect("a subset count is always a scalar"))
+        expect_scalar(answer)
     }
 
     /// Answers a batch of subset-count queries against one
@@ -241,7 +367,7 @@ impl AnswerService {
                     level,
                     Query::SubsetCount(query.clone()),
                 )
-                .map(|answer| answer.scalar().expect("a subset count is always a scalar"))
+                .and_then(expect_scalar)
             })
             .collect()
     }
@@ -266,12 +392,24 @@ impl AnswerService {
 
     /// Current memoization counters.
     pub fn cache_stats(&self) -> CacheStats {
+        let cache = self.cache();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.cache.lock().expect("cache lock").len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: cache.len(),
+            capacity: cache.capacity,
         }
     }
+}
+
+/// A subset count is a scalar by construction; anything else is a
+/// serving-layer bug, reported as a typed error instead of a panic so
+/// it can never kill a worker thread.
+fn expect_scalar(answer: TypedAnswer) -> Result<f64> {
+    answer
+        .scalar()
+        .ok_or_else(|| ServeError::Internal("a subset count resolved to a non-scalar answer".to_string()))
 }
 
 #[cfg(test)]
@@ -288,6 +426,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn service() -> AnswerService {
+        service_with_capacity(AnswerService::CACHE_CAPACITY)
+    }
+
+    fn service_with_capacity(capacity: usize) -> AnswerService {
         let mut rng = StdRng::seed_from_u64(90);
         let graph = DblpGenerator::new(DblpConfig::tiny()).generate(&mut rng);
         let hierarchy = Specializer::new(SpecializationConfig::median(3).unwrap())
@@ -306,7 +448,7 @@ mod tests {
         let artifact = ReleaseArtifact::seal("dblp", 4, hierarchy, release).unwrap();
         let store = ReleaseStore::new();
         store.insert(IndexedRelease::new(artifact).unwrap()).unwrap();
-        AnswerService::new(store)
+        AnswerService::with_cache_capacity(store, capacity)
     }
 
     fn query(nodes: &[u32]) -> SubsetQuery {
@@ -431,6 +573,73 @@ mod tests {
             )
             .unwrap();
         assert_eq!(service.cache_stats().entries, 5);
+    }
+
+    #[test]
+    fn cache_is_bounded_and_counts_evictions() {
+        let service = service_with_capacity(3);
+        let queries: Vec<Query> = (0..6u32)
+            .map(|k| Query::SubsetCount(query(&[k])))
+            .collect();
+        for q in &queries {
+            service.answer_typed("dblp", 4, Privilege::full(), 2, q).unwrap();
+        }
+        let stats = service.cache_stats();
+        assert_eq!(stats.capacity, 3);
+        assert_eq!(stats.entries, 3, "the table never outgrows its bound");
+        assert_eq!(stats.misses, 6);
+        assert_eq!(stats.evictions, 3, "each admission past the bound displaces one entry");
+        // Evicted or not, every answer stays bit-identical to the index.
+        let indexed = service.store().get("dblp", 4).unwrap();
+        for q in &queries {
+            let served = service
+                .answer_typed("dblp", 4, Privilege::full(), 2, q)
+                .unwrap();
+            assert_eq!(served, indexed.answer(2, q).unwrap());
+        }
+    }
+
+    #[test]
+    fn clock_eviction_gives_hot_entries_a_second_chance() {
+        let service = service_with_capacity(2);
+        let hot = Query::SideTotal { side: Side::Left };
+        let cold = |k: u32| Query::SubsetCount(query(&[k]));
+        service.answer_typed("dblp", 4, Privilege::full(), 2, &hot).unwrap();
+        service.answer_typed("dblp", 4, Privilege::full(), 2, &cold(0)).unwrap();
+        // Keep the hot entry referenced, then push a stream of cold
+        // inserts through the full table: the hand must displace the
+        // unreferenced cold slots and keep the hot one resident.
+        for group in 1..5 {
+            service.answer_typed("dblp", 4, Privilege::full(), 2, &hot).unwrap();
+            service
+                .answer_typed("dblp", 4, Privilege::full(), 2, &cold(group))
+                .unwrap();
+        }
+        let stats = service.cache_stats();
+        let hits_before = stats.hits;
+        service.answer_typed("dblp", 4, Privilege::full(), 2, &hot).unwrap();
+        assert_eq!(
+            service.cache_stats().hits,
+            hits_before + 1,
+            "the repeatedly-referenced entry survived eviction pressure"
+        );
+        assert!(stats.evictions > 0);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_memoization_but_stays_correct() {
+        let service = service_with_capacity(0);
+        let q = query(&[3, 1, 7]);
+        let first = service.answer("dblp", 4, Privilege::full(), 1, &q).unwrap();
+        let again = service.answer("dblp", 4, Privilege::full(), 1, &q).unwrap();
+        assert_eq!(first.to_bits(), again.to_bits());
+        let stats = service.cache_stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.hit_rate(), 0.0);
     }
 
     #[test]

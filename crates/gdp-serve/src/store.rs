@@ -113,12 +113,21 @@ impl ReleaseStore {
         &self.shards[shard_of(dataset)]
     }
 
+    // Shard guards recover from lock poisoning instead of panicking: a
+    // shard map is only ever mutated by whole-entry insert/replace, so a
+    // thread that panicked while holding the lock cannot have left a
+    // torn entry behind, and wedging every later reader would turn one
+    // dead worker into a dead store.
     fn write_shard(&self, dataset: &str) -> std::sync::RwLockWriteGuard<'_, Shard> {
-        self.shard(dataset).write().expect("store shard lock")
+        self.shard(dataset)
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     fn read_shard(&self, dataset: &str) -> std::sync::RwLockReadGuard<'_, Shard> {
-        self.shard(dataset).read().expect("store shard lock")
+        self.shard(dataset)
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     fn insert_entry(&self, dataset: String, epoch: u64, entry: Entry) -> Result<()> {
@@ -244,7 +253,7 @@ impl ReleaseStore {
     pub fn datasets(&self) -> Vec<String> {
         let mut out: Vec<String> = Vec::new();
         for shard in &self.shards {
-            let shard = shard.read().expect("store shard lock");
+            let shard = shard.read().unwrap_or_else(std::sync::PoisonError::into_inner);
             out.extend(shard.keys().map(|(dataset, _)| dataset.clone()));
         }
         out.sort_unstable();
@@ -256,7 +265,12 @@ impl ReleaseStore {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|shard| shard.read().expect("store shard lock").len())
+            .map(|shard| {
+                shard
+                    .read()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .len()
+            })
             .sum()
     }
 

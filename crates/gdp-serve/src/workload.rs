@@ -126,7 +126,11 @@ pub fn read_query_file<R: Read>(reader: R) -> Result<Vec<Query>> {
             continue;
         }
         let mut parts = trimmed.split_whitespace();
-        let tag = parts.next().expect("trimmed line is non-empty");
+        let Some(tag) = parts.next() else {
+            // Unreachable (the line was non-empty after trimming), but a
+            // skip beats a panic in a serving-path parser.
+            continue;
+        };
         let query = match tag {
             "L" | "R" => {
                 let side = parse_side(Some(tag), line_no)?;

@@ -11,9 +11,13 @@
 //!   and multi-level disclosure
 //! * [`serve`] — the serving subsystem: indexed release artifacts,
 //!   dataset/epoch stores, the privilege-gated answering service
+//! * [`net`] — the hardened HTTP frontend over the answering service:
+//!   bounded queue + backpressure, deadlines, supervised workers,
+//!   graceful shutdown (see `docs/operations.md`)
 
 pub use gdp_core as core;
 pub use gdp_datagen as datagen;
 pub use gdp_graph as graph;
 pub use gdp_mechanisms as mechanisms;
+pub use gdp_net as net;
 pub use gdp_serve as serve;

@@ -256,3 +256,111 @@ fn release_store_directory_scan_failures_are_typed() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Damaged artifact files on disk — truncations, zero-byte stubs,
+/// permission failures — surface as typed scan errors, and a directory
+/// mutated *after* the scan cannot corrupt a store that already
+/// promoted its artifacts into memory.
+#[test]
+fn release_store_survives_damaged_and_mutating_directories() {
+    use group_dp::core::{
+        DisclosureConfig as DC, MultiLevelDiscloser as MLD, Query, ReleaseArtifact,
+    };
+    use group_dp::serve::{Query as ServeQuery, ReleaseStore, ServeError};
+
+    let dir = std::env::temp_dir().join(format!("gdp-damaged-dir-{}", std::process::id()));
+    let fresh = |name: &str| {
+        let sub = dir.join(name);
+        std::fs::create_dir_all(&sub).unwrap();
+        sub
+    };
+    let artifact = |dataset: &str, epoch: u64| -> ReleaseArtifact {
+        let graph = tiny_graph();
+        let hierarchy = Specializer::new(SpecializationConfig::median(2).unwrap())
+            .specialize(&graph, &mut StdRng::seed_from_u64(7))
+            .unwrap();
+        let release = MLD::new(
+            DC::count_only(0.5, 1e-6)
+                .unwrap()
+                .with_queries(vec![Query::PerGroupCounts]),
+        )
+        .disclose(&graph, &hierarchy, &mut StdRng::seed_from_u64(8))
+        .unwrap();
+        ReleaseArtifact::seal(dataset, epoch, hierarchy, release).unwrap()
+    };
+    let rendered = |dataset: &str, epoch: u64| -> Vec<u8> {
+        let mut buf = Vec::new();
+        artifact(dataset, epoch).write_json(&mut buf).unwrap();
+        buf
+    };
+
+    // A torn write: a valid document truncated mid-payload is a typed
+    // JSON error, never a partially-loaded release.
+    let sub = fresh("truncated");
+    let good = rendered("dblp", 1);
+    std::fs::write(sub.join("torn.json"), &good[..good.len() / 2]).unwrap();
+    assert!(matches!(
+        ReleaseStore::open_dir(&sub).unwrap_err(),
+        ServeError::Core(CoreError::Graph(GraphError::Json(_)))
+    ));
+
+    // A zero-byte file (e.g. a crashed publisher that opened but never
+    // wrote): same typed refusal.
+    let sub = fresh("zero-byte");
+    std::fs::write(sub.join("empty.json"), b"").unwrap();
+    assert!(matches!(
+        ReleaseStore::open_dir(&sub).unwrap_err(),
+        ServeError::Core(CoreError::Graph(GraphError::Json(_)))
+    ));
+
+    // An unreadable entry is an I/O error naming the failure, not a
+    // panic. Permission bits do not bind the superuser, so only assert
+    // when the OS actually refuses the read.
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::PermissionsExt;
+        let sub = fresh("unreadable");
+        std::fs::write(sub.join("locked.json"), &good).unwrap();
+        std::fs::set_permissions(
+            sub.join("locked.json"),
+            std::fs::Permissions::from_mode(0o000),
+        )
+        .unwrap();
+        if std::fs::read(sub.join("locked.json")).is_err() {
+            assert!(matches!(
+                ReleaseStore::open_dir(&sub).unwrap_err(),
+                ServeError::Core(CoreError::Graph(GraphError::Io(_)))
+            ));
+        }
+        std::fs::set_permissions(
+            sub.join("locked.json"),
+            std::fs::Permissions::from_mode(0o644),
+        )
+        .unwrap();
+    }
+
+    // The scan parses every artifact eagerly; only the per-level query
+    // index is built lazily on first access. Deleting (or corrupting)
+    // the files between the scan and that first access must not matter:
+    // the store answers from memory, not the directory.
+    let sub = fresh("mutated");
+    std::fs::write(sub.join("a.json"), rendered("dblp", 3)).unwrap();
+    std::fs::write(sub.join("b.json"), rendered("dblp", 4)).unwrap();
+    let store = ReleaseStore::open_dir(&sub).unwrap();
+    std::fs::write(sub.join("a.json"), "{ vandalized").unwrap();
+    std::fs::remove_file(sub.join("b.json")).unwrap();
+    for epoch in [3, 4] {
+        let indexed = store.get("dblp", epoch).unwrap();
+        let answer = indexed
+            .answer(
+                0,
+                &ServeQuery::SideTotal {
+                    side: group_dp::graph::Side::Left,
+                },
+            )
+            .unwrap();
+        assert!(answer.scalar().is_some(), "epoch {epoch} lost its payload");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -111,6 +111,22 @@ pub fn field<'a>(map: &'a [(String, Value)], name: &str) -> Result<&'a Value, De
         .ok_or_else(|| DeError(format!("missing field `{name}`")))
 }
 
+// `Value` is its own serialized form: these identity impls let callers
+// read a JSON document into a `Value`, edit part of it, and write it
+// back without modeling the whole schema (e.g. merging one section into
+// an existing benchmark report).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 // ---- primitive impls ----
 
 impl Serialize for bool {
