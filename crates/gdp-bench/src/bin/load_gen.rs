@@ -223,6 +223,7 @@ fn send_one(
     conn: &mut Option<client::ClientConn>,
     addr: SocketAddr,
     body: &str,
+    seed: u64,
 ) -> Result<(u16, u32), String> {
     for attempt in 0..2 {
         if conn.is_none() {
@@ -238,6 +239,7 @@ fn send_one(
             },
             8,
             Duration::from_millis(20),
+            seed,
         );
         match result {
             Ok((response, retries)) => return Ok((response.status, retries)),
@@ -347,7 +349,7 @@ fn run() -> Result<(), String> {
                         }
                     };
                     let sent = Instant::now();
-                    match send_one(&mut conn, addr, &body) {
+                    match send_one(&mut conn, addr, &body, seed) {
                         Ok((200, retries)) => {
                             local.latencies_us.push(sent.elapsed().as_micros() as u64);
                             local.retries_503 += retries as u64;

@@ -16,7 +16,8 @@ use gdp_datagen::{DblpConfig, DblpGenerator};
 use gdp_graph::{io as graph_io, GraphStats};
 use gdp_mechanisms::PrivacyBudget;
 use gdp_serve::{
-    workload, AnswerService, IndexedRelease, Query as ServeQuery, ReleaseStore, TypedAnswer,
+    workload, AnswerService, IndexedRelease, Query as ServeQuery, ReleaseStore,
+    RetentionPolicy, TypedAnswer,
 };
 
 /// Top-level usage text.
@@ -50,6 +51,8 @@ commands:
       run the pipeline inside a budget-enforced session and write the
       sealed release artifact (manifest + hierarchy + noisy levels) as
       a JSON document — the long-lived product consumers answer from.
+      The write is crash-safe (staged sibling, fsync, atomic rename):
+      a kill mid-publish leaves debris, never a torn artifact.
       Releases the total, per-group counts and the left-degree
       histogram (bins 0..=--hist-max, default 64) at every level
   answer (--artifact FILE | --artifact-dir DIR) --queries FILE
@@ -66,17 +69,30 @@ commands:
   serve (--artifact FILE | --artifact-dir DIR) [--addr HOST:PORT]
         [--workers N] [--queue N] [--deadline-ms N] [--io-timeout-ms N]
         [--drain-ms N] [--retry-after S] [--cache-capacity N]
-        [--port-file FILE]
+        [--port-file FILE] [--reload-interval-ms N]
       expose the answering service over HTTP (see docs/operations.md
       for the endpoints and error taxonomy). The request queue is
       bounded (--queue; overflow answers 503 + Retry-After), every
       request carries a deadline (--deadline-ms; expiry answers 504),
       sockets time out against slow peers (--io-timeout-ms), and
-      worker panics are supervised and respawned. SIGINT/SIGTERM or
+      worker panics are supervised and respawned. With --artifact-dir
+      the open is degraded-tolerant: damaged files are quarantined
+      (reported, never fatal), POST /v1/admin/reload re-scans the
+      directory live, and --reload-interval-ms N > 0 starts a
+      supervised watcher that re-scans every N ms. SIGINT/SIGTERM or
       POST /shutdown drains gracefully within --drain-ms and prints a
       JSON drain report; a dirty drain exits nonzero. --addr defaults
       to 127.0.0.1:7878 (:0 picks a free port; --port-file records the
       bound address)
+  gc --artifact-dir DIR (--keep-last N | --ttl-epochs T | both)
+     [--dataset NAME] [--dry-run]
+      apply a retention policy to a published artifact directory:
+      epochs beyond the N newest (--keep-last) or more than T epoch
+      numbers older than the newest (--ttl-epochs) are unregistered
+      and their files durably deleted (the newest epoch of a dataset
+      is never evicted). --dataset limits the pass to one dataset;
+      --dry-run prints the eviction plan without deleting. Prints the
+      JSON GC report on stdout; failed deletions exit nonzero
   help
       show this message
 ";
@@ -388,9 +404,10 @@ pub fn publish(args: &[String]) -> CmdResult {
         .publish(&config, &dataset, epoch, &mut rng)
         .map_err(|e| e.to_string())?;
 
-    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    // Atomic write: stage, fsync, rename — a crash mid-publish leaves
+    // `*.tmp` debris for the store to quarantine, never a torn artifact.
     artifact
-        .write_json(BufWriter::new(file))
+        .save_atomic(out)
         .map_err(|e| format!("cannot write {out}: {e}"))?;
     let m = artifact.manifest();
     eprintln!(
@@ -564,9 +581,41 @@ pub fn answer(args: &[String]) -> CmdResult {
 
 /// `gdp serve` — expose the answering service over HTTP until a
 /// `SIGINT`/`SIGTERM` or a `POST /shutdown` triggers a graceful drain.
+///
+/// A `--artifact-dir` store opens in degraded mode (damage quarantined
+/// and reported, never fatal) and stays reloadable: `POST
+/// /v1/admin/reload` re-scans on demand, `--reload-interval-ms` adds a
+/// supervised watcher that re-scans continuously.
 pub fn serve(args: &[String]) -> CmdResult {
     let flags = parse_flags(args)?;
-    let store = open_store(&flags, "serve")?;
+    // The serving path opens directories in degraded mode: a single
+    // damaged file is quarantined with a note, not a refusal to start.
+    let (store, reload) = match (flags.get("artifact"), flags.get("artifact-dir")) {
+        (Some(_), Some(_)) => {
+            return Err("--artifact and --artifact-dir are mutually exclusive".to_string())
+        }
+        (None, None) => {
+            return Err("serve requires --artifact FILE or --artifact-dir DIR".to_string())
+        }
+        (Some(_), None) => (open_store(&flags, "serve")?, gdp_net::ReloadConfig::default()),
+        (None, Some(dir)) => {
+            let (store, report) =
+                ReleaseStore::open_dir_report(dir).map_err(|e| format!("{dir}: {e}"))?;
+            eprintln!("scanned {dir}: {}", report.summary());
+            for outcome in &report.outcomes {
+                if let gdp_serve::FileOutcome::Quarantined { path, moved_to, reason } = outcome {
+                    eprintln!("quarantined {path} -> {moved_to}: {reason}");
+                }
+            }
+            let interval_ms: u64 = get_num(&flags, "reload-interval-ms", 0)?;
+            let reload = gdp_net::ReloadConfig {
+                dir: Some(dir.into()),
+                interval: (interval_ms > 0).then(|| std::time::Duration::from_millis(interval_ms)),
+                initial_quarantined: report.quarantined() as u64,
+            };
+            (store, reload)
+        }
+    };
     if store.is_empty() {
         return Err("the store holds no artifacts; publish one first".to_string());
     }
@@ -585,6 +634,7 @@ pub fn serve(args: &[String]) -> CmdResult {
         io_timeout: std::time::Duration::from_millis(get_num(&flags, "io-timeout-ms", 10_000)?),
         drain_deadline: std::time::Duration::from_millis(get_num(&flags, "drain-ms", 10_000)?),
         retry_after_secs: get_num(&flags, "retry-after", 1)?,
+        reload,
         ..gdp_net::ServerConfig::default()
     };
 
@@ -620,6 +670,94 @@ pub fn serve(args: &[String]) -> CmdResult {
             report.abandoned_workers, report.abandoned_queue
         ))
     }
+}
+
+/// `gdp gc` — apply a retention policy to a published artifact
+/// directory: superseded epochs are unregistered and their files
+/// durably deleted (unlink + directory fsync). The newest epoch of a
+/// dataset is never evicted, so a served dataset cannot be emptied.
+pub fn gc(args: &[String]) -> CmdResult {
+    let flags = parse_flags(args)?;
+    let dir = flags.get("artifact-dir").ok_or("gc requires --artifact-dir DIR")?;
+    let keep_last = match flags.get("keep-last") {
+        None => None,
+        Some(_) => Some(get_num::<usize>(&flags, "keep-last", 1)?),
+    };
+    let ttl = match flags.get("ttl-epochs") {
+        None => None,
+        Some(_) => Some(get_num::<u64>(&flags, "ttl-epochs", 0)?),
+    };
+    if keep_last.is_none() && ttl.is_none() {
+        return Err("gc requires --keep-last N and/or --ttl-epochs T".to_string());
+    }
+    let policy = RetentionPolicy {
+        keep_last: keep_last.map(|n| n.max(1)),
+        max_epoch_age: ttl,
+    };
+    let dataset = flags.get("dataset").cloned();
+    let dry_run = flags.contains_key("dry-run");
+
+    // Degraded open: GC must work on exactly the directories that need
+    // it most — ones holding crash debris next to committed epochs.
+    let (store, report) =
+        ReleaseStore::open_dir_report(dir).map_err(|e| format!("{dir}: {e}"))?;
+    eprintln!("scanned {dir}: {}", report.summary());
+    if let Some(name) = &dataset {
+        if !store.datasets().contains(name) {
+            return Err(format!(
+                "dataset `{name}` not found in {dir} (holds {:?})",
+                store.datasets()
+            ));
+        }
+    }
+
+    if dry_run {
+        let datasets = match &dataset {
+            Some(name) => vec![name.clone()],
+            None => store.datasets(),
+        };
+        for name in datasets {
+            let plan = policy.evict_plan(&store.epochs(&name));
+            eprintln!(
+                "dataset `{name}`: would evict {} of {} epochs: {plan:?}",
+                plan.len(),
+                store.epochs(&name).len()
+            );
+        }
+        eprintln!("dry run: nothing deleted");
+        return Ok(());
+    }
+
+    let gc_report = store.gc(&policy, dataset.as_deref());
+    for eviction in &gc_report.evictions {
+        match (&eviction.path, eviction.deleted) {
+            (Some(path), true) => {
+                eprintln!("evicted {}/e{}: deleted {path}", eviction.dataset, eviction.epoch)
+            }
+            (Some(path), false) => eprintln!(
+                "evicted {}/e{}: FAILED to delete {path}: {}",
+                eviction.dataset,
+                eviction.epoch,
+                eviction.error.as_deref().unwrap_or("unknown error")
+            ),
+            (None, _) => eprintln!(
+                "evicted {}/e{} (memory-only entry)",
+                eviction.dataset, eviction.epoch
+            ),
+        }
+    }
+    eprintln!("gc: {}", gc_report.summary());
+    println!(
+        "{}",
+        serde_json::to_string(&gc_report).map_err(|e| e.to_string())?
+    );
+    if gc_report.failed_deletions() > 0 {
+        return Err(format!(
+            "{} backing files could not be deleted",
+            gc_report.failed_deletions()
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -902,6 +1040,98 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("no artifact"), "unexpected error: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn end_to_end_publish_gc_retention() {
+        let dir = std::env::temp_dir().join(format!("gdp-cli-gc-{}", std::process::id()));
+        let store_dir = dir.join("store");
+        std::fs::create_dir_all(&store_dir).unwrap();
+        let graph_path = dir.join("g.txt").to_str().unwrap().to_string();
+        generate(&[
+            "--out".into(),
+            graph_path.clone(),
+            "--model".into(),
+            "erdos-renyi".into(),
+            "--left".into(),
+            "200".into(),
+            "--right".into(),
+            "200".into(),
+            "--edges".into(),
+            "1000".into(),
+        ])
+        .unwrap();
+        let epoch_file = |epoch: &str| {
+            store_dir
+                .join(format!("e{epoch}.json"))
+                .to_str()
+                .unwrap()
+                .to_string()
+        };
+        for epoch in ["1", "2", "3"] {
+            publish(&[
+                "--in".into(),
+                graph_path.clone(),
+                "--out".into(),
+                epoch_file(epoch),
+                "--dataset".into(),
+                "cli-gc".into(),
+                "--epoch".into(),
+                epoch.into(),
+                "--rounds".into(),
+                "4".into(),
+                "--seed".into(),
+                epoch.into(),
+            ])
+            .unwrap();
+        }
+        let store_dir_s = store_dir.to_str().unwrap().to_string();
+        // A policy is mandatory, and an unknown dataset is refused.
+        assert!(gc(&["--artifact-dir".into(), store_dir_s.clone()]).is_err());
+        assert!(gc(&[
+            "--artifact-dir".into(),
+            store_dir_s.clone(),
+            "--keep-last".into(),
+            "2".into(),
+            "--dataset".into(),
+            "galaxy".into(),
+        ])
+        .is_err());
+        // Dry run plans but deletes nothing.
+        gc(&[
+            "--artifact-dir".into(),
+            store_dir_s.clone(),
+            "--keep-last".into(),
+            "2".into(),
+            "--dry-run".into(),
+        ])
+        .unwrap();
+        for epoch in ["1", "2", "3"] {
+            assert!(std::path::Path::new(&epoch_file(epoch)).exists());
+        }
+        // The real pass durably deletes only the superseded epoch.
+        gc(&[
+            "--artifact-dir".into(),
+            store_dir_s.clone(),
+            "--keep-last".into(),
+            "2".into(),
+        ])
+        .unwrap();
+        assert!(!std::path::Path::new(&epoch_file("1")).exists());
+        assert!(std::path::Path::new(&epoch_file("2")).exists());
+        assert!(std::path::Path::new(&epoch_file("3")).exists());
+        // Crash debris next to committed epochs does not stop GC.
+        std::fs::write(store_dir.join("torn.json.tmp"), "{ torn").unwrap();
+        gc(&[
+            "--artifact-dir".into(),
+            store_dir_s,
+            "--keep-last".into(),
+            "1".into(),
+        ])
+        .unwrap();
+        assert!(!std::path::Path::new(&epoch_file("2")).exists());
+        assert!(std::path::Path::new(&epoch_file("3")).exists(), "newest survives");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -18,6 +18,9 @@
 //! gdp serve    --artifact-dir DIR [--addr HOST:PORT] [--workers N]
 //!              [--queue N] [--deadline-ms N] [--io-timeout-ms N]
 //!              [--drain-ms N] [--cache-capacity N] [--port-file FILE]
+//!              [--reload-interval-ms N]
+//! gdp gc       --artifact-dir DIR (--keep-last N | --ttl-epochs T)
+//!              [--dataset NAME] [--dry-run]
 //! ```
 //!
 //! The default `dblp` model runs the serial DBLP-like generator; the
@@ -27,7 +30,11 @@
 //! workloads under a privilege via `gdp_serve` (budget-free
 //! post-processing). `serve` keeps the same answering path up behind
 //! `gdp_net`'s hardened HTTP frontend — bounded queue, deadlines,
-//! supervised workers, graceful drain on `SIGINT`/`SIGTERM`.
+//! supervised workers, graceful drain on `SIGINT`/`SIGTERM` — with
+//! degraded directory opens, live hot-reload (`POST /v1/admin/reload`
+//! or the `--reload-interval-ms` watcher) and quarantine for damaged
+//! artifacts. `gc` applies a retention policy to the directory,
+//! durably deleting superseded epochs.
 
 mod commands;
 
@@ -50,6 +57,7 @@ fn main() -> ExitCode {
         "publish" => commands::publish(&rest),
         "answer" => commands::answer(&rest),
         "serve" => commands::serve(&rest),
+        "gc" => commands::gc(&rest),
         "help" | "--help" | "-h" => {
             print!("{}", commands::USAGE);
             Ok(())

@@ -22,6 +22,7 @@
 //! indexing, caching and re-answering it are all budget-free.
 
 use std::io::{Read, Write};
+use std::path::Path;
 
 use serde::{Deserialize, Serialize};
 
@@ -33,12 +34,22 @@ use crate::hierarchy::GroupHierarchy;
 use crate::release::MultiLevelRelease;
 use crate::Result;
 
-/// The artifact schema version this build writes and accepts.
+/// The artifact schema version this build writes.
 ///
-/// Bumped whenever the serialized layout changes incompatibly; loading
-/// an artifact with any other version fails with
-/// [`CoreError::Artifact`] instead of misinterpreting the payload.
-pub const ARTIFACT_SCHEMA_VERSION: u32 = 1;
+/// Version history:
+/// * **1** — initial layout, no content digest.
+/// * **2** — adds [`ArtifactManifest::content_digest`], an FNV-1a hash
+///   over the canonical payload, verified on every load.
+///
+/// Loading accepts [`MIN_ARTIFACT_SCHEMA_VERSION`]..=this; anything
+/// else fails with [`CoreError::Artifact`] instead of misinterpreting
+/// the payload.
+pub const ARTIFACT_SCHEMA_VERSION: u32 = 2;
+
+/// The oldest artifact schema version this build still reads. Version-1
+/// artifacts (no content digest) load without checksum verification —
+/// everything else about them is validated identically.
+pub const MIN_ARTIFACT_SCHEMA_VERSION: u32 = 1;
 
 /// Artifact metadata — everything a consumer (or an artifact store) can
 /// know about a release without touching the payload.
@@ -46,7 +57,7 @@ pub const ARTIFACT_SCHEMA_VERSION: u32 = 1;
 /// Every field is redundant with (and validated against) the payload;
 /// the manifest exists so stores and services can route, list and gate
 /// artifacts from metadata alone.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ArtifactManifest {
     /// Schema version of the serialized layout
     /// ([`ARTIFACT_SCHEMA_VERSION`] at write time).
@@ -70,6 +81,40 @@ pub struct ArtifactManifest {
     pub left_nodes: u32,
     /// Right-side node count of the underlying graph.
     pub right_nodes: u32,
+    /// FNV-1a digest over the canonical (compact-JSON) hierarchy and
+    /// release sections, written since schema version 2 and verified on
+    /// every load ([`CoreError::ChecksumMismatch`] on disagreement).
+    /// `None` only for version-1 artifacts, which predate the digest.
+    pub content_digest: Option<u64>,
+}
+
+// Hand-written so version-1 documents (no `content_digest` key) still
+// load: the vendored serde derive has no `#[serde(default)]`, and its
+// `field()` helper errors on absent keys. Keep this in lockstep with
+// the struct's field list — `Serialize` stays derived, so a field added
+// to the struct but not here fails the round-trip tests immediately.
+impl Deserialize for ArtifactManifest {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::DeError("ArtifactManifest: expected a map".to_string()))?;
+        Ok(Self {
+            schema_version: Deserialize::from_value(serde::field(map, "schema_version")?)?,
+            dataset: Deserialize::from_value(serde::field(map, "dataset")?)?,
+            epoch: Deserialize::from_value(serde::field(map, "epoch")?)?,
+            mechanism: Deserialize::from_value(serde::field(map, "mechanism")?)?,
+            epsilon_g: Deserialize::from_value(serde::field(map, "epsilon_g")?)?,
+            delta: Deserialize::from_value(serde::field(map, "delta")?)?,
+            level_count: Deserialize::from_value(serde::field(map, "level_count")?)?,
+            group_counts: Deserialize::from_value(serde::field(map, "group_counts")?)?,
+            left_nodes: Deserialize::from_value(serde::field(map, "left_nodes")?)?,
+            right_nodes: Deserialize::from_value(serde::field(map, "right_nodes")?)?,
+            content_digest: match serde::opt_field(map, "content_digest") {
+                None => None,
+                Some(val) => Deserialize::from_value(val)?,
+            },
+        })
+    }
 }
 
 /// Serde-facing mirror of [`ReleaseArtifact`]; deserializing goes
@@ -146,12 +191,45 @@ impl TryFrom<ArtifactPayload> for ReleaseArtifact {
 
     fn try_from(p: ArtifactPayload) -> Result<Self> {
         validate(&p.manifest, &p.hierarchy, &p.release)?;
+        // Checksum verification: version 2+ manifests must carry a
+        // digest and it must match; version 1 predates the digest.
+        match p.manifest.content_digest {
+            Some(expected) => {
+                let computed = content_digest(&p.hierarchy, &p.release)?;
+                if expected != computed {
+                    return Err(CoreError::ChecksumMismatch { expected, computed });
+                }
+            }
+            None if p.manifest.schema_version >= 2 => {
+                return Err(CoreError::Artifact(format!(
+                    "schema version {} manifest is missing its content digest",
+                    p.manifest.schema_version
+                )));
+            }
+            None => {}
+        }
         Ok(Self {
             manifest: p.manifest,
             hierarchy: p.hierarchy,
             release: p.release,
         })
     }
+}
+
+/// The FNV-1a content digest a sealed manifest promises: the compact
+/// canonical JSON of the hierarchy, a zero separator byte, then the
+/// compact canonical JSON of the release. Rendering is deterministic
+/// (shortest-round-trip floats, fixed field order), so a lossless
+/// save/load cycle reproduces the digest bit-for-bit.
+fn content_digest(hierarchy: &GroupHierarchy, release: &MultiLevelRelease) -> Result<u64> {
+    let canon = |what: &str, r: std::result::Result<String, serde_json::Error>| {
+        r.map_err(|e| CoreError::Artifact(format!("cannot canonicalize {what} for digest: {}", e.0)))
+    };
+    let h = canon("hierarchy", serde_json::to_string(hierarchy))?;
+    let r = canon("release", serde_json::to_string(release))?;
+    let mut digest = graph_io::fnv1a_64(h.as_bytes());
+    digest = graph_io::fnv1a_64_with(digest, &[0]);
+    Ok(graph_io::fnv1a_64_with(digest, r.as_bytes()))
 }
 
 /// The sealing invariants, shared by [`ReleaseArtifact::seal`] and
@@ -162,10 +240,13 @@ fn validate(
     release: &MultiLevelRelease,
 ) -> Result<()> {
     let fail = |msg: String| Err(CoreError::Artifact(msg));
-    if manifest.schema_version != ARTIFACT_SCHEMA_VERSION {
+    if !(MIN_ARTIFACT_SCHEMA_VERSION..=ARTIFACT_SCHEMA_VERSION)
+        .contains(&manifest.schema_version)
+    {
         return fail(format!(
-            "schema version {} unsupported (this build reads version {})",
-            manifest.schema_version, ARTIFACT_SCHEMA_VERSION
+            "schema version {} unsupported (this build reads versions \
+             {MIN_ARTIFACT_SCHEMA_VERSION} through {ARTIFACT_SCHEMA_VERSION})",
+            manifest.schema_version
         ));
     }
     if manifest.dataset.is_empty() {
@@ -244,6 +325,7 @@ impl ReleaseArtifact {
             group_counts: hierarchy.group_counts(),
             left_nodes: finest.left().node_count(),
             right_nodes: finest.right().node_count(),
+            content_digest: Some(content_digest(&hierarchy, &release)?),
         };
         validate(&manifest, &hierarchy, &release)?;
         Ok(Self {
@@ -296,16 +378,46 @@ impl ReleaseArtifact {
 
     /// Reads an artifact written by [`ReleaseArtifact::write_json`],
     /// re-running the sealing validation (including the schema-version
-    /// check).
+    /// check) and verifying the manifest's content digest.
     ///
     /// # Errors
     ///
-    /// * [`CoreError::Graph`] (`GraphError::Json`) for malformed JSON,
-    ///   shape mismatches, or failed sealing validation — including an
-    ///   unsupported [`ArtifactManifest::schema_version`].
+    /// * [`CoreError::Graph`] (`GraphError::Json`) for malformed JSON
+    ///   or shape mismatches.
+    /// * [`CoreError::Artifact`] for failed sealing validation —
+    ///   including an unsupported [`ArtifactManifest::schema_version`].
+    /// * [`CoreError::ChecksumMismatch`] when the payload does not
+    ///   hash to the digest the manifest promises.
     /// * [`CoreError::Graph`] (`GraphError::Io`) for reader failures.
     pub fn read_json<R: Read>(reader: R) -> Result<Self> {
-        Ok(graph_io::read_json(reader)?)
+        let payload: ArtifactPayload = graph_io::read_json(reader)?;
+        Self::try_from(payload)
+    }
+
+    /// The canonical on-disk file name for a `(dataset, epoch)`
+    /// release: `<dataset>-e<epoch>.json`, with any path separators in
+    /// the dataset name replaced by `_` so the name never escapes its
+    /// directory.
+    pub fn canonical_file_name(dataset: &str, epoch: u64) -> String {
+        let safe: String = dataset
+            .chars()
+            .map(|c| if c == '/' || c == '\\' { '_' } else { c })
+            .collect();
+        format!("{safe}-e{epoch}.json")
+    }
+
+    /// Writes the artifact to `path` crash-safely via
+    /// [`gdp_graph::io::atomic_write_json`]: the document is staged in
+    /// a `*.tmp` sibling, fsynced, renamed over `path`, and the
+    /// directory is fsynced. A crash mid-publish leaves either the old
+    /// file, the new file, or `*.tmp` debris a directory scan
+    /// quarantines — never a torn artifact at the final path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO/serialization failures as [`CoreError::Graph`].
+    pub fn save_atomic(&self, path: impl AsRef<Path>) -> Result<()> {
+        Ok(graph_io::atomic_write_json(self, path)?)
     }
 }
 
@@ -380,12 +492,106 @@ mod tests {
         a.write_json(&mut buf).unwrap();
         let doctored = String::from_utf8(buf)
             .unwrap()
-            .replacen("\"schema_version\": 1", "\"schema_version\": 99", 1);
+            .replacen("\"schema_version\": 2", "\"schema_version\": 99", 1);
         let err = ReleaseArtifact::read_json(doctored.as_bytes()).unwrap_err();
         assert!(
             err.to_string().contains("schema version 99"),
             "unexpected error: {err}"
         );
+    }
+
+    /// Renders an artifact as the version-1 layout: no digest key,
+    /// schema_version 1 — what a pre-digest build wrote.
+    fn render_as_v1(a: &ReleaseArtifact) -> String {
+        let mut buf = Vec::new();
+        a.write_json(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let digest_line = text
+            .lines()
+            .find(|l| l.contains("\"content_digest\""))
+            .expect("v2 documents carry a digest")
+            .to_string();
+        // The digest is the manifest's last field: drop it together
+        // with the previous line's separating comma.
+        text.replacen("\"schema_version\": 2", "\"schema_version\": 1", 1)
+            .replacen(&format!(",\n{digest_line}"), "", 1)
+    }
+
+    #[test]
+    fn version_1_artifacts_without_digest_still_load() {
+        let (hierarchy, release) = publishable();
+        let a = ReleaseArtifact::seal("dblp", 9, hierarchy, release).unwrap();
+        let v1 = render_as_v1(&a);
+        assert!(!v1.contains("content_digest"));
+        let back = ReleaseArtifact::read_json(v1.as_bytes()).unwrap();
+        assert_eq!(back.manifest().schema_version, 1);
+        assert_eq!(back.manifest().content_digest, None);
+        assert_eq!(back.hierarchy(), a.hierarchy());
+        assert_eq!(back.release(), a.release());
+        // And a loaded v1 artifact round-trips losslessly as v1.
+        let mut buf = Vec::new();
+        back.write_json(&mut buf).unwrap();
+        let again = ReleaseArtifact::read_json(buf.as_slice()).unwrap();
+        assert_eq!(back, again);
+    }
+
+    #[test]
+    fn version_2_without_digest_is_refused() {
+        let (hierarchy, release) = publishable();
+        let a = ReleaseArtifact::seal("dblp", 9, hierarchy, release).unwrap();
+        // Strip the digest but keep claiming version 2.
+        let doctored = render_as_v1(&a).replacen("\"schema_version\": 1", "\"schema_version\": 2", 1);
+        let err = ReleaseArtifact::read_json(doctored.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("missing its content digest"), "{err}");
+    }
+
+    #[test]
+    fn corrupted_payload_fails_with_checksum_mismatch() {
+        let (hierarchy, release) = publishable();
+        let a = ReleaseArtifact::seal("dblp", 9, hierarchy, release).unwrap();
+        let mut buf = Vec::new();
+        a.write_json(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Flip one noise scale inside the payload. The manifest still
+        // validates (it never cross-checks individual values), so only
+        // the digest can catch this.
+        let needle = "\"noise_scale\": ";
+        let pos = text.find(needle).expect("release carries noisy values");
+        let digit = text[pos + needle.len()..]
+            .chars()
+            .next()
+            .expect("value follows");
+        let replacement = if digit == '9' { '8' } else { '9' };
+        let mut doctored = text.clone();
+        doctored.replace_range(
+            pos + needle.len()..pos + needle.len() + 1,
+            &replacement.to_string(),
+        );
+        assert_ne!(text, doctored);
+        let err = ReleaseArtifact::read_json(doctored.as_bytes()).unwrap_err();
+        assert!(matches!(err, CoreError::ChecksumMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn canonical_file_name_is_stable_and_path_safe() {
+        assert_eq!(ReleaseArtifact::canonical_file_name("dblp", 7), "dblp-e7.json");
+        assert_eq!(
+            ReleaseArtifact::canonical_file_name("a/b\\c", 0),
+            "a_b_c-e0.json"
+        );
+    }
+
+    #[test]
+    fn save_atomic_round_trips_via_disk() {
+        let dir = std::env::temp_dir().join("gdp_artifact_save_atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (hierarchy, release) = publishable();
+        let a = ReleaseArtifact::seal("dblp", 4, hierarchy, release).unwrap();
+        let path = dir.join(ReleaseArtifact::canonical_file_name(a.dataset(), a.epoch()));
+        a.save_atomic(&path).unwrap();
+        let back = ReleaseArtifact::read_json(std::fs::File::open(&path).unwrap()).unwrap();
+        assert_eq!(a, back);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -68,6 +68,16 @@ pub enum CoreError {
     /// A release artifact failed sealing, validation, or carried an
     /// unsupported schema version.
     Artifact(String),
+    /// A loaded artifact's payload does not hash to the content digest
+    /// recorded in its manifest — the file was torn, bit-rotted, or
+    /// edited after sealing. Distinct from [`CoreError::Artifact`] so
+    /// stores can quarantine corruption specifically.
+    ChecksumMismatch {
+        /// The digest the manifest promises.
+        expected: u64,
+        /// The digest the payload actually hashes to.
+        computed: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -110,6 +120,11 @@ impl fmt::Display for CoreError {
                 "group {group} out of range for {side} side with {group_count} groups"
             ),
             Self::Artifact(msg) => write!(f, "artifact error: {msg}"),
+            Self::ChecksumMismatch { expected, computed } => write!(
+                f,
+                "artifact checksum mismatch: manifest promises {expected:#018x}, \
+                 payload hashes to {computed:#018x}"
+            ),
         }
     }
 }
@@ -170,6 +185,14 @@ mod tests {
         assert!(e.to_string().contains("more than once"));
         let e = CoreError::Artifact("schema version 9 unsupported".to_string());
         assert!(e.to_string().contains("schema version 9"));
+        let e = CoreError::ChecksumMismatch {
+            expected: 0xdead,
+            computed: 0xbeef,
+        };
+        let text = e.to_string();
+        assert!(text.contains("checksum mismatch"), "{text}");
+        assert!(text.contains("0x000000000000dead"), "{text}");
+        assert!(e.source().is_none());
     }
 
     #[test]

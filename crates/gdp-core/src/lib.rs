@@ -78,7 +78,9 @@ pub mod postprocess;
 pub mod theory;
 
 pub use access::{AccessControlled, AccessPolicy, Privilege};
-pub use artifact::{ArtifactManifest, ReleaseArtifact, ARTIFACT_SCHEMA_VERSION};
+pub use artifact::{
+    ArtifactManifest, ReleaseArtifact, ARTIFACT_SCHEMA_VERSION, MIN_ARTIFACT_SCHEMA_VERSION,
+};
 pub use baseline::{
     individual_edge_dp_count, individual_node_dp_count, naive_group_composition_count,
     BaselineRelease,

@@ -182,6 +182,37 @@ impl DisclosureSession {
         ReleaseArtifact::seal(dataset, epoch, self.hierarchy.clone(), release)
     }
 
+    /// [`DisclosureSession::publish`], then durably write the sealed
+    /// artifact into `dir` under its canonical file name
+    /// ([`ReleaseArtifact::canonical_file_name`]) via the crash-safe
+    /// atomic-write discipline ([`ReleaseArtifact::save_atomic`]).
+    /// Returns the artifact and the path it now lives at.
+    ///
+    /// The budget is charged by the disclosure itself; if the *write*
+    /// fails afterwards the charge stands (noise was already drawn and
+    /// the caller still holds the artifact to retry persisting).
+    ///
+    /// # Errors
+    ///
+    /// * Everything [`DisclosureSession::publish`] can return.
+    /// * [`CoreError::Graph`] (`GraphError::Io`) when the directory
+    ///   cannot be created or the atomic write fails.
+    pub fn publish_to_dir<R: Rng + ?Sized>(
+        &mut self,
+        config: &DisclosureConfig,
+        dataset: &str,
+        epoch: u64,
+        dir: impl AsRef<std::path::Path>,
+        rng: &mut R,
+    ) -> Result<(ReleaseArtifact, std::path::PathBuf)> {
+        let artifact = self.publish(config, dataset, epoch, rng)?;
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(gdp_graph::GraphError::from)?;
+        let path = dir.join(ReleaseArtifact::canonical_file_name(dataset, epoch));
+        artifact.save_atomic(&path)?;
+        Ok((artifact, path))
+    }
+
     /// The tighter `(ε, δ)` bound on everything disclosed so far per the
     /// RDP ledger (Gaussian releases only), for comparison against the
     /// enforced sequential ledger.

@@ -21,8 +21,18 @@
 //! with IO and parse failures mapped onto [`GraphError`] exactly like
 //! the edge-list functions — release artifacts (`gdp-core`) and the
 //! serving layer (`gdp-serve`) build their save/load on these.
+//!
+//! [`atomic_write_json`] is the crash-safe variant every *published*
+//! document goes through: write to a `*.tmp` sibling, fsync the file,
+//! rename over the destination, fsync the directory. A crash at any
+//! point leaves either the old document, the new document, or ignorable
+//! `*.tmp` debris — never a torn final file. [`remove_file_durable`]
+//! completes the discipline for deletion (unlink + directory fsync), so
+//! retention GC survives the same crashes publish does.
 
+use std::fs::File;
 use std::io::{BufRead, BufReader, Read, Write};
+use std::path::{Path, PathBuf};
 
 use crate::bipartite::BipartiteGraph;
 use crate::builder::GraphBuilder;
@@ -153,6 +163,97 @@ pub fn read_json<T: serde::Deserialize, R: Read>(mut reader: R) -> Result<T> {
     serde_json::from_str(&text).map_err(|e| GraphError::Json(e.0))
 }
 
+/// The `*.tmp` sibling a pending [`atomic_write_json`] stages into:
+/// the destination file name with `.tmp` appended (`a.json` →
+/// `a.json.tmp`). Exposed so directory scanners can recognise crash
+/// debris from an interrupted publish.
+pub fn pending_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Fsyncs the directory containing `path`, making a just-completed
+/// rename or unlink durable. A no-op on platforms where directories
+/// cannot be opened for syncing.
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
+        let dir = File::open(parent.unwrap_or_else(|| Path::new(".")))?;
+        dir.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+    Ok(())
+}
+
+/// Writes a JSON document to `path` crash-safely: stage the full
+/// document in a [`pending_sibling`] `*.tmp` file, fsync it, rename it
+/// over `path`, then fsync the directory. Readers never observe a torn
+/// document — at every instant `path` holds either the previous
+/// complete document or the new one. On any failure the staged `*.tmp`
+/// is best-effort removed so a clean error leaves no debris.
+///
+/// # Errors
+///
+/// * [`GraphError::Json`] when the value cannot be rendered.
+/// * [`GraphError::Io`] for create/write/fsync/rename failures.
+pub fn atomic_write_json<T: serde::Serialize>(value: &T, path: impl AsRef<Path>) -> Result<()> {
+    let path = path.as_ref();
+    let tmp = pending_sibling(path);
+    let staged = (|| -> Result<()> {
+        let mut file = File::create(&tmp)?;
+        write_json(value, &mut file)?;
+        file.sync_all()?;
+        Ok(())
+    })();
+    if let Err(e) = staged {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    sync_parent_dir(path)?;
+    Ok(())
+}
+
+/// Removes a file and fsyncs its directory — the deletion half of the
+/// atomic-write discipline, used by retention GC so an eviction that
+/// was reported as done stays done across a crash.
+///
+/// # Errors
+///
+/// [`GraphError::Io`] when the unlink or directory sync fails (a
+/// missing file is an error: callers track what they expect to delete).
+pub fn remove_file_durable(path: impl AsRef<Path>) -> Result<()> {
+    let path = path.as_ref();
+    std::fs::remove_file(path)?;
+    sync_parent_dir(path)?;
+    Ok(())
+}
+
+/// FNV-1a 64-bit hash over raw bytes — the workspace's standard content
+/// digest (the same function routes store shards). Not cryptographic;
+/// it detects torn writes, bit rot and accidental edits, not
+/// adversarial tampering.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    fnv1a_64_with(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// [`fnv1a_64`] continued from a prior digest, for chaining multiple
+/// byte sections into one digest without concatenating them.
+pub fn fnv1a_64_with(seed: u64, bytes: &[u8]) -> u64 {
+    let mut hash = seed;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,5 +333,68 @@ mod tests {
         write_edge_list(&g, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert_eq!(text, "3 2 3\n0 0\n0 1\n2 1\n");
+    }
+
+    #[test]
+    fn atomic_write_round_trips_and_leaves_no_debris() {
+        let dir = std::env::temp_dir().join("gdp_io_atomic_rt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.json");
+        let g = sample();
+        atomic_write_json(&g, &path).unwrap();
+        assert!(!pending_sibling(&path).exists(), "tmp renamed away");
+        let back: BipartiteGraph = read_json(std::fs::File::open(&path).unwrap()).unwrap();
+        assert_eq!(g, back);
+        // Overwriting in place is equally atomic.
+        atomic_write_json(&g, &path).unwrap();
+        assert!(!pending_sibling(&path).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn atomic_write_failure_removes_staged_tmp() {
+        let dir = std::env::temp_dir().join("gdp_io_atomic_fail");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Destination is a directory: the rename must fail, and the
+        // staged tmp must be cleaned up rather than left as debris.
+        let path = dir.join("blocked.json");
+        std::fs::create_dir_all(&path).unwrap();
+        let err = atomic_write_json(&sample(), &path).unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)), "{err}");
+        assert!(!pending_sibling(&path).exists(), "no tmp debris on failure");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pending_sibling_appends_tmp_to_the_file_name() {
+        let p = pending_sibling(Path::new("store/a.json"));
+        assert_eq!(p, Path::new("store/a.json.tmp"));
+    }
+
+    #[test]
+    fn remove_file_durable_unlinks_and_errors_on_missing() {
+        let dir = std::env::temp_dir().join("gdp_io_rm_durable");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("e.json");
+        atomic_write_json(&sample(), &path).unwrap();
+        remove_file_durable(&path).unwrap();
+        assert!(!path.exists());
+        assert!(matches!(
+            remove_file_durable(&path).unwrap_err(),
+            GraphError::Io(_)
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+        // Chaining two sections equals hashing the concatenation.
+        let whole = fnv1a_64(b"foobar");
+        let chained = fnv1a_64_with(fnv1a_64(b"foo"), b"bar");
+        assert_eq!(whole, chained);
     }
 }

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use gdp_core::CoreError;
-use gdp_serve::{Query, ServeError, TypedAnswer};
+use gdp_serve::{OpenReport, Query, ServeError, TypedAnswer};
 
 use crate::http::Response;
 
@@ -122,6 +122,16 @@ pub struct ReleaseInfo {
 pub struct ReleasesResponse {
     /// Every published release, datasets ascending, epochs ascending.
     pub releases: Vec<ReleaseInfo>,
+}
+
+/// `POST /v1/admin/reload` success body: the store re-scan's per-file
+/// outcomes plus a loggable one-liner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReloadResponse {
+    /// One-line scan summary (`"2 loaded, … 1 quarantined, …"`).
+    pub summary: String,
+    /// Every directory entry's typed outcome.
+    pub report: OpenReport,
 }
 
 /// Maps a [`ServeError`] to its HTTP status and stable error kind.

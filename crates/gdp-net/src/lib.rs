@@ -24,9 +24,16 @@
 //!   [`signal::install`]) stops the acceptor, drains queued and
 //!   in-flight requests within a deadline, and reports whether the
 //!   drain was clean ([`server::DrainReport`]).
+//! * **Live store reload.** A supervised watcher thread (and
+//!   `POST /v1/admin/reload`) re-scans the artifact directory the
+//!   store was opened from: freshly published epochs go live, damage
+//!   is quarantined, GC-reclaimed releases are retired. Reload
+//!   failures degrade to typed errors and counters — the releases
+//!   already being served are never disturbed ([`reload`]).
 //! * **Observability.** `GET /health` and `GET /stats` expose uptime,
 //!   in-flight and queue gauges, per-variant counts, memo-cache hit
-//!   rate and panic/restart counters ([`stats`]).
+//!   rate, panic/restart counters and the store-lifecycle section
+//!   (epochs held, quarantined files, last-reload outcome) ([`stats`]).
 //! * **Deterministic fault injection.** A [`FaultPlan`] threaded into
 //!   the request path forces delays, holds, worker panics and
 //!   artifact-load failures, so every degradation mode above is pinned
@@ -46,15 +53,17 @@ pub mod client;
 pub mod fault;
 pub mod http;
 pub mod queue;
+pub mod reload;
 pub mod server;
 pub mod signal;
 pub mod stats;
 
 pub use api::{
     error_body, error_status, AnswerRequest, AnswerResponse, BatchAnswerRequest,
-    BatchAnswerResponse, ErrorBody, ReleaseInfo, ReleasesResponse, WireAnswer,
+    BatchAnswerResponse, ErrorBody, ReleaseInfo, ReleasesResponse, ReloadResponse, WireAnswer,
 };
 pub use fault::{FaultAction, FaultPlan, Gate};
 pub use http::{HttpError, Request, Response};
+pub use reload::{ReloadConfig, StoreSnapshot};
 pub use server::{DrainReport, Server, ServerConfig, ServerHandle};
 pub use stats::{CacheSnapshot, StatsSnapshot, VariantCounts};

@@ -21,6 +21,7 @@
 
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -34,11 +35,12 @@ use gdp_serve::AnswerService;
 
 use crate::api::{
     error_body, AnswerRequest, AnswerResponse, BatchAnswerRequest, BatchAnswerResponse,
-    ErrorBody, ReleaseInfo, ReleasesResponse, WireAnswer,
+    ErrorBody, ReleaseInfo, ReleasesResponse, ReloadResponse, WireAnswer,
 };
 use crate::fault::FaultPlan;
 use crate::http::{self, HttpError, Request, Response};
 use crate::queue::{BoundedQueue, Pop, PushError};
+use crate::reload::{self, ReloadConfig, ReloadState};
 use crate::stats::{ServerStats, StatsSnapshot};
 
 /// Everything tunable about the server. `Default` is production-shaped;
@@ -69,6 +71,9 @@ pub struct ServerConfig {
     /// Keep-alive cap: requests served per connection before the server
     /// closes it (bounds how long one client can pin a worker).
     pub max_requests_per_connection: u32,
+    /// Live-reload wiring for a directory-backed store (watcher thread
+    /// and `POST /v1/admin/reload`). Default: disabled.
+    pub reload: ReloadConfig,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +88,7 @@ impl Default for ServerConfig {
             retry_after_secs: 1,
             max_body_bytes: 1 << 20,
             max_requests_per_connection: 10_000,
+            reload: ReloadConfig::default(),
         }
     }
 }
@@ -104,6 +110,7 @@ pub struct DrainReport {
 
 enum SupMsg {
     WorkerDied,
+    WatcherDied,
     Shutdown,
 }
 
@@ -118,6 +125,7 @@ struct Shared {
     faults: FaultPlan,
     queue: BoundedQueue<Conn>,
     stats: ServerStats,
+    reload: ReloadState,
     draining: AtomicBool,
     addr: SocketAddr,
     sup_tx: Mutex<Sender<SupMsg>>,
@@ -150,12 +158,33 @@ impl Shared {
     }
 
     fn snapshot(&self) -> StatsSnapshot {
+        let store = self.service.store();
+        let store_section = self.reload.snapshot(store.datasets().len(), store.len());
         self.stats.snapshot(
             self.draining(),
             self.queue.len(),
             self.queue.capacity(),
             self.service.cache_stats(),
+            store_section,
         )
+    }
+
+    /// One reload scan against `dir`, fully accounted: the attempt,
+    /// its outcome and its uptime stamp all land in [`ReloadState`]
+    /// whether it succeeds or degrades to a typed error.
+    fn reload_store(&self, dir: &Path) -> Result<gdp_serve::OpenReport, gdp_serve::ServeError> {
+        self.reload.attempts.fetch_add(1, Ordering::Relaxed);
+        let uptime = self.stats.uptime_ms();
+        match self.service.store().merge_dir(dir) {
+            Ok(report) => {
+                self.reload.record_ok(&report, uptime);
+                Ok(report)
+            }
+            Err(err) => {
+                self.reload.record_err(&err.to_string(), uptime);
+                Err(err)
+            }
+        }
     }
 }
 
@@ -182,6 +211,7 @@ impl Server {
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             stats: ServerStats::new(),
+            reload: ReloadState::new(config.reload.initial_quarantined),
             draining: AtomicBool::new(false),
             addr,
             sup_tx: Mutex::new(sup_tx.clone()),
@@ -192,6 +222,7 @@ impl Server {
         for _ in 0..shared.config.workers.max(1) {
             spawn_worker(Arc::clone(&shared), shared.sup_sender());
         }
+        spawn_watcher(Arc::clone(&shared), shared.sup_sender());
         let supervisor = spawn_supervisor(Arc::clone(&shared), sup_rx);
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -251,7 +282,11 @@ impl ServerHandle {
             let _ = acceptor.join();
         }
         let deadline = Instant::now() + self.shared.config.drain_deadline;
-        while self.shared.stats.live_workers.load(Ordering::SeqCst) > 0
+        // The watcher is part of the supervised pool: a clean drain
+        // reaps it along with the workers (it notices the draining flag
+        // within one sleep slice).
+        while (self.shared.stats.live_workers.load(Ordering::SeqCst) > 0
+            || self.shared.reload.watcher_alive.load(Ordering::SeqCst) > 0)
             && Instant::now() < deadline
         {
             std::thread::sleep(Duration::from_millis(2));
@@ -381,15 +416,101 @@ impl Drop for WorkerGuard {
 fn spawn_supervisor(shared: Arc<Shared>, rx: Receiver<SupMsg>) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name("gdp-net-supervisor".to_string())
-        .spawn(move || {
-            while let Ok(SupMsg::WorkerDied) = rx.recv() {
-                if !shared.draining() {
-                    shared.stats.worker_restarts.fetch_add(1, Ordering::SeqCst);
-                    spawn_worker(Arc::clone(&shared), shared.sup_sender());
+        .spawn(move || loop {
+            match rx.recv() {
+                Ok(SupMsg::WorkerDied) => {
+                    if !shared.draining() {
+                        shared.stats.worker_restarts.fetch_add(1, Ordering::SeqCst);
+                        spawn_worker(Arc::clone(&shared), shared.sup_sender());
+                    }
                 }
+                Ok(SupMsg::WatcherDied) => {
+                    if !shared.draining() {
+                        shared
+                            .reload
+                            .watcher_restarts
+                            .fetch_add(1, Ordering::SeqCst);
+                        spawn_watcher(Arc::clone(&shared), shared.sup_sender());
+                    }
+                }
+                Ok(SupMsg::Shutdown) | Err(_) => break,
             }
         })
         .expect("spawn supervisor thread")
+}
+
+// ---- store watcher ----
+
+/// Spawns the store-watcher thread when the config asks for one (a
+/// reload directory *and* an interval); a no-op otherwise. Supervised
+/// exactly like workers: a panic is reported by the drop guard and the
+/// supervisor respawns the watcher.
+fn spawn_watcher(shared: Arc<Shared>, tx: Sender<SupMsg>) {
+    let (Some(dir), Some(interval)) = (
+        shared.config.reload.dir.clone(),
+        shared.config.reload.interval,
+    ) else {
+        return;
+    };
+    // Marked alive before the spawn so a racing `/stats` never reads a
+    // configured-but-absent watcher.
+    shared.reload.watcher_alive.store(1, Ordering::SeqCst);
+    let watcher_shared = Arc::clone(&shared);
+    let spawned = std::thread::Builder::new()
+        .name("gdp-net-watcher".to_string())
+        .spawn(move || {
+            let guard = WatcherGuard {
+                shared: watcher_shared,
+                tx,
+            };
+            watcher_loop(&guard.shared, &dir, interval);
+        });
+    if spawned.is_err() {
+        shared.reload.watcher_alive.store(0, Ordering::SeqCst);
+    }
+}
+
+/// Clears the alive gauge on every exit and reports panics to the
+/// supervisor for a respawn — the watcher gets the same crash-safety
+/// contract as the worker pool.
+struct WatcherGuard {
+    shared: Arc<Shared>,
+    tx: Sender<SupMsg>,
+}
+
+impl Drop for WatcherGuard {
+    fn drop(&mut self) {
+        self.shared.reload.watcher_alive.store(0, Ordering::SeqCst);
+        if std::thread::panicking() {
+            let _ = self.tx.send(SupMsg::WatcherDied);
+        }
+    }
+}
+
+/// Polls the artifact directory forever: sleep (draining-aware, in
+/// small slices), re-scan, repeat. Reload failures are typed and
+/// *expected* (a publisher may be mid-write, an operator mid-edit) —
+/// they only stretch the next sleep via [`reload::watcher_backoff`],
+/// never take the thread down.
+fn watcher_loop(shared: &Shared, dir: &Path, interval: Duration) {
+    let mut consecutive_failures: u32 = 0;
+    loop {
+        let nap = reload::watcher_backoff(interval, consecutive_failures);
+        let wake = Instant::now() + nap;
+        while Instant::now() < wake {
+            if shared.draining() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(20).min(nap));
+        }
+        if shared.draining() {
+            return;
+        }
+        match shared.reload_store(dir) {
+            Ok(_) => consecutive_failures = 0,
+            Err(_) => consecutive_failures = consecutive_failures.saturating_add(1),
+        }
+    }
 }
 
 // ---- workers ----
@@ -516,6 +637,7 @@ fn route(shared: &Shared, request: &Request, deadline_start: Instant) -> Respons
                 serde::Value::Str("draining".to_string()),
             )]))
         }
+        ("POST", "/v1/admin/reload") => admin_reload(shared),
         ("POST", "/v1/answer") => answer_one(shared, request, deadline_start),
         ("POST", "/v1/answer_batch") => answer_batch(shared, request, deadline_start),
         _ => Response::json(
@@ -523,6 +645,41 @@ fn route(shared: &Shared, request: &Request, deadline_start: Instant) -> Respons
             &ErrorBody {
                 kind: "not_found".to_string(),
                 error: format!("no route for {} {}", request.method, request.path),
+            },
+        ),
+    }
+}
+
+/// `POST /v1/admin/reload`: one on-demand store re-scan. `400` when the
+/// server has no artifact directory to reload from, `200` with the
+/// per-file report on success, `500` with the typed error rendered when
+/// the scan degrades — the store keeps serving what it already holds in
+/// every case.
+fn admin_reload(shared: &Shared) -> Response {
+    let Some(dir) = shared.config.reload.dir.clone() else {
+        return Response::json(
+            400,
+            &ErrorBody {
+                kind: "reload_unavailable".to_string(),
+                error: "the server was not started from an artifact directory; \
+                        there is nothing to reload"
+                    .to_string(),
+            },
+        );
+    };
+    match shared.reload_store(&dir) {
+        Ok(report) => Response::json(
+            200,
+            &ReloadResponse {
+                summary: report.summary(),
+                report,
+            },
+        ),
+        Err(err) => Response::json(
+            500,
+            &ErrorBody {
+                kind: "reload_failed".to_string(),
+                error: err.to_string(),
             },
         ),
     }

@@ -7,6 +7,8 @@ use serde::{Deserialize, Serialize};
 
 use gdp_serve::CacheStats;
 
+use crate::reload::StoreSnapshot;
+
 /// Per-variant served-query counters (successful answers only; a batch
 /// counts each of its queries).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -89,6 +91,8 @@ pub struct StatsSnapshot {
     pub per_variant: VariantCounts,
     /// Memo-cache counters from the answering service.
     pub cache: CacheSnapshot,
+    /// Release-store lifecycle: contents, quarantine and reload health.
+    pub store: StoreSnapshot,
 }
 
 /// The live counters, shared across acceptor, workers and supervisor.
@@ -145,19 +149,26 @@ impl ServerStats {
         }
     }
 
-    /// Snapshots every counter. `draining`, queue gauges and the cache
-    /// section come from the caller (they live elsewhere).
+    /// Milliseconds since the server started — the clock `/stats` and
+    /// the reload bookkeeping share.
+    pub fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Snapshots every counter. `draining`, queue gauges, the cache and
+    /// store sections come from the caller (they live elsewhere).
     pub fn snapshot(
         &self,
         draining: bool,
         queue_depth: usize,
         queue_capacity: usize,
         cache: CacheStats,
+        store: StoreSnapshot,
     ) -> StatsSnapshot {
         let v = |i: usize| self.per_variant[i].load(Ordering::Relaxed);
         StatsSnapshot {
             status: if draining { "draining" } else { "ok" }.to_string(),
-            uptime_ms: self.started.elapsed().as_millis() as u64,
+            uptime_ms: self.uptime_ms(),
             accepted: self.accepted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
@@ -177,6 +188,7 @@ impl ServerStats {
                 side_total: v(3),
             },
             cache: cache.into(),
+            store,
         }
     }
 }

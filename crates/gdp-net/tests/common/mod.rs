@@ -55,6 +55,7 @@ pub fn test_config() -> ServerConfig {
         retry_after_secs: 1,
         max_body_bytes: 1 << 20,
         max_requests_per_connection: 1000,
+        reload: gdp_net::ReloadConfig::default(),
     }
 }
 

@@ -108,6 +108,7 @@ fn backoff_client_rides_out_backpressure() {
         || client::post_json(addr, "/v1/answer", &answer_body("dblp"), TIMEOUT),
         20,
         Duration::from_millis(25),
+        42,
     )
     .unwrap();
     assert_eq!(response.status, 200);

@@ -29,6 +29,13 @@
 //!   registry lock and a republisher inserts without stopping the
 //!   world; [`ReleaseStore::open_dir`] scans a directory of artifact
 //!   JSONs and indexes each lazily on first access.
+//! * Store **lifecycle** ([`lifecycle`]) — degraded opens that
+//!   quarantine damage instead of failing
+//!   ([`ReleaseStore::open_dir_report`] → [`OpenReport`]), live
+//!   re-scans that pick up freshly published epochs and retire deleted
+//!   ones ([`ReleaseStore::merge_dir`]), and retention GC
+//!   ([`RetentionPolicy`], [`ReleaseStore::gc`]) that durably deletes
+//!   only fully-superseded epochs.
 //! * [`AnswerService`] — the front door: enforces
 //!   [`AccessPolicy`](gdp_core::AccessPolicy)/[`Privilege`](gdp_core::Privilege)
 //!   on **every** request and variant, fans batched workloads out over
@@ -85,10 +92,12 @@ mod query;
 mod service;
 mod store;
 
+pub mod lifecycle;
 pub mod workload;
 
 pub use error::ServeError;
 pub use index::IndexedRelease;
+pub use lifecycle::{FileOutcome, GcEviction, GcReport, OpenReport, RetentionPolicy};
 pub use query::{Query, SubsetQuery, TypedAnswer};
 pub use service::{AnswerService, CacheStats};
 pub use store::{ReleaseStore, ShardedStoreHandle};

@@ -1,19 +1,26 @@
 //! The artifact registry a deployment keeps as it republishes — fixed
-//! shards, `RwLock` per shard, lazy indexing of scanned directories.
+//! shards, `RwLock` per shard, lazy indexing of scanned directories,
+//! and the durable lifecycle around it: degraded scans that quarantine
+//! damage instead of failing ([`ReleaseStore::open_dir_report`]),
+//! live re-scans that pick up and retire epochs
+//! ([`ReleaseStore::merge_dir`]), and retention GC
+//! ([`ReleaseStore::gc`]).
 
 use std::collections::BTreeMap;
+use std::collections::HashSet;
 use std::fs::File;
 use std::io::BufReader;
 use std::ops::Deref;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, RwLock};
 
 use gdp_core::artifact::ArtifactPayload;
-use gdp_core::{ReleaseArtifact, ARTIFACT_SCHEMA_VERSION};
+use gdp_core::{ReleaseArtifact, ARTIFACT_SCHEMA_VERSION, MIN_ARTIFACT_SCHEMA_VERSION};
 use gdp_graph::io as graph_io;
 
 use crate::error::ServeError;
 use crate::index::IndexedRelease;
+use crate::lifecycle::{FileOutcome, GcEviction, GcReport, OpenReport, RetentionPolicy, QUARANTINE_DIR};
 use crate::Result;
 
 /// Number of fixed shards. A power of two, sized so that even a
@@ -44,7 +51,20 @@ enum Entry {
     Indexed(Arc<IndexedRelease>),
 }
 
-type Shard = BTreeMap<(String, u64), Entry>;
+/// A registered release plus where it came from. `source` is the file
+/// a directory scan loaded it from (or a [`ReleaseStore::save`] wrote
+/// it to); `None` for programmatic inserts. The lifecycle operations
+/// key off it: [`ReleaseStore::merge_dir`] retires entries whose
+/// source vanished, [`ReleaseStore::gc`] deletes sources when
+/// evicting, and quarantining a source detaches it so the in-memory
+/// release keeps serving.
+#[derive(Debug)]
+struct Registered {
+    entry: Entry,
+    source: Option<PathBuf>,
+}
+
+type Shard = BTreeMap<(String, u64), Registered>;
 
 /// Indexed release artifacts keyed by `(dataset, epoch)`, sharded
 /// `hash(dataset) % N` with one `RwLock` per shard.
@@ -130,7 +150,13 @@ impl ReleaseStore {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    fn insert_entry(&self, dataset: String, epoch: u64, entry: Entry) -> Result<()> {
+    fn insert_entry(
+        &self,
+        dataset: String,
+        epoch: u64,
+        entry: Entry,
+        source: Option<PathBuf>,
+    ) -> Result<()> {
         let mut shard = self.write_shard(&dataset);
         let key = (dataset, epoch);
         if shard.contains_key(&key) {
@@ -139,7 +165,7 @@ impl ReleaseStore {
                 epoch: key.1,
             });
         }
-        shard.insert(key, entry);
+        shard.insert(key, Registered { entry, source });
         Ok(())
     }
 
@@ -152,7 +178,7 @@ impl ReleaseStore {
     pub fn insert(&self, release: IndexedRelease) -> Result<()> {
         let manifest = release.artifact().manifest();
         let (dataset, epoch) = (manifest.dataset.clone(), manifest.epoch);
-        self.insert_entry(dataset, epoch, Entry::Indexed(Arc::new(release)))
+        self.insert_entry(dataset, epoch, Entry::Indexed(Arc::new(release)), None)
     }
 
     /// Registers a sealed artifact **without building its index yet** —
@@ -166,7 +192,40 @@ impl ReleaseStore {
     /// Returns [`ServeError::DuplicateRelease`] when the key is taken.
     pub fn insert_sealed(&self, artifact: ReleaseArtifact) -> Result<()> {
         let (dataset, epoch) = (artifact.dataset().to_string(), artifact.epoch());
-        self.insert_entry(dataset, epoch, Entry::Sealed(artifact))
+        self.insert_entry(dataset, epoch, Entry::Sealed(artifact), None)
+    }
+
+    /// [`ReleaseStore::insert_sealed`] with the backing file recorded,
+    /// so lifecycle passes (retire-on-missing-file, GC deletion) can
+    /// connect the registered release back to its on-disk form.
+    fn insert_sealed_from(&self, artifact: ReleaseArtifact, source: &Path) -> Result<()> {
+        let (dataset, epoch) = (artifact.dataset().to_string(), artifact.epoch());
+        self.insert_entry(
+            dataset,
+            epoch,
+            Entry::Sealed(artifact),
+            Some(source.to_path_buf()),
+        )
+    }
+
+    /// Unregisters a release, returning the backing file it was loaded
+    /// from (the file itself is untouched — deletion is
+    /// [`ReleaseStore::gc`]'s job).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownRelease`] when no such `(dataset, epoch)`
+    /// is registered.
+    pub fn remove(&self, dataset: &str, epoch: u64) -> Result<Option<PathBuf>> {
+        let mut shard = self.write_shard(dataset);
+        let key = (dataset.to_string(), epoch);
+        match shard.remove(&key) {
+            Some(reg) => Ok(reg.source),
+            None => Err(ServeError::UnknownRelease {
+                dataset: key.0,
+                epoch,
+            }),
+        }
     }
 
     /// Looks an artifact up by dataset and epoch, lazily building its
@@ -183,7 +242,7 @@ impl ReleaseStore {
         let key = (dataset.to_string(), epoch);
         {
             let shard = self.read_shard(dataset);
-            match shard.get(&key) {
+            match shard.get(&key).map(|reg| &reg.entry) {
                 Some(Entry::Indexed(release)) => return Ok(Arc::clone(release)),
                 Some(Entry::Sealed(_)) => {} // promote below, under the write lock
                 None => {
@@ -197,7 +256,7 @@ impl ReleaseStore {
         let mut shard = self.write_shard(dataset);
         // Re-check under the write lock: another reader may have
         // promoted the entry while we waited.
-        match shard.get(&key) {
+        match shard.get(&key).map(|reg| &reg.entry) {
             Some(Entry::Indexed(release)) => Ok(Arc::clone(release)),
             Some(Entry::Sealed(_)) => {
                 // Take the artifact out so promotion never clones it;
@@ -206,17 +265,33 @@ impl ReleaseStore {
                 // build runs under the shard write lock — promotion
                 // happens at most once per artifact, so the one-time
                 // stall buys every later reader a lock-free Arc clone.
-                let Some(Entry::Sealed(artifact)) = shard.remove(&key) else {
+                let Some(Registered {
+                    entry: Entry::Sealed(artifact),
+                    source,
+                }) = shard.remove(&key)
+                else {
                     unreachable!("entry matched Sealed under the same lock");
                 };
                 match IndexedRelease::promote(artifact) {
                     Ok(indexed) => {
                         let indexed = Arc::new(indexed);
-                        shard.insert(key, Entry::Indexed(Arc::clone(&indexed)));
+                        shard.insert(
+                            key,
+                            Registered {
+                                entry: Entry::Indexed(Arc::clone(&indexed)),
+                                source,
+                            },
+                        );
                         Ok(indexed)
                     }
                     Err((err, artifact)) => {
-                        shard.insert(key, Entry::Sealed(artifact));
+                        shard.insert(
+                            key,
+                            Registered {
+                                entry: Entry::Sealed(artifact),
+                                source,
+                            },
+                        );
                         Err(err)
                     }
                 }
@@ -303,37 +378,371 @@ impl ReleaseStore {
     ///   re-validation.
     pub fn open_dir(dir: impl AsRef<Path>) -> Result<Self> {
         let dir = dir.as_ref();
-        let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
-            .collect::<std::io::Result<Vec<_>>>()?
-            .into_iter()
-            .map(|entry| entry.path())
-            .filter(|path| {
-                path.is_file() && path.extension().is_some_and(|ext| ext == "json")
-            })
-            .collect();
-        if paths.is_empty() {
+        let mut candidates = Vec::new();
+        for path in sorted_dir_entries(dir)? {
+            if classify_stray(&path).is_none() && !is_pending_tmp(&path) {
+                candidates.push(path);
+            }
+        }
+        if candidates.is_empty() {
             return Err(ServeError::EmptyDirectory {
                 path: dir.display().to_string(),
             });
         }
-        paths.sort();
         let store = Self::new();
-        for path in paths {
-            let file = File::open(&path)?;
-            let payload: ArtifactPayload = graph_io::read_json(BufReader::new(file))?;
-            let manifest = payload.manifest();
-            if manifest.schema_version != ARTIFACT_SCHEMA_VERSION {
-                return Err(ServeError::SchemaVersion {
-                    path: path.display().to_string(),
-                    found: manifest.schema_version,
-                    supported: ARTIFACT_SCHEMA_VERSION,
-                });
-            }
-            let artifact = ReleaseArtifact::try_from(payload).map_err(ServeError::Core)?;
-            store.insert_sealed(artifact)?;
+        for path in candidates {
+            let artifact = parse_artifact(&path)?;
+            store.insert_sealed_from(artifact, &path)?;
         }
         Ok(store)
     }
+
+    /// The degraded-mode [`ReleaseStore::open_dir`]: scans `dir`
+    /// tolerating everything short of the directory itself being
+    /// unreadable. Valid artifacts register; stray entries are skipped
+    /// with a typed note; damaged files — torn atomic-publish `*.tmp`
+    /// debris, malformed JSON, foreign schema versions, checksum
+    /// mismatches, failed validation — are **moved** into
+    /// [`QUARANTINE_DIR`] so the next scan is clean while the bytes
+    /// survive for post-mortem. Returns the store (possibly empty —
+    /// degraded open never fails on an empty directory) and the
+    /// per-file [`OpenReport`].
+    ///
+    /// This is what a serving frontend boots from after a crash: every
+    /// previously committed epoch loads bit-identically (atomic publish
+    /// guarantees committed files are whole), and whatever the crash
+    /// tore is quarantined instead of taking serving down.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Core`] (`GraphError::Io`) only when `dir` cannot
+    /// be read at all.
+    pub fn open_dir_report(dir: impl AsRef<Path>) -> Result<(Self, OpenReport)> {
+        let store = Self::new();
+        // A fresh open owns the directory: no publisher can be racing
+        // us before the store even exists, so `*.tmp` debris is
+        // necessarily a dead publish and gets quarantined.
+        let report = store.scan_dir(dir.as_ref(), true)?;
+        Ok((store, report))
+    }
+
+    /// Re-scans `dir` into this store — the hot-reload primitive. New
+    /// artifact files register (epochs published since the last scan
+    /// become servable), damaged files quarantine exactly as in
+    /// [`ReleaseStore::open_dir_report`], and releases whose backing
+    /// file vanished from `dir` (retention GC, operator deletion) are
+    /// **retired** so consumers get a typed
+    /// [`UnknownRelease`](ServeError::UnknownRelease) instead of
+    /// deleted-but-still-served data.
+    ///
+    /// Two deliberate asymmetries against the fresh open:
+    /// * `*.tmp` files are left alone (a live publisher may be mid
+    ///   atomic write; its rename will land or its debris will be
+    ///   swept by the next fresh open).
+    /// * Quarantining a file that backs an already-registered release
+    ///   detaches the entry from disk instead of retiring it — the
+    ///   validated in-memory copy keeps serving, which is the most
+    ///   robust reading of "a vandalized file must not take an epoch
+    ///   down".
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Core`] (`GraphError::Io`) only when `dir` cannot
+    /// be read at all; per-file damage is a report entry, never an
+    /// error.
+    pub fn merge_dir(&self, dir: impl AsRef<Path>) -> Result<OpenReport> {
+        self.scan_dir(dir.as_ref(), false)
+    }
+
+    fn scan_dir(&self, dir: &Path, sweep_tmp: bool) -> Result<OpenReport> {
+        let mut outcomes = Vec::new();
+        // Sources detached or re-seen this scan, exempt from retirement.
+        let mut touched: HashSet<PathBuf> = HashSet::new();
+        for path in sorted_dir_entries(dir)? {
+            let rendered = path.display().to_string();
+            if path.is_dir() && path.file_name().is_some_and(|n| n == QUARANTINE_DIR) {
+                continue; // our own quarantine, not a stray
+            }
+            if let Some(note) = classify_stray(&path) {
+                outcomes.push(FileOutcome::Stray {
+                    path: rendered,
+                    note: note.to_string(),
+                });
+                continue;
+            }
+            if is_pending_tmp(&path) {
+                if sweep_tmp {
+                    outcomes.push(self.quarantine(
+                        dir,
+                        &path,
+                        "interrupted atomic publish (*.tmp debris)".to_string(),
+                        &mut touched,
+                    ));
+                } else {
+                    outcomes.push(FileOutcome::Stray {
+                        path: rendered,
+                        note: "atomic publish in flight (*.tmp)".to_string(),
+                    });
+                }
+                continue;
+            }
+            match parse_artifact(&path) {
+                Ok(artifact) => {
+                    let (dataset, epoch) = (artifact.dataset().to_string(), artifact.epoch());
+                    touched.insert(path.clone());
+                    match self.insert_sealed_from(artifact, &path) {
+                        Ok(()) => outcomes.push(FileOutcome::Loaded {
+                            dataset,
+                            epoch,
+                            path: rendered,
+                        }),
+                        Err(ServeError::DuplicateRelease { dataset, epoch }) => {
+                            outcomes.push(FileOutcome::AlreadyRegistered {
+                                dataset,
+                                epoch,
+                                path: rendered,
+                            })
+                        }
+                        Err(other) => return Err(other),
+                    }
+                }
+                Err(err) => {
+                    outcomes.push(self.quarantine(dir, &path, err.to_string(), &mut touched))
+                }
+            }
+        }
+        // Retire registered releases whose backing file under `dir` is
+        // gone — unless this very scan moved it to quarantine (the
+        // in-memory copy keeps serving) or re-registered it.
+        for (dataset, epoch, source) in self.sources_under(dir) {
+            if !touched.contains(&source)
+                && !source.exists()
+                && self.remove(&dataset, epoch).is_ok()
+            {
+                outcomes.push(FileOutcome::Retired {
+                    dataset,
+                    epoch,
+                    path: source.display().to_string(),
+                });
+            }
+        }
+        Ok(OpenReport { outcomes })
+    }
+
+    /// Moves a damaged file into `dir`'s [`QUARANTINE_DIR`], detaching
+    /// any registered release that was loaded from it so the in-memory
+    /// copy keeps serving. Never fails the scan: if even the move
+    /// fails the file is reported as quarantined-in-place with both
+    /// errors in the reason.
+    fn quarantine(
+        &self,
+        dir: &Path,
+        path: &Path,
+        reason: String,
+        touched: &mut HashSet<PathBuf>,
+    ) -> FileOutcome {
+        touched.insert(path.to_path_buf());
+        self.detach_source(path);
+        let qdir = dir.join(QUARANTINE_DIR);
+        let file_name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+        let target = qdir.join(&file_name);
+        let moved = std::fs::create_dir_all(&qdir)
+            .and_then(|()| {
+                // Never overwrite earlier evidence: suffix until free.
+                let mut target = target.clone();
+                let mut attempt = 1u32;
+                while target.exists() {
+                    let mut name = file_name.clone();
+                    name.push(format!(".{attempt}"));
+                    target = qdir.join(name);
+                    attempt += 1;
+                }
+                std::fs::rename(path, &target).map(|()| target)
+            });
+        match moved {
+            Ok(target) => FileOutcome::Quarantined {
+                path: path.display().to_string(),
+                moved_to: target.display().to_string(),
+                reason,
+            },
+            Err(e) => FileOutcome::Quarantined {
+                path: path.display().to_string(),
+                moved_to: path.display().to_string(),
+                reason: format!("{reason}; quarantine move also failed: {e}"),
+            },
+        }
+    }
+
+    /// Forgets that any registered release is backed by `path` (the
+    /// file was quarantined): the release keeps serving from memory
+    /// and is no longer subject to retire-on-missing-file.
+    fn detach_source(&self, path: &Path) {
+        for shard in &self.shards {
+            let mut shard = shard.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+            for reg in shard.values_mut() {
+                if reg.source.as_deref() == Some(path) {
+                    reg.source = None;
+                }
+            }
+        }
+    }
+
+    /// Every registered `(dataset, epoch, source)` whose source file
+    /// lives directly in `dir`.
+    fn sources_under(&self, dir: &Path) -> Vec<(String, u64, PathBuf)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+            for ((dataset, epoch), reg) in shard.iter() {
+                if let Some(source) = &reg.source {
+                    if source.parent() == Some(dir) {
+                        out.push((dataset.clone(), *epoch, source.clone()));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies a [`RetentionPolicy`] to every dataset (or just
+    /// `dataset`, when given): superseded epochs are unregistered and
+    /// their backing files durably deleted (unlink + directory fsync,
+    /// the same discipline atomic publish uses). The newest epoch of
+    /// each dataset always survives. Deletion failures are recorded in
+    /// the [`GcReport`] and do not stop the pass; the release is
+    /// dropped from the store regardless, so a stuck file costs disk,
+    /// not correctness.
+    pub fn gc(&self, policy: &RetentionPolicy, dataset: Option<&str>) -> GcReport {
+        let datasets: Vec<String> = match dataset {
+            Some(d) => vec![d.to_string()],
+            None => self.datasets(),
+        };
+        let mut evictions = Vec::new();
+        for dataset in datasets {
+            for epoch in policy.evict_plan(&self.epochs(&dataset)) {
+                let Ok(source) = self.remove(&dataset, epoch) else {
+                    continue; // raced away; nothing to evict
+                };
+                let (deleted, error) = match &source {
+                    None => (true, None),
+                    Some(path) => match graph_io::remove_file_durable(path) {
+                        Ok(()) => (true, None),
+                        Err(e) => (false, Some(e.to_string())),
+                    },
+                };
+                evictions.push(GcEviction {
+                    dataset: dataset.clone(),
+                    epoch,
+                    path: source.map(|p| p.display().to_string()),
+                    deleted,
+                    error,
+                });
+            }
+        }
+        GcReport { evictions }
+    }
+
+    /// Writes every registered release into `dir` under its canonical
+    /// file name via the crash-safe atomic discipline
+    /// ([`ReleaseArtifact::save_atomic`]), creating `dir` as needed,
+    /// and records each file as the release's backing source (so a
+    /// later [`ReleaseStore::gc`] can delete it). Existing files are
+    /// atomically overwritten — artifacts are immutable, so a
+    /// same-keyed file can only be the same content or damage, and
+    /// either way the fresh bytes win. Returns the written paths in
+    /// `(dataset, epoch)` order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Core`] (`GraphError::Io`/`Json`) on the first
+    /// failed write; earlier files remain (each was already durable).
+    pub fn save(&self, dir: impl AsRef<Path>) -> Result<Vec<PathBuf>> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(gdp_graph::GraphError::from)?;
+        let mut keys: Vec<(String, u64)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+            keys.extend(shard.keys().cloned());
+        }
+        keys.sort();
+        let mut written = Vec::with_capacity(keys.len());
+        for (dataset, epoch) in keys {
+            // Clone the artifact out under the read lock, write outside
+            // any lock, then record the source under the write lock.
+            let artifact = {
+                let shard = self.read_shard(&dataset);
+                match shard.get(&(dataset.clone(), epoch)).map(|reg| &reg.entry) {
+                    Some(Entry::Sealed(a)) => a.clone(),
+                    Some(Entry::Indexed(i)) => i.artifact().clone(),
+                    None => continue, // removed mid-save
+                }
+            };
+            let path = dir.join(ReleaseArtifact::canonical_file_name(&dataset, epoch));
+            artifact.save_atomic(&path).map_err(ServeError::Core)?;
+            let mut shard = self.write_shard(&dataset);
+            if let Some(reg) = shard.get_mut(&(dataset.clone(), epoch)) {
+                reg.source = Some(path.clone());
+            }
+            written.push(path);
+        }
+        Ok(written)
+    }
+}
+
+/// Every entry of `dir`, name-sorted so scan order (and therefore
+/// which duplicate wins, what a report lists first) is deterministic.
+fn sorted_dir_entries(dir: &Path) -> Result<Vec<PathBuf>> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<std::io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|entry| entry.path())
+        .collect();
+    paths.sort();
+    Ok(paths)
+}
+
+/// Why a directory entry is not an artifact candidate (`None` = it is
+/// one). Strays are *skipped*, never quarantined: they are someone
+/// else's files sitting in our directory, not damaged artifacts.
+fn classify_stray(path: &Path) -> Option<&'static str> {
+    if path.is_dir() {
+        return Some("directory");
+    }
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    if name.starts_with('.') {
+        return Some("hidden file");
+    }
+    if name.ends_with('~') || name.ends_with(".bak") || name.ends_with(".swp") {
+        return Some("editor backup");
+    }
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("json") | Some("tmp") => None,
+        _ => Some("not a .json artifact"),
+    }
+}
+
+/// Whether this is a staged atomic write (`*.tmp`) — publish debris on
+/// a fresh open, a possibly live publish during a re-scan.
+fn is_pending_tmp(path: &Path) -> bool {
+    path.extension().is_some_and(|ext| ext == "tmp")
+}
+
+/// Parses and fully validates one artifact file: JSON shape, schema
+/// version range, sealing re-validation, checksum verification.
+fn parse_artifact(path: &Path) -> Result<ReleaseArtifact> {
+    let file = File::open(path)?;
+    let payload: ArtifactPayload = graph_io::read_json(BufReader::new(file))?;
+    let manifest = payload.manifest();
+    if !(MIN_ARTIFACT_SCHEMA_VERSION..=ARTIFACT_SCHEMA_VERSION)
+        .contains(&manifest.schema_version)
+    {
+        return Err(ServeError::SchemaVersion {
+            path: path.display().to_string(),
+            found: manifest.schema_version,
+            supported: ARTIFACT_SCHEMA_VERSION,
+        });
+    }
+    ReleaseArtifact::try_from(payload).map_err(ServeError::Core)
 }
 
 /// A cloneable, thread-shareable handle to a [`ReleaseStore`] — the

@@ -111,6 +111,14 @@ pub fn field<'a>(map: &'a [(String, Value)], name: &str) -> Result<&'a Value, De
         .ok_or_else(|| DeError(format!("missing field `{name}`")))
 }
 
+/// Looks up an optional struct field in a map value: `None` when the
+/// key is absent entirely (hand-written back-compat `Deserialize`
+/// impls use this to accept documents written by older schema
+/// versions that lack the field).
+pub fn opt_field<'a>(map: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    map.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
 // `Value` is its own serialized form: these identity impls let callers
 // read a JSON document into a `Value`, edit part of it, and write it
 // back without modeling the whole schema (e.g. merging one section into
