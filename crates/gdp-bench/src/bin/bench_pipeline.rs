@@ -16,25 +16,32 @@
 //! `gdp-serve` indexed path (artifact → `IndexedRelease` →
 //! `AnswerService`), asserted bit-identical on every rep, plus a
 //! `reader_throughput` entry driving one shared `AnswerService` from
-//! four concurrent OS threads over the sharded store. Results are
-//! written as `BENCH_pipeline.json` so successive PRs can track the
-//! trajectory.
+//! four concurrent OS threads over the sharded store, and — ISSUE 8,
+//! the `artifact_io_1m` entry — the sealed 1M-edge artifact saved and
+//! loaded through real files in both on-disk formats (JSON vs the
+//! `.gda` binary container), loads timed through the full
+//! integrity-check + `IndexedRelease` path a store scan pays per file.
+//! Results are written as `BENCH_pipeline.json` so successive PRs can
+//! track the trajectory.
 //!
 //! `--assert-disclose-100k-under MS` makes the binary exit non-zero when
 //! the 100k-edge disclose phase exceeds the given ceiling,
 //! `--assert-datagen-1m-under MS` does the same for the streaming
-//! Erdős–Rényi `datagen_1m` time, and `--assert-answer-qps-over QPS`
+//! Erdős–Rényi `datagen_1m` time, `--assert-answer-qps-over QPS`
 //! requires **every variant's** 100k-edge indexed serving path to clear
-//! a throughput floor — the CI smoke step uses all three so a future PR
-//! can neither reintroduce per-level edge scans, nor fall back to
-//! single-stream sampling, nor regress serving to per-query estimator
-//! rebuilds or release rescans.
+//! a throughput floor, and `--assert-binary-load-1m-under MS` caps the
+//! 1M-edge binary load+index time — the CI smoke step uses all four so
+//! a future PR can neither reintroduce per-level edge scans, nor fall
+//! back to single-stream sampling, nor regress serving to per-query
+//! estimator rebuilds or release rescans, nor quietly turn the binary
+//! load path back into JSON-shaped parsing.
 //!
 //! ```text
 //! bench_pipeline [--out FILE] [--seed N] [--max-edges N] [--reps N]
 //!                [--assert-disclose-100k-under MS]
 //!                [--assert-datagen-1m-under MS]
 //!                [--assert-answer-qps-over QPS]
+//!                [--assert-binary-load-1m-under MS]
 //! ```
 
 use std::time::Instant;
@@ -47,7 +54,7 @@ use gdp_core::answering::SubsetCountEstimator;
 use gdp_core::postprocess::{clamp_non_negative, fuse_total_estimates};
 use gdp_core::scoring::{cut_utilities, cut_utilities_naive};
 use gdp_core::{
-    DisclosureConfig, GroupHierarchy, HierarchyStats, MultiLevelDiscloser,
+    ArtifactFormat, DisclosureConfig, GroupHierarchy, HierarchyStats, MultiLevelDiscloser,
     MultiLevelRelease, Privilege, Query, ReleaseArtifact, SpecializationConfig,
     Specializer,
 };
@@ -102,6 +109,26 @@ struct DatagenComparison {
     speedup: f64,
 }
 
+/// The ISSUE-8 acceptance measurement: the sealed 1M-edge release
+/// artifact saved and loaded in both on-disk formats. Saves go through
+/// the crash-safe path (stage, fsync, rename); loads pay the full
+/// integrity bill for their format — JSON parse + canonical-digest
+/// re-hash vs `.gda` container-digest check + section decode — plus
+/// the `IndexedRelease` build, i.e. exactly what a store scan pays per
+/// file at startup.
+#[derive(Debug, Serialize)]
+struct ArtifactIoComparison {
+    edges: u64,
+    levels: usize,
+    json_bytes: u64,
+    binary_bytes: u64,
+    json_save_ms: f64,
+    binary_save_ms: f64,
+    json_load_index_ms: f64,
+    binary_load_index_ms: f64,
+    load_speedup: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct AnswerQpsComparison {
     query_type: String,
@@ -138,6 +165,7 @@ struct Report {
     scorer_100k: ScorerComparison,
     pair_counts_1m: PairCountsComparison,
     datagen_1m: Vec<DatagenComparison>,
+    artifact_io_1m: ArtifactIoComparison,
     answer_qps: Vec<AnswerQpsComparison>,
     /// `None` only when `--max-edges` clips the 100k scale it is
     /// measured at.
@@ -271,6 +299,79 @@ fn datagen_comparison(edges: usize, seed: u64, reps: usize) -> Vec<DatagenCompar
             }
         })
         .collect()
+}
+
+/// The ISSUE-8 acceptance measurement (see [`ArtifactIoComparison`]):
+/// one sealed artifact from the standard 1M-edge pipeline, written and
+/// read back through real files in both formats, with the loaded
+/// artifacts asserted equal so neither format can drift.
+fn artifact_io_comparison(edges: usize, seed: u64, reps: usize) -> ArtifactIoComparison {
+    let side = ((edges as f64).sqrt() * 6.3) as u32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = models::erdos_renyi(&mut rng, side, side, edges);
+    let hierarchy = Specializer::new(
+        SpecializationConfig::paper_default(8).expect("rounds > 0"),
+    )
+    .specialize(&graph, &mut StdRng::seed_from_u64(seed ^ 1))
+    .expect("specialize succeeds");
+    let release = MultiLevelDiscloser::new(
+        DisclosureConfig::count_only(0.5, 1e-6)
+            .expect("valid budget")
+            .with_queries(vec![
+                Query::TotalAssociations,
+                Query::PerGroupCounts,
+                Query::LeftDegreeHistogram { max_degree: 64 },
+            ]),
+    )
+    .disclose(&graph, &hierarchy, &mut StdRng::seed_from_u64(seed ^ 2))
+    .expect("disclose succeeds");
+    let artifact =
+        ReleaseArtifact::seal("bench-io", 1, hierarchy, release).expect("artifact seals");
+
+    let dir = std::env::temp_dir().join(format!("gdp-bench-io-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let json_path = dir.join("bench-io-e1.json");
+    let bin_path = dir.join("bench-io-e1.gda");
+
+    let (json_save_ms, ()) = time_best_of(reps, || {
+        artifact
+            .save_atomic_as(&json_path, ArtifactFormat::Json)
+            .expect("json save")
+    });
+    let (binary_save_ms, ()) = time_best_of(reps, || {
+        artifact
+            .save_atomic_as(&bin_path, ArtifactFormat::Binary)
+            .expect("binary save")
+    });
+    let json_bytes = std::fs::metadata(&json_path).expect("json stat").len();
+    let binary_bytes = std::fs::metadata(&bin_path).expect("binary stat").len();
+
+    let (json_load_index_ms, from_json) = time_best_of(reps, || {
+        IndexedRelease::new(ReleaseArtifact::load(&json_path).expect("json load"))
+            .expect("json artifact indexes")
+    });
+    let (binary_load_index_ms, from_binary) = time_best_of(reps, || {
+        IndexedRelease::new(ReleaseArtifact::load(&bin_path).expect("binary load"))
+            .expect("binary artifact indexes")
+    });
+    assert_eq!(
+        from_json.artifact(),
+        from_binary.artifact(),
+        "both formats must load the identical artifact"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    ArtifactIoComparison {
+        edges: graph.edge_count(),
+        levels: from_binary.artifact().level_count(),
+        json_bytes,
+        binary_bytes,
+        json_save_ms,
+        binary_save_ms,
+        json_load_index_ms,
+        binary_load_index_ms,
+        load_speedup: json_load_index_ms / binary_load_index_ms,
+    }
 }
 
 /// Random subsets of `size` **distinct** left nodes (the answering
@@ -694,6 +795,7 @@ fn main() {
     let mut disclose_100k_ceiling_ms: Option<f64> = None;
     let mut datagen_1m_ceiling_ms: Option<f64> = None;
     let mut answer_qps_floor: Option<f64> = None;
+    let mut binary_load_1m_ceiling_ms: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -737,11 +839,18 @@ fn main() {
                         .expect("--assert-answer-qps-over needs a number (queries/s)"),
                 )
             }
+            "--assert-binary-load-1m-under" => {
+                binary_load_1m_ceiling_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--assert-binary-load-1m-under needs a number (ms)"),
+                )
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "flags: [--out FILE] [--seed N] [--max-edges N] [--reps N] \
                      [--assert-disclose-100k-under MS] [--assert-datagen-1m-under MS] \
-                     [--assert-answer-qps-over QPS]"
+                     [--assert-answer-qps-over QPS] [--assert-binary-load-1m-under MS]"
                 );
                 return;
             }
@@ -781,6 +890,23 @@ fn main() {
             d.model, d.incremental_ms, d.streaming_ms, d.speedup
         );
     }
+
+    // Like `pair_counts_1m`, always measured at the 1M scale so the
+    // entry means the same thing in every report — one pipeline run
+    // plus file IO, cheap enough that `--max-edges` does not clip it.
+    eprintln!("measuring artifact save/load, JSON vs binary (1M edges)…");
+    let artifact_io_1m = artifact_io_comparison(1_000_000, seed, 2);
+    eprintln!(
+        "  json {:.0} KiB save {:.1} ms load+index {:.1} ms | \
+         gda {:.0} KiB save {:.1} ms load+index {:.1} ms | load speedup {:.1}×",
+        artifact_io_1m.json_bytes as f64 / 1024.0,
+        artifact_io_1m.json_save_ms,
+        artifact_io_1m.json_load_index_ms,
+        artifact_io_1m.binary_bytes as f64 / 1024.0,
+        artifact_io_1m.binary_save_ms,
+        artifact_io_1m.binary_load_index_ms,
+        artifact_io_1m.load_speedup
+    );
 
     let mut phases = Vec::new();
     let mut answer_qps = Vec::new();
@@ -837,6 +963,7 @@ fn main() {
         scorer_100k: scorer,
         pair_counts_1m: pair_counts,
         datagen_1m,
+        artifact_io_1m,
         answer_qps,
         reader_throughput,
         phases,
@@ -919,5 +1046,23 @@ fn main() {
         if failed {
             std::process::exit(1);
         }
+    }
+
+    // Regression gate for CI: loading + indexing the 1M-edge binary
+    // artifact must stay under the ceiling (the JSON path — parse plus
+    // canonical-digest re-hash — sits several times above it; a binary
+    // loader that fell back to JSON-shaped work would blow through).
+    if let Some(ceiling) = binary_load_1m_ceiling_ms {
+        let ms = report.artifact_io_1m.binary_load_index_ms;
+        if ms > ceiling {
+            eprintln!(
+                "FAIL: binary artifact load+index at 1M edges took {ms:.1} ms \
+                 (ceiling {ceiling:.1} ms)"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "binary artifact load+index at 1M edges: {ms:.1} ms ≤ ceiling {ceiling:.1} ms"
+        );
     }
 }

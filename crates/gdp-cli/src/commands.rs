@@ -8,8 +8,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use gdp_core::{
-    DisclosureConfig, DisclosureSession, MultiLevelDiscloser, NoiseMechanism, Privilege,
-    Query, ReleaseArtifact, SpecializationConfig, Specializer, SplitStrategy,
+    ArtifactFormat, DisclosureConfig, DisclosureSession, MultiLevelDiscloser, NoiseMechanism,
+    Privilege, Query, ReleaseArtifact, SpecializationConfig, Specializer, SplitStrategy,
 };
 use gdp_datagen::engine::GraphModel;
 use gdp_datagen::{DblpConfig, DblpGenerator};
@@ -42,24 +42,38 @@ commands:
            [--seed N] [--csv FILE]
       run the two-phase group-private disclosure pipeline and print the
       per-level noisy association counts
-  publish --in FILE --out FILE [--dataset NAME] [--epoch N]
-          [--rounds N] [--eps E] [--delta D]
+  publish --in FILE --out FILE [--format json|bin] [--dataset NAME]
+          [--epoch N] [--rounds N] [--eps E] [--delta D]
           [--budget-eps E] [--budget-delta D]
           [--strategy exponential|median|random]
           [--mechanism gaussian|analytic|laplace|geometric] [--seed N]
           [--hist-max D]
       run the pipeline inside a budget-enforced session and write the
-      sealed release artifact (manifest + hierarchy + noisy levels) as
-      a JSON document — the long-lived product consumers answer from.
-      The write is crash-safe (staged sibling, fsync, atomic rename):
-      a kill mid-publish leaves debris, never a torn artifact.
-      Releases the total, per-group counts and the left-degree
-      histogram (bins 0..=--hist-max, default 64) at every level
+      sealed release artifact (manifest + hierarchy + noisy levels) —
+      the long-lived product consumers answer from. --format selects
+      the encoding: json (debug/interop, the default for most paths)
+      or bin (the `.gda` binary container stores load fastest); when
+      omitted the --out extension decides (`.gda` → bin, else json),
+      and a --format that contradicts the extension is an error, since
+      stores decode by extension. The write is crash-safe (staged
+      sibling, fsync, atomic rename): a kill mid-publish leaves
+      debris, never a torn artifact. Releases the total, per-group
+      counts and the left-degree histogram (bins 0..=--hist-max,
+      default 64) at every level
+  convert --in FILE --out FILE [--format json|bin]
+      re-encode a published artifact between the JSON and `.gda`
+      binary formats (either direction, or same-format rewrite). The
+      manifest — content digest included — is preserved verbatim, so a
+      converted artifact keeps verifying and answers bit-identically.
+      The output format resolves like publish: --format, else the
+      --out extension. The write is crash-safe (staged, fsync, rename)
   answer (--artifact FILE | --artifact-dir DIR) --queries FILE
          [--privilege P] [--level L] [--dataset NAME] [--epoch N]
          [--query-type subset|mass|hist|total|all]
-      load one published artifact (or scan a directory of them into a
-      sharded store) and answer a typed-query workload file (subset
+      load one published artifact (JSON or `.gda` binary, decided by
+      the extension; directories may mix both formats freely) — or
+      scan a directory of them into a
+      sharded store — and answer a typed-query workload file (subset
       lines `L 0 1 2` / `R 5 7`, plus `mass L 3`, `hist L`, `total R`,
       `#` comments) through the privilege-gated serving path.
       --level defaults to the finest level the privilege may read;
@@ -352,6 +366,35 @@ pub fn disclose(args: &[String]) -> CmdResult {
     Ok(())
 }
 
+/// Resolves the artifact encoding for an output path: the explicit
+/// `--format json|bin` flag when given, else the path's extension
+/// (`.gda` → binary, anything else → JSON). A flag that contradicts a
+/// format-bearing extension is refused: directory scans decode by
+/// extension, so the mismatch would publish a file every store
+/// quarantines.
+fn resolve_out_format(
+    flags: &HashMap<String, String>,
+    out: &str,
+) -> Result<ArtifactFormat, String> {
+    let from_path = ArtifactFormat::from_path(std::path::Path::new(out));
+    let Some(flag) = flags.get("format") else {
+        return Ok(from_path.unwrap_or(ArtifactFormat::Json));
+    };
+    let chosen = match flag.as_str() {
+        "json" => ArtifactFormat::Json,
+        "bin" => ArtifactFormat::Binary,
+        other => return Err(format!("unknown format `{other}` (json|bin)")),
+    };
+    match from_path {
+        Some(ext) if ext != chosen => Err(format!(
+            "--format {chosen} contradicts the --out extension (stores decode \
+             by extension; name the file .{})",
+            chosen.extension()
+        )),
+        _ => Ok(chosen),
+    }
+}
+
 /// `gdp publish` — the serving-side pipeline: run a budget-enforced
 /// disclosure session over an edge-list graph and write the sealed
 /// [`ReleaseArtifact`] consumers answer from.
@@ -359,6 +402,7 @@ pub fn publish(args: &[String]) -> CmdResult {
     let flags = parse_flags(args)?;
     let input = flags.get("in").ok_or("publish requires --in FILE")?;
     let out = flags.get("out").ok_or("publish requires --out FILE")?;
+    let format = resolve_out_format(&flags, out)?;
     let dataset = flags.get("dataset").cloned().unwrap_or_else(|| "default".to_string());
     let epoch: u64 = get_num(&flags, "epoch", 1)?;
     let rounds: u32 = get_num(&flags, "rounds", 8)?;
@@ -407,17 +451,43 @@ pub fn publish(args: &[String]) -> CmdResult {
     // Atomic write: stage, fsync, rename — a crash mid-publish leaves
     // `*.tmp` debris for the store to quarantine, never a torn artifact.
     artifact
-        .save_atomic(out)
+        .save_atomic_as(out, format)
         .map_err(|e| format!("cannot write {out}: {e}"))?;
     let m = artifact.manifest();
     eprintln!(
-        "wrote {out}: schema v{}, {} levels, {} groups at the finest level, \
+        "wrote {out} ({format}): schema v{}, {} levels, {} groups at the finest level, \
          spent eps {:.3} of {:.3}",
         m.schema_version,
         m.level_count,
         m.group_counts.first().copied().unwrap_or(0),
         session.accountant().spent_epsilon(),
         budget_eps,
+    );
+    Ok(())
+}
+
+/// `gdp convert` — re-encode a published artifact between the JSON and
+/// `.gda` binary formats. Pure re-encoding: the manifest (content
+/// digest included) is carried verbatim, so the output keeps verifying
+/// and answers bit-identically to the input.
+pub fn convert(args: &[String]) -> CmdResult {
+    let flags = parse_flags(args)?;
+    let input = flags.get("in").ok_or("convert requires --in FILE")?;
+    let out = flags.get("out").ok_or("convert requires --out FILE")?;
+    let format = resolve_out_format(&flags, out)?;
+    let artifact =
+        ReleaseArtifact::load(input).map_err(|e| format!("{input}: {e}"))?;
+    artifact
+        .save_atomic_as(out, format)
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    let m = artifact.manifest();
+    eprintln!(
+        "converted {input} -> {out} ({format}): dataset `{}` epoch {}, \
+         digest {} preserved",
+        m.dataset,
+        m.epoch,
+        m.content_digest
+            .map_or_else(|| "absent (v1)".to_string(), |d| format!("{d:#018x}")),
     );
     Ok(())
 }
@@ -461,9 +531,9 @@ fn open_store(flags: &HashMap<String, String>, who: &str) -> Result<ReleaseStore
             "{who} requires --artifact FILE or --artifact-dir DIR"
         )),
         (Some(artifact_path), None) => {
-            let file = File::open(artifact_path)
-                .map_err(|e| format!("cannot open {artifact_path}: {e}"))?;
-            let artifact = ReleaseArtifact::read_json(BufReader::new(file))
+            // Dispatches on the extension, so a `.gda` binary artifact
+            // serves exactly like its JSON twin.
+            let artifact = ReleaseArtifact::load(artifact_path)
                 .map_err(|e| format!("{artifact_path}: {e}"))?;
             let store = ReleaseStore::new();
             store
@@ -953,6 +1023,79 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("may not read"), "unexpected error: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn publish_binary_convert_round_trip() {
+        let dir = std::env::temp_dir().join(format!("gdp-cli-convert-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("g.txt").to_str().unwrap().to_string();
+        let gda_path = dir.join("a.gda").to_str().unwrap().to_string();
+        let json_path = dir.join("a.json").to_str().unwrap().to_string();
+        let back_path = dir.join("back.gda").to_str().unwrap().to_string();
+        let queries_path = dir.join("q.txt").to_str().unwrap().to_string();
+        generate(&[
+            "--out".into(),
+            graph_path.clone(),
+            "--model".into(),
+            "erdos-renyi".into(),
+            "--left".into(),
+            "200".into(),
+            "--right".into(),
+            "200".into(),
+            "--edges".into(),
+            "1000".into(),
+        ])
+        .unwrap();
+        // `--format bin` publishes a `.gda` container directly…
+        publish(&[
+            "--in".into(),
+            graph_path.clone(),
+            "--out".into(),
+            gda_path.clone(),
+            "--format".into(),
+            "bin".into(),
+            "--dataset".into(),
+            "cli-bin".into(),
+            "--rounds".into(),
+            "4".into(),
+        ])
+        .unwrap();
+        // …that answers through the single-artifact serving path.
+        std::fs::write(&queries_path, "L 0 1 2\nmass L 0\ntotal R\n").unwrap();
+        answer(&[
+            "--artifact".into(),
+            gda_path.clone(),
+            "--queries".into(),
+            queries_path,
+            "--privilege".into(),
+            "2".into(),
+        ])
+        .unwrap();
+        // A --format that contradicts the extension is refused up
+        // front, before any pipeline work runs.
+        let err = publish(&[
+            "--in".into(),
+            graph_path,
+            "--out".into(),
+            json_path.clone(),
+            "--format".into(),
+            "bin".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("contradicts"), "unexpected error: {err}");
+        // gda -> json -> gda preserves the artifact bit-for-bit: the
+        // manifest chain survives both directions and the binary
+        // encoding is deterministic.
+        convert(&["--in".into(), gda_path.clone(), "--out".into(), json_path.clone()]).unwrap();
+        convert(&["--in".into(), json_path, "--out".into(), back_path.clone()]).unwrap();
+        assert_eq!(
+            std::fs::read(&gda_path).unwrap(),
+            std::fs::read(&back_path).unwrap(),
+            "round-trip must reproduce the container bytes"
+        );
+        assert!(convert(&["--in".into(), gda_path, "--out".into(), "x.gda".into(), "--format".into(), "galaxy".into()]).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -10,9 +10,10 @@
 //!              [--strategy exponential|median|random]
 //!              [--mechanism gaussian|analytic|laplace|geometric]
 //!              [--seed N] [--csv out.csv]
-//! gdp publish  --in graph.txt --out artifact.json [--dataset NAME]
-//!              [--epoch N] [--rounds N] [--eps E] [--delta D]
-//!              [--budget-eps E] [--budget-delta D] [--seed N]
+//! gdp publish  --in graph.txt --out artifact.json [--format json|bin]
+//!              [--dataset NAME] [--epoch N] [--rounds N] [--eps E]
+//!              [--delta D] [--budget-eps E] [--budget-delta D] [--seed N]
+//! gdp convert  --in artifact.json --out artifact.gda [--format json|bin]
 //! gdp answer   --artifact artifact.json --queries queries.txt
 //!              [--privilege P] [--level L]
 //! gdp serve    --artifact-dir DIR [--addr HOST:PORT] [--workers N]
@@ -26,9 +27,12 @@
 //! The default `dblp` model runs the serial DBLP-like generator; the
 //! other three go through `gdp_datagen`'s parallel streaming engine.
 //! `publish`/`answer` are the serving pair: one writes the sealed
-//! release artifact, the other loads it and answers subset-query
-//! workloads under a privilege via `gdp_serve` (budget-free
-//! post-processing). `serve` keeps the same answering path up behind
+//! release artifact — JSON for debugging and interop, or the `.gda`
+//! binary container (`--format bin`) stores load fastest — the other
+//! loads either format and answers subset-query workloads under a
+//! privilege via `gdp_serve` (budget-free post-processing). `convert`
+//! re-encodes an artifact between the two formats, preserving the
+//! manifest and its content digest verbatim. `serve` keeps the same answering path up behind
 //! `gdp_net`'s hardened HTTP frontend — bounded queue, deadlines,
 //! supervised workers, graceful drain on `SIGINT`/`SIGTERM` — with
 //! degraded directory opens, live hot-reload (`POST /v1/admin/reload`
@@ -55,6 +59,7 @@ fn main() -> ExitCode {
         "stats" => commands::stats(&rest),
         "disclose" => commands::disclose(&rest),
         "publish" => commands::publish(&rest),
+        "convert" => commands::convert(&rest),
         "answer" => commands::answer(&rest),
         "serve" => commands::serve(&rest),
         "gc" => commands::gc(&rest),

@@ -15,12 +15,16 @@
 //! as a freshly published one.
 //!
 //! Save/load follows the `gdp_graph::io` conventions: plain
-//! `Write`/`Read` streams, pretty-printed JSON documents, typed errors
-//! ([`gdp_graph::io::write_json`] / [`gdp_graph::io::read_json`] under
-//! the hood). Everything downstream of a saved artifact is pure
-//! post-processing of a differentially private release — serving,
-//! indexing, caching and re-answering it are all budget-free.
+//! `Write`/`Read` streams, typed errors, crash-safe atomic writes.
+//! Two on-disk formats share one manifest and one digest chain
+//! ([`ArtifactFormat`]): pretty-printed JSON (`.json`, the
+//! debug/interop format) and the `.gda` binary container
+//! ([`crate::codec`], the fast serving format). Everything downstream
+//! of a saved artifact is pure post-processing of a differentially
+//! private release — serving, indexing, caching and re-answering it
+//! are all budget-free.
 
+use std::fmt;
 use std::io::{Read, Write};
 use std::path::Path;
 
@@ -50,6 +54,51 @@ pub const ARTIFACT_SCHEMA_VERSION: u32 = 2;
 /// artifacts (no content digest) load without checksum verification —
 /// everything else about them is validated identically.
 pub const MIN_ARTIFACT_SCHEMA_VERSION: u32 = 1;
+
+/// The two on-disk encodings of a [`ReleaseArtifact`]. Both carry the
+/// identical manifest (same canonical-JSON [`ArtifactManifest::content_digest`])
+/// and decode to equal artifacts; they differ only in parse cost and
+/// debuggability. File extension is the format signal everywhere:
+/// publishers name files with [`ArtifactFormat::extension`], loaders
+/// dispatch with [`ArtifactFormat::from_path`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactFormat {
+    /// Pretty-printed JSON (`.json`) — human-inspectable, diffable,
+    /// the interop format.
+    Json,
+    /// The `.gda` binary container ([`crate::codec`]) — aligned arrays
+    /// behind a byte-level digest, the fast serving format.
+    Binary,
+}
+
+impl ArtifactFormat {
+    /// The file extension (without dot) this format is stored under.
+    pub const fn extension(self) -> &'static str {
+        match self {
+            Self::Json => "json",
+            Self::Binary => "gda",
+        }
+    }
+
+    /// Infers the format from a path's extension; `None` for anything
+    /// that is not a recognized artifact extension.
+    pub fn from_path(path: &Path) -> Option<Self> {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("json") => Some(Self::Json),
+            Some("gda") => Some(Self::Binary),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ArtifactFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Json => "json",
+            Self::Binary => "binary",
+        })
+    }
+}
 
 /// Artifact metadata — everything a consumer (or an artifact store) can
 /// know about a release without touching the payload.
@@ -212,6 +261,35 @@ impl TryFrom<ArtifactPayload> for ReleaseArtifact {
             manifest: p.manifest,
             hierarchy: p.hierarchy,
             release: p.release,
+        })
+    }
+}
+
+impl ReleaseArtifact {
+    /// Seals parts whose bytes were already integrity-verified — the
+    /// binary load path ([`crate::codec::DecodedArtifact::seal`]). Runs
+    /// the full sealing validation and the version-2 digest-presence
+    /// rule, but **carries** the canonical-JSON digest instead of
+    /// recomputing it: the `.gda` container digest covered the exact
+    /// bytes (manifest digest field included) these parts were decoded
+    /// from, so re-rendering the payload as canonical JSON would only
+    /// re-derive a value corruption can no longer have touched.
+    pub(crate) fn from_digest_verified_parts(
+        manifest: ArtifactManifest,
+        hierarchy: GroupHierarchy,
+        release: MultiLevelRelease,
+    ) -> Result<Self> {
+        validate(&manifest, &hierarchy, &release)?;
+        if manifest.content_digest.is_none() && manifest.schema_version >= 2 {
+            return Err(CoreError::Artifact(format!(
+                "schema version {} manifest is missing its content digest",
+                manifest.schema_version
+            )));
+        }
+        Ok(Self {
+            manifest,
+            hierarchy,
+            release,
         })
     }
 }
@@ -394,30 +472,112 @@ impl ReleaseArtifact {
         Self::try_from(payload)
     }
 
+    /// Writes the artifact as a `.gda` binary container
+    /// ([`crate::codec`]): same manifest and content digest as the
+    /// JSON rendering, aligned arrays, byte-level container digest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO failures as [`CoreError::Graph`] (`GraphError::Io`).
+    pub fn write_binary<W: Write>(&self, mut writer: W) -> Result<()> {
+        let bytes = crate::codec::encode(self)?;
+        writer
+            .write_all(&bytes)
+            .map_err(|e| CoreError::Graph(e.into()))
+    }
+
+    /// Reads an artifact written by [`ReleaseArtifact::write_binary`]:
+    /// container digest verified, sections decoded, sealing validation
+    /// re-run ([`crate::codec::decode`] + [`crate::codec::DecodedArtifact::seal`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Graph`] (`GraphError::Binary`) for any structural
+    ///   corruption — truncation, bit flips, malformed sections.
+    /// * [`CoreError::Artifact`] for failed sealing validation.
+    /// * [`CoreError::Graph`] (`GraphError::Io`) for reader failures.
+    pub fn read_binary<R: Read>(mut reader: R) -> Result<Self> {
+        let mut bytes = Vec::new();
+        reader
+            .read_to_end(&mut bytes)
+            .map_err(|e| CoreError::Graph(e.into()))?;
+        crate::codec::decode(&bytes)?.seal()
+    }
+
     /// The canonical on-disk file name for a `(dataset, epoch)`
-    /// release: `<dataset>-e<epoch>.json`, with any path separators in
-    /// the dataset name replaced by `_` so the name never escapes its
-    /// directory.
-    pub fn canonical_file_name(dataset: &str, epoch: u64) -> String {
+    /// release in `format`: `<dataset>-e<epoch>.<ext>`, with any path
+    /// separators in the dataset name replaced by `_` so the name
+    /// never escapes its directory.
+    pub fn canonical_file_name_as(dataset: &str, epoch: u64, format: ArtifactFormat) -> String {
         let safe: String = dataset
             .chars()
             .map(|c| if c == '/' || c == '\\' { '_' } else { c })
             .collect();
-        format!("{safe}-e{epoch}.json")
+        format!("{safe}-e{epoch}.{}", format.extension())
     }
 
-    /// Writes the artifact to `path` crash-safely via
-    /// [`gdp_graph::io::atomic_write_json`]: the document is staged in
-    /// a `*.tmp` sibling, fsynced, renamed over `path`, and the
-    /// directory is fsynced. A crash mid-publish leaves either the old
-    /// file, the new file, or `*.tmp` debris a directory scan
-    /// quarantines — never a torn artifact at the final path.
+    /// [`ReleaseArtifact::canonical_file_name_as`] for the JSON format
+    /// (the historical default): `<dataset>-e<epoch>.json`.
+    pub fn canonical_file_name(dataset: &str, epoch: u64) -> String {
+        Self::canonical_file_name_as(dataset, epoch, ArtifactFormat::Json)
+    }
+
+    /// Writes the artifact to `path` crash-safely, in the format named
+    /// by the path's extension (`.gda` → binary, anything else →
+    /// JSON). Both routes stage in a `*.tmp` sibling, fsync, rename
+    /// over `path`, and fsync the directory
+    /// ([`gdp_graph::io::atomic_write_json`] /
+    /// [`gdp_graph::io::atomic_write_bytes`]). A crash mid-publish
+    /// leaves either the old file, the new file, or `*.tmp` debris a
+    /// directory scan quarantines — never a torn artifact at the final
+    /// path.
     ///
     /// # Errors
     ///
     /// Propagates IO/serialization failures as [`CoreError::Graph`].
     pub fn save_atomic(&self, path: impl AsRef<Path>) -> Result<()> {
-        Ok(graph_io::atomic_write_json(self, path)?)
+        let path = path.as_ref();
+        let format = ArtifactFormat::from_path(path).unwrap_or(ArtifactFormat::Json);
+        self.save_atomic_as(path, format)
+    }
+
+    /// [`ReleaseArtifact::save_atomic`] with the format chosen
+    /// explicitly instead of by the path's extension. Note that a
+    /// directory scan ([`ArtifactFormat::from_path`]) still decodes by
+    /// extension, so writing binary bytes under a `.json` name creates
+    /// a file the store will quarantine — callers should keep the
+    /// extension truthful.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO/serialization failures as [`CoreError::Graph`].
+    pub fn save_atomic_as(&self, path: impl AsRef<Path>, format: ArtifactFormat) -> Result<()> {
+        match format {
+            ArtifactFormat::Binary => {
+                let bytes = crate::codec::encode(self)?;
+                Ok(graph_io::atomic_write_bytes(&bytes, path)?)
+            }
+            ArtifactFormat::Json => Ok(graph_io::atomic_write_json(self, path)?),
+        }
+    }
+
+    /// Loads an artifact from `path`, dispatching on the extension the
+    /// same way [`ReleaseArtifact::save_atomic`] does: `.gda` →
+    /// [`ReleaseArtifact::read_binary`], anything else →
+    /// [`ReleaseArtifact::read_json`].
+    ///
+    /// # Errors
+    ///
+    /// Everything the format-specific readers produce, plus
+    /// [`CoreError::Graph`] (`GraphError::Io`) when the file cannot be
+    /// opened.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let file = std::fs::File::open(path).map_err(|e| CoreError::Graph(e.into()))?;
+        match ArtifactFormat::from_path(path) {
+            Some(ArtifactFormat::Binary) => Self::read_binary(file),
+            _ => Self::read_json(file),
+        }
     }
 }
 
@@ -579,6 +739,57 @@ mod tests {
             ReleaseArtifact::canonical_file_name("a/b\\c", 0),
             "a_b_c-e0.json"
         );
+        assert_eq!(
+            ReleaseArtifact::canonical_file_name_as("dblp", 7, ArtifactFormat::Binary),
+            "dblp-e7.gda"
+        );
+        assert_eq!(
+            ReleaseArtifact::canonical_file_name_as("a/b", 1, ArtifactFormat::Binary),
+            "a_b-e1.gda"
+        );
+    }
+
+    #[test]
+    fn artifact_format_from_path_follows_the_extension() {
+        use std::path::Path;
+        assert_eq!(
+            ArtifactFormat::from_path(Path::new("d/x-e1.json")),
+            Some(ArtifactFormat::Json)
+        );
+        assert_eq!(
+            ArtifactFormat::from_path(Path::new("d/x-e1.gda")),
+            Some(ArtifactFormat::Binary)
+        );
+        assert_eq!(ArtifactFormat::from_path(Path::new("d/x-e1.tmp")), None);
+        assert_eq!(ArtifactFormat::from_path(Path::new("d/noext")), None);
+        assert_eq!(ArtifactFormat::Json.extension(), "json");
+        assert_eq!(ArtifactFormat::Binary.extension(), "gda");
+        assert_eq!(ArtifactFormat::Binary.to_string(), "binary");
+    }
+
+    #[test]
+    fn save_atomic_and_load_dispatch_on_extension() {
+        let dir = std::env::temp_dir().join("gdp_artifact_binary_dispatch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (hierarchy, release) = publishable();
+        let a = ReleaseArtifact::seal("dblp", 11, hierarchy, release).unwrap();
+        let json_path = dir.join(ReleaseArtifact::canonical_file_name("dblp", 11));
+        let bin_path = dir.join(ReleaseArtifact::canonical_file_name_as(
+            "dblp",
+            11,
+            ArtifactFormat::Binary,
+        ));
+        a.save_atomic(&json_path).unwrap();
+        a.save_atomic(&bin_path).unwrap();
+        // The binary file really is the container, not JSON in disguise.
+        let head = std::fs::read(&bin_path).unwrap();
+        assert_eq!(&head[..8], &gdp_graph::binfmt::MAGIC);
+        let via_json = ReleaseArtifact::load(&json_path).unwrap();
+        let via_bin = ReleaseArtifact::load(&bin_path).unwrap();
+        assert_eq!(via_json, a);
+        assert_eq!(via_bin, a);
+        assert_eq!(via_json.manifest(), via_bin.manifest());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,547 @@
+//! The `.gda` binary artifact codec — [`ReleaseArtifact`] encoded into
+//! the workspace's [`gdp_graph::binfmt`] container.
+//!
+//! Three sections, fixed tags:
+//!
+//! * **1 — manifest**: every [`ArtifactManifest`] field, including the
+//!   canonical-JSON `content_digest` verbatim — a binary artifact and
+//!   its JSON twin carry **bit-identical manifests**.
+//! * **2 — hierarchy**: per level, both [`SidePartition`]s as
+//!   `(side, block_count, assignment[])` with 8-byte-aligned `u32`
+//!   arrays.
+//! * **3 — release**: the bundle parameters, then per level the
+//!   metadata, budget, and each query's `f64` noisy-value array with
+//!   its exact bit patterns.
+//!
+//! Integrity is layered. The container digest (over the raw file
+//! bytes, checked before any decoding) catches truncation and bit rot
+//! cheaply; the manifest's `content_digest` stays what
+//! [`ReleaseArtifact::seal`] computed over the canonical JSON, so
+//! manifests compare equal across formats and a `.gda` → `.json`
+//! re-encode preserves the digest chain. Because the container digest
+//! transitively pins the manifest section (including `content_digest`)
+//! together with every payload byte, [`DecodedArtifact::seal`] re-runs
+//! the sealing *validation* but skips re-rendering the payload as
+//! canonical JSON — that skipped render is the binary load path's
+//! speed advantage over [`ReleaseArtifact::read_json`].
+//!
+//! Like the container layer, decoding is panic-free: all counts are
+//! bounds-checked against the remaining section bytes before
+//! allocation, and every reconstructed structure passes through its
+//! validating constructor.
+
+use gdp_graph::binfmt::{read_container, write_container, ByteReader, ByteWriter};
+use gdp_graph::{GraphError, Side, SidePartition};
+use gdp_mechanisms::{Delta, Epsilon, PrivacyBudget};
+
+use crate::artifact::{ArtifactManifest, ReleaseArtifact};
+use crate::disclosure::NoiseMechanism;
+use crate::error::CoreError;
+use crate::hierarchy::{GroupHierarchy, GroupLevel};
+use crate::queries::Query;
+use crate::release::{LevelRelease, MultiLevelRelease, QueryRelease};
+use crate::sensitivity::LevelSensitivity;
+use crate::Result;
+
+/// Section tag of the manifest.
+pub const SECTION_MANIFEST: u32 = 1;
+/// Section tag of the group hierarchy.
+pub const SECTION_HIERARCHY: u32 = 2;
+/// Section tag of the multi-level release.
+pub const SECTION_RELEASE: u32 = 3;
+
+fn bad(message: impl Into<String>) -> CoreError {
+    CoreError::Graph(GraphError::Binary {
+        offset: 0,
+        message: message.into(),
+    })
+}
+
+fn mechanism_tag(m: NoiseMechanism) -> u32 {
+    match m {
+        NoiseMechanism::GaussianClassic => 0,
+        NoiseMechanism::GaussianAnalytic => 1,
+        NoiseMechanism::Laplace => 2,
+        NoiseMechanism::Geometric => 3,
+    }
+}
+
+fn mechanism_from(tag: u32) -> Result<NoiseMechanism> {
+    Ok(match tag {
+        0 => NoiseMechanism::GaussianClassic,
+        1 => NoiseMechanism::GaussianAnalytic,
+        2 => NoiseMechanism::Laplace,
+        3 => NoiseMechanism::Geometric,
+        other => return Err(bad(format!("unknown noise mechanism tag {other}"))),
+    })
+}
+
+fn side_tag(s: Side) -> u32 {
+    match s {
+        Side::Left => 0,
+        Side::Right => 1,
+    }
+}
+
+fn side_from(tag: u32) -> Result<Side> {
+    Ok(match tag {
+        0 => Side::Left,
+        1 => Side::Right,
+        other => return Err(bad(format!("unknown side tag {other}"))),
+    })
+}
+
+fn encode_manifest(m: &ArtifactManifest) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(m.schema_version);
+    w.put_str(&m.dataset);
+    w.put_u64(m.epoch);
+    w.put_u32(mechanism_tag(m.mechanism));
+    w.put_u32(0); // lane padding so the f64s below stay 8-aligned
+    w.put_f64(m.epsilon_g);
+    w.put_f64(m.delta);
+    w.put_u64(m.level_count as u64);
+    w.put_u64_slice(&m.group_counts);
+    w.put_u32(m.left_nodes);
+    w.put_u32(m.right_nodes);
+    match m.content_digest {
+        Some(d) => {
+            w.put_u32(1);
+            w.put_u32(0);
+            w.put_u64(d);
+        }
+        None => {
+            w.put_u32(0);
+            w.put_u32(0);
+            w.put_u64(0);
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_manifest(bytes: &[u8]) -> Result<ArtifactManifest> {
+    let mut r = ByteReader::new(bytes);
+    let schema_version = r.take_u32("manifest schema_version")?;
+    let dataset = r.take_str("manifest dataset")?;
+    let epoch = r.take_u64("manifest epoch")?;
+    let mechanism = mechanism_from(r.take_u32("manifest mechanism")?)?;
+    r.take_u32("manifest padding")?;
+    let epsilon_g = r.take_f64("manifest epsilon_g")?;
+    let delta = r.take_f64("manifest delta")?;
+    let level_count = r.take_u64("manifest level_count")? as usize;
+    let group_counts = r.take_u64_vec("manifest group_counts")?;
+    let left_nodes = r.take_u32("manifest left_nodes")?;
+    let right_nodes = r.take_u32("manifest right_nodes")?;
+    let has_digest = r.take_u32("manifest digest flag")?;
+    r.take_u32("manifest padding")?;
+    let digest = r.take_u64("manifest content_digest")?;
+    r.expect_end("manifest section")?;
+    let content_digest = match has_digest {
+        0 => None,
+        1 => Some(digest),
+        other => return Err(bad(format!("manifest digest flag is {other}, not 0/1"))),
+    };
+    Ok(ArtifactManifest {
+        schema_version,
+        dataset,
+        epoch,
+        mechanism,
+        epsilon_g,
+        delta,
+        level_count,
+        group_counts,
+        left_nodes,
+        right_nodes,
+        content_digest,
+    })
+}
+
+fn encode_partition(w: &mut ByteWriter, p: &SidePartition) {
+    w.put_u32(side_tag(p.side()));
+    w.put_u32(p.block_count());
+    w.put_u32_slice(p.assignment());
+}
+
+fn decode_partition(r: &mut ByteReader<'_>, what: &str) -> Result<SidePartition> {
+    let side = side_from(r.take_u32(what)?)?;
+    let block_count = r.take_u32(what)?;
+    let assignment = r.take_u32_vec(what)?;
+    Ok(SidePartition::new(side, assignment, block_count)?)
+}
+
+fn encode_hierarchy(h: &GroupHierarchy) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(h.level_count() as u64);
+    for level in h.levels() {
+        encode_partition(&mut w, level.left());
+        encode_partition(&mut w, level.right());
+    }
+    w.into_bytes()
+}
+
+fn decode_hierarchy(bytes: &[u8]) -> Result<GroupHierarchy> {
+    let mut r = ByteReader::new(bytes);
+    let level_count = r.take_u64("hierarchy level_count")?;
+    // Each level needs ≥ 2 partitions of ≥ 16 bytes each: bound the
+    // allocation against the bytes actually present.
+    if level_count > (bytes.len() as u64) / 32 + 1 {
+        return Err(bad(format!(
+            "hierarchy declares {level_count} levels in a {}-byte section",
+            bytes.len()
+        )));
+    }
+    let mut levels = Vec::with_capacity(level_count as usize);
+    for i in 0..level_count {
+        let left = decode_partition(&mut r, &format!("hierarchy level {i} left"))?;
+        let right = decode_partition(&mut r, &format!("hierarchy level {i} right"))?;
+        levels.push(GroupLevel::new(left, right)?);
+    }
+    r.expect_end("hierarchy section")?;
+    GroupHierarchy::new(levels)
+}
+
+fn query_tag(q: Query) -> (u32, u32) {
+    match q {
+        Query::TotalAssociations => (0, 0),
+        Query::PerGroupCounts => (1, 0),
+        Query::LeftDegreeHistogram { max_degree } => (2, max_degree),
+        Query::GroupSizeCounts => (3, 0),
+    }
+}
+
+fn query_from(tag: u32, param: u32) -> Result<Query> {
+    Ok(match tag {
+        0 => Query::TotalAssociations,
+        1 => Query::PerGroupCounts,
+        2 => Query::LeftDegreeHistogram { max_degree: param },
+        3 => Query::GroupSizeCounts,
+        other => return Err(bad(format!("unknown query tag {other}"))),
+    })
+}
+
+fn encode_release(rel: &MultiLevelRelease) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(mechanism_tag(rel.mechanism()));
+    w.put_u32(0);
+    w.put_f64(rel.epsilon_g());
+    w.put_f64(rel.delta());
+    w.put_u64(rel.levels().len() as u64);
+    for level in rel.levels() {
+        w.put_u64(level.level as u64);
+        w.put_u64(level.group_count);
+        w.put_u32(level.max_group_size);
+        w.put_u32(0);
+        w.put_f64(level.budget.epsilon.get());
+        w.put_f64(level.budget.delta.get());
+        w.put_u64(level.queries.len() as u64);
+        for q in &level.queries {
+            let (tag, param) = query_tag(q.query);
+            w.put_u32(tag);
+            w.put_u32(param);
+            w.put_f64(q.noise_scale);
+            w.put_f64(q.sensitivity.l1);
+            w.put_f64(q.sensitivity.l2);
+            w.put_f64_slice(&q.noisy_values);
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_release(bytes: &[u8]) -> Result<MultiLevelRelease> {
+    let mut r = ByteReader::new(bytes);
+    let mechanism = mechanism_from(r.take_u32("release mechanism")?)?;
+    r.take_u32("release padding")?;
+    let epsilon_g = r.take_f64("release epsilon_g")?;
+    let delta = r.take_f64("release delta")?;
+    let level_count = r.take_u64("release level_count")?;
+    // A level record is ≥ 48 bytes; bound before allocating.
+    if level_count > (bytes.len() as u64) / 48 + 1 {
+        return Err(bad(format!(
+            "release declares {level_count} levels in a {}-byte section",
+            bytes.len()
+        )));
+    }
+    let mut levels = Vec::with_capacity(level_count as usize);
+    for i in 0..level_count {
+        let level = r.take_u64(&format!("level {i} index"))? as usize;
+        let group_count = r.take_u64(&format!("level {i} group_count"))?;
+        let max_group_size = r.take_u32(&format!("level {i} max_group_size"))?;
+        r.take_u32("level padding")?;
+        let epsilon = r.take_f64(&format!("level {i} epsilon"))?;
+        let level_delta = r.take_f64(&format!("level {i} delta"))?;
+        let budget = PrivacyBudget {
+            epsilon: Epsilon::new(epsilon).map_err(CoreError::Mechanism)?,
+            delta: Delta::new(level_delta).map_err(CoreError::Mechanism)?,
+        };
+        let query_count = r.take_u64(&format!("level {i} query_count"))?;
+        // A query record is ≥ 40 bytes.
+        if query_count > (r.remaining() as u64) / 40 + 1 {
+            return Err(bad(format!(
+                "level {i} declares {query_count} queries in {} remaining bytes",
+                r.remaining()
+            )));
+        }
+        let mut queries = Vec::with_capacity(query_count as usize);
+        for j in 0..query_count {
+            let what = format!("level {i} query {j}");
+            let tag = r.take_u32(&what)?;
+            let param = r.take_u32(&what)?;
+            let query = query_from(tag, param)?;
+            let noise_scale = r.take_f64(&what)?;
+            let l1 = r.take_f64(&what)?;
+            let l2 = r.take_f64(&what)?;
+            let noisy_values = r.take_f64_vec(&what)?;
+            queries.push(QueryRelease {
+                query,
+                noisy_values,
+                noise_scale,
+                sensitivity: LevelSensitivity { l1, l2 },
+            });
+        }
+        levels.push(LevelRelease {
+            level,
+            group_count,
+            max_group_size,
+            budget,
+            queries,
+        });
+    }
+    r.expect_end("release section")?;
+    MultiLevelRelease::new(mechanism, epsilon_g, delta, levels)
+}
+
+/// Renders a sealed artifact as `.gda` container bytes.
+///
+/// # Errors
+///
+/// [`CoreError::Graph`] (`GraphError::Binary`) only for container
+/// assembly failures — impossible for a well-formed artifact, surfaced
+/// as a typed error rather than a panic regardless.
+pub fn encode(artifact: &ReleaseArtifact) -> Result<Vec<u8>> {
+    let sections = vec![
+        (SECTION_MANIFEST, encode_manifest(artifact.manifest())),
+        (SECTION_HIERARCHY, encode_hierarchy(artifact.hierarchy())),
+        (SECTION_RELEASE, encode_release(artifact.release())),
+    ];
+    Ok(write_container(&sections)?)
+}
+
+/// A structurally decoded, digest-verified — but not yet sealed —
+/// binary artifact. The container digest has already vouched for every
+/// byte; the manifest is inspectable (schema version, dataset, epoch)
+/// so directory scanners can produce typed errors with file context
+/// before committing to [`DecodedArtifact::seal`]. The binary twin of
+/// [`crate::artifact::ArtifactPayload`]'s two-stage JSON flow.
+#[derive(Debug, Clone)]
+pub struct DecodedArtifact {
+    manifest: ArtifactManifest,
+    hierarchy: GroupHierarchy,
+    release: MultiLevelRelease,
+}
+
+impl DecodedArtifact {
+    /// The manifest as decoded, before sealing validation.
+    pub fn manifest(&self) -> &ArtifactManifest {
+        &self.manifest
+    }
+
+    /// Promotes the decoded parts to a sealed [`ReleaseArtifact`],
+    /// re-running the full sealing validation (schema-version range,
+    /// manifest↔payload cross-checks, the version-2 digest-presence
+    /// rule). The canonical-JSON `content_digest` is **carried, not
+    /// recomputed**: the container digest verified in [`decode`]
+    /// already pinned the exact bytes it was decoded from, and
+    /// skipping the canonical render is what makes the binary load
+    /// path fast.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Artifact`] for any failed sealing validation.
+    pub fn seal(self) -> Result<ReleaseArtifact> {
+        ReleaseArtifact::from_digest_verified_parts(self.manifest, self.hierarchy, self.release)
+    }
+}
+
+/// Decodes `.gda` container bytes: container digest verified first,
+/// then all three sections structurally decoded with bounds-checked
+/// reads and validating constructors. No sealing cross-validation yet
+/// — that is [`DecodedArtifact::seal`] — but every returned value is
+/// internally consistent (partitions surjective, refinement chain
+/// intact, level indices ordered).
+///
+/// # Errors
+///
+/// * [`CoreError::Graph`] (`GraphError::Binary`) for every structural
+///   defect: truncation, bit flips (digest mismatch), missing or
+///   unknown sections, malformed fields, oversized counts.
+/// * [`CoreError::InvalidHierarchy`] / [`CoreError::InvalidConfig`] /
+///   [`CoreError::Mechanism`] when decoded values fail their
+///   constructors' domain checks (possible only for hand-crafted
+///   files — corruption is caught by the digest before decoding).
+pub fn decode(bytes: &[u8]) -> Result<DecodedArtifact> {
+    let sections = read_container(bytes)?;
+    let find = |tag: u32, name: &str| {
+        sections
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, payload)| *payload)
+            .ok_or_else(|| bad(format!("missing {name} section (tag {tag})")))
+    };
+    for (tag, _) in &sections {
+        if ![SECTION_MANIFEST, SECTION_HIERARCHY, SECTION_RELEASE].contains(tag) {
+            return Err(bad(format!("unknown section tag {tag}")));
+        }
+    }
+    let manifest = decode_manifest(find(SECTION_MANIFEST, "manifest")?)?;
+    let hierarchy = decode_hierarchy(find(SECTION_HIERARCHY, "hierarchy")?)?;
+    let release = decode_release(find(SECTION_RELEASE, "release")?)?;
+    Ok(DecodedArtifact {
+        manifest,
+        hierarchy,
+        release,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disclosure::{DisclosureConfig, MultiLevelDiscloser};
+    use crate::specialize::{SpecializationConfig, Specializer};
+    use gdp_datagen::{DblpConfig, DblpGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn artifact() -> ReleaseArtifact {
+        let mut rng = StdRng::seed_from_u64(77);
+        let graph = DblpGenerator::new(DblpConfig::tiny()).generate(&mut rng);
+        let hierarchy = Specializer::new(SpecializationConfig::median(2).unwrap())
+            .specialize(&graph, &mut rng)
+            .unwrap();
+        let release = MultiLevelDiscloser::new(
+            DisclosureConfig::count_only(0.6, 1e-6)
+                .unwrap()
+                .with_queries(vec![
+                    Query::TotalAssociations,
+                    Query::PerGroupCounts,
+                    Query::LeftDegreeHistogram { max_degree: 8 },
+                    Query::GroupSizeCounts,
+                ]),
+        )
+        .disclose(&graph, &hierarchy, &mut rng)
+        .unwrap();
+        ReleaseArtifact::seal("dblp-ü", 42, hierarchy, release).unwrap()
+    }
+
+    #[test]
+    fn binary_round_trip_is_lossless_and_manifest_identical() {
+        let a = artifact();
+        let bytes = encode(&a).unwrap();
+        let back = decode(&bytes).unwrap().seal().unwrap();
+        assert_eq!(a, back);
+        assert_eq!(a.manifest(), back.manifest(), "manifests bit-identical");
+        // The carried digest is the canonical-JSON digest, so the
+        // decoded artifact re-encodes as JSON and loads cleanly.
+        let mut json = Vec::new();
+        back.write_json(&mut json).unwrap();
+        let via_json = ReleaseArtifact::read_json(json.as_slice()).unwrap();
+        assert_eq!(a, via_json);
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_typed_never_panics() {
+        let bytes = encode(&artifact()).unwrap();
+        for cut in 0..bytes.len() {
+            match decode(&bytes[..cut]) {
+                Ok(_) => panic!("cut {cut} decoded"),
+                Err(CoreError::Graph(GraphError::Binary { .. })) => {}
+                Err(other) => panic!("cut {cut}: unexpected error class: {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_a_typed_error() {
+        let bytes = encode(&artifact()).unwrap();
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut doctored = bytes.clone();
+                doctored[byte] ^= 1 << bit;
+                match decode(&doctored).map(DecodedArtifact::seal) {
+                    Ok(_) => panic!("byte {byte} bit {bit} decoded"),
+                    Err(CoreError::Graph(GraphError::Binary { .. })) => {}
+                    Err(other) => panic!("byte {byte} bit {bit}: unexpected class: {other}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn missing_and_unknown_sections_are_typed() {
+        use gdp_graph::binfmt::write_container;
+        let a = artifact();
+        let no_release = write_container(&[
+            (SECTION_MANIFEST, encode_manifest(a.manifest())),
+            (SECTION_HIERARCHY, encode_hierarchy(a.hierarchy())),
+        ])
+        .unwrap();
+        let err = decode(&no_release).unwrap_err();
+        assert!(err.to_string().contains("missing release"), "{err}");
+
+        let alien = write_container(&[(99, vec![1, 2, 3])]).unwrap();
+        let err = decode(&alien).unwrap_err();
+        assert!(err.to_string().contains("unknown section tag 99"), "{err}");
+    }
+
+    #[test]
+    fn sealing_rejects_a_decoded_lie() {
+        // Craft a container whose manifest claims the wrong level
+        // count: the container digest is valid (it is a well-formed
+        // file), so only seal()'s cross-validation can refuse it.
+        let a = artifact();
+        let mut manifest = a.manifest().clone();
+        manifest.level_count += 1;
+        let bytes = write_container(&[
+            (SECTION_MANIFEST, encode_manifest(&manifest)),
+            (SECTION_HIERARCHY, encode_hierarchy(a.hierarchy())),
+            (SECTION_RELEASE, encode_release(a.release())),
+        ])
+        .unwrap();
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(decoded.manifest().level_count, manifest.level_count);
+        let err = decoded.seal().unwrap_err();
+        assert!(matches!(err, CoreError::Artifact(_)), "{err}");
+    }
+
+    #[test]
+    fn v1_manifests_without_digest_round_trip() {
+        let a = artifact();
+        let mut manifest = a.manifest().clone();
+        manifest.schema_version = 1;
+        manifest.content_digest = None;
+        let bytes = write_container(&[
+            (SECTION_MANIFEST, encode_manifest(&manifest)),
+            (SECTION_HIERARCHY, encode_hierarchy(a.hierarchy())),
+            (SECTION_RELEASE, encode_release(a.release())),
+        ])
+        .unwrap();
+        let back = decode(&bytes).unwrap().seal().unwrap();
+        assert_eq!(back.manifest().schema_version, 1);
+        assert_eq!(back.manifest().content_digest, None);
+        assert_eq!(back.hierarchy(), a.hierarchy());
+    }
+
+    #[test]
+    fn v2_manifest_stripped_of_digest_is_refused_at_seal() {
+        let a = artifact();
+        let mut manifest = a.manifest().clone();
+        manifest.content_digest = None; // still claims version 2
+        let bytes = write_container(&[
+            (SECTION_MANIFEST, encode_manifest(&manifest)),
+            (SECTION_HIERARCHY, encode_hierarchy(a.hierarchy())),
+            (SECTION_RELEASE, encode_release(a.release())),
+        ])
+        .unwrap();
+        let err = decode(&bytes).unwrap().seal().unwrap_err();
+        assert!(err.to_string().contains("missing its content digest"), "{err}");
+    }
+}

@@ -74,12 +74,14 @@ mod session;
 pub mod adjacency;
 pub mod answering;
 pub mod artifact;
+pub mod codec;
 pub mod postprocess;
 pub mod theory;
 
 pub use access::{AccessControlled, AccessPolicy, Privilege};
 pub use artifact::{
-    ArtifactManifest, ReleaseArtifact, ARTIFACT_SCHEMA_VERSION, MIN_ARTIFACT_SCHEMA_VERSION,
+    ArtifactFormat, ArtifactManifest, ReleaseArtifact, ARTIFACT_SCHEMA_VERSION,
+    MIN_ARTIFACT_SCHEMA_VERSION,
 };
 pub use baseline::{
     individual_edge_dp_count, individual_node_dp_count, naive_group_composition_count,

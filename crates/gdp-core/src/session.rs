@@ -5,7 +5,7 @@ use gdp_mechanisms::{
     Delta, GaussianRdpAccountant, PrivacyAccountant, PrivacyBudget,
 };
 
-use crate::artifact::ReleaseArtifact;
+use crate::artifact::{ArtifactFormat, ReleaseArtifact};
 use crate::disclosure::{DisclosureConfig, MultiLevelDiscloser, NoiseMechanism};
 use crate::error::CoreError;
 use crate::hierarchy::GroupHierarchy;
@@ -205,10 +205,34 @@ impl DisclosureSession {
         dir: impl AsRef<std::path::Path>,
         rng: &mut R,
     ) -> Result<(ReleaseArtifact, std::path::PathBuf)> {
+        self.publish_to_dir_as(config, dataset, epoch, dir, ArtifactFormat::Json, rng)
+    }
+
+    /// [`DisclosureSession::publish_to_dir`] with an explicit on-disk
+    /// [`ArtifactFormat`]: the canonical file name takes the format's
+    /// extension and [`ReleaseArtifact::save_atomic`] writes that
+    /// encoding. Binary (`.gda`) and JSON publishes are otherwise
+    /// identical — same manifest, same content digest, same crash-safe
+    /// write discipline.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`DisclosureSession::publish_to_dir`].
+    pub fn publish_to_dir_as<R: Rng + ?Sized>(
+        &mut self,
+        config: &DisclosureConfig,
+        dataset: &str,
+        epoch: u64,
+        dir: impl AsRef<std::path::Path>,
+        format: ArtifactFormat,
+        rng: &mut R,
+    ) -> Result<(ReleaseArtifact, std::path::PathBuf)> {
         let artifact = self.publish(config, dataset, epoch, rng)?;
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir).map_err(gdp_graph::GraphError::from)?;
-        let path = dir.join(ReleaseArtifact::canonical_file_name(dataset, epoch));
+        let path = dir.join(ReleaseArtifact::canonical_file_name_as(
+            dataset, epoch, format,
+        ));
         artifact.save_atomic(&path)?;
         Ok((artifact, path))
     }

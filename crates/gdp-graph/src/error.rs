@@ -53,6 +53,16 @@ pub enum GraphError {
     /// A JSON document could not be rendered or parsed (see
     /// [`crate::io::read_json`] / [`crate::io::write_json`]).
     Json(String),
+    /// A binary container could not be decoded (see [`crate::binfmt`]):
+    /// truncated file, bad magic, foreign container version, digest
+    /// mismatch, out-of-bounds section, malformed field. Always a typed
+    /// refusal — no input makes the binary reader panic.
+    Binary {
+        /// Byte offset (into the file or section) where decoding failed.
+        offset: usize,
+        /// What went wrong there.
+        message: String,
+    },
     /// An underlying IO failure while reading/writing an edge list.
     Io(std::io::Error),
 }
@@ -80,6 +90,9 @@ impl fmt::Display for GraphError {
             }
             Self::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
             Self::Json(message) => write!(f, "json error: {message}"),
+            Self::Binary { offset, message } => {
+                write!(f, "binary format error at byte {offset}: {message}")
+            }
             Self::Io(e) => write!(f, "io error: {e}"),
         }
     }

@@ -220,6 +220,35 @@ pub fn atomic_write_json<T: serde::Serialize>(value: &T, path: impl AsRef<Path>)
     Ok(())
 }
 
+/// [`atomic_write_json`] for pre-rendered bytes — the crash-safe path
+/// binary `.gda` artifacts publish through. Identical discipline:
+/// stage in the [`pending_sibling`] `*.tmp`, fsync, rename over
+/// `path`, fsync the directory; best-effort tmp cleanup on failure.
+///
+/// # Errors
+///
+/// [`GraphError::Io`] for create/write/fsync/rename failures.
+pub fn atomic_write_bytes(bytes: &[u8], path: impl AsRef<Path>) -> Result<()> {
+    let path = path.as_ref();
+    let tmp = pending_sibling(path);
+    let staged = (|| -> Result<()> {
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        Ok(())
+    })();
+    if let Err(e) = staged {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    sync_parent_dir(path)?;
+    Ok(())
+}
+
 /// Removes a file and fsyncs its directory — the deletion half of the
 /// atomic-write discipline, used by retention GC so an eviction that
 /// was reported as done stays done across a crash.

@@ -52,6 +52,7 @@ mod subgraph;
 mod traversal;
 mod truncate;
 
+pub mod binfmt;
 pub mod io;
 
 pub use bipartite::{BipartiteGraph, EdgeIter};

@@ -19,12 +19,18 @@ pub enum ServeError {
     },
     /// An artifact for this `(dataset, epoch)` is already registered —
     /// published releases are immutable, so re-inserting a key is
-    /// almost certainly a deployment bug rather than an update.
+    /// almost certainly a deployment bug rather than an update. The
+    /// classic shape: one epoch present as both `dblp-e1.json` and
+    /// `dblp-e1.gda` in the same directory.
     DuplicateRelease {
         /// Conflicting dataset key.
         dataset: String,
         /// Conflicting epoch.
         epoch: u64,
+        /// The on-disk files involved, when known: first the file
+        /// already backing the registered release, then the colliding
+        /// one. Empty for purely programmatic double-inserts.
+        paths: Vec<String>,
     },
     /// The artifact does not carry per-group counts at this level, so
     /// subset-count, group-mass and side-total queries cannot be
@@ -84,10 +90,20 @@ impl fmt::Display for ServeError {
             Self::UnknownRelease { dataset, epoch } => {
                 write!(f, "no release registered for dataset `{dataset}` epoch {epoch}")
             }
-            Self::DuplicateRelease { dataset, epoch } => write!(
-                f,
-                "a release for dataset `{dataset}` epoch {epoch} is already registered"
-            ),
+            Self::DuplicateRelease {
+                dataset,
+                epoch,
+                paths,
+            } => {
+                write!(
+                    f,
+                    "a release for dataset `{dataset}` epoch {epoch} is already registered"
+                )?;
+                if !paths.is_empty() {
+                    write!(f, " ({})", paths.join(" vs "))?;
+                }
+                Ok(())
+            }
             Self::LevelNotIndexed { level } => write!(
                 f,
                 "level {level} released no per-group counts; subset, group-mass and \
@@ -106,7 +122,7 @@ impl fmt::Display for ServeError {
                  (this build reads version {supported})"
             ),
             Self::EmptyDirectory { path } => {
-                write!(f, "directory {path} holds no artifact JSON documents")
+                write!(f, "directory {path} holds no artifact files (.json/.gda)")
             }
             Self::Workload { line, message } => {
                 write!(f, "workload parse error at line {line}: {message}")
@@ -160,6 +176,21 @@ mod tests {
 
         let e = ServeError::from(CoreError::Artifact("bad".to_string()));
         assert!(e.source().is_some());
+
+        let e = ServeError::DuplicateRelease {
+            dataset: "dblp".to_string(),
+            epoch: 1,
+            paths: vec!["s/dblp-e1.gda".to_string(), "s/dblp-e1.json".to_string()],
+        };
+        let text = e.to_string();
+        assert!(text.contains("dblp-e1.gda"), "{text}");
+        assert!(text.contains("dblp-e1.json"), "{text}");
+        let e = ServeError::DuplicateRelease {
+            dataset: "dblp".to_string(),
+            epoch: 1,
+            paths: Vec::new(),
+        };
+        assert!(!e.to_string().contains('('), "no empty path list rendered");
 
         let e = ServeError::LevelNotIndexed { level: 3 };
         assert!(e.to_string().contains('3'));

@@ -37,7 +37,10 @@ pub enum FileOutcome {
     },
     /// The file held a valid artifact whose `(dataset, epoch)` the
     /// store already serves — left in place, nothing replaced
-    /// (published artifacts are immutable).
+    /// (published artifacts are immutable). A mixed-format directory
+    /// (same epoch as `.json` and `.gda`) lands here in degraded
+    /// scans: the first file in name order serves, the twin is
+    /// reported with both paths.
     AlreadyRegistered {
         /// Dataset key of the duplicate.
         dataset: String,
@@ -45,6 +48,9 @@ pub enum FileOutcome {
         epoch: u64,
         /// The file holding the duplicate.
         path: String,
+        /// The file already backing the registered release, when it
+        /// was loaded from disk (`None` for programmatic inserts).
+        existing: Option<String>,
     },
     /// A non-artifact directory entry (subdirectory, hidden file,
     /// editor backup, wrong extension) — skipped where a strict scan
@@ -296,7 +302,7 @@ mod tests {
                 },
                 FileOutcome::Stray {
                     path: "README.txt".into(),
-                    note: "not a .json artifact".into(),
+                    note: "not an artifact file (.json/.gda)".into(),
                 },
                 FileOutcome::Quarantined {
                     path: "d-e2.json".into(),
@@ -340,6 +346,7 @@ mod tests {
                 dataset: "d".into(),
                 epoch: 3,
                 path: "d-e3.json".into(),
+                existing: Some("d-e3.gda".into()),
             }],
         };
         let text = serde_json::to_string(&report).unwrap();

@@ -15,7 +15,10 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, RwLock};
 
 use gdp_core::artifact::ArtifactPayload;
-use gdp_core::{ReleaseArtifact, ARTIFACT_SCHEMA_VERSION, MIN_ARTIFACT_SCHEMA_VERSION};
+use gdp_core::codec;
+use gdp_core::{
+    ArtifactFormat, ReleaseArtifact, ARTIFACT_SCHEMA_VERSION, MIN_ARTIFACT_SCHEMA_VERSION,
+};
 use gdp_graph::io as graph_io;
 
 use crate::error::ServeError;
@@ -159,10 +162,20 @@ impl ReleaseStore {
     ) -> Result<()> {
         let mut shard = self.write_shard(&dataset);
         let key = (dataset, epoch);
-        if shard.contains_key(&key) {
+        if let Some(existing) = shard.get(&key) {
+            // Name both files when the collision is on-disk — the
+            // mixed-format case (same epoch as .json and .gda) is
+            // indistinguishable from a deployment bug without them.
+            let paths = existing
+                .source
+                .iter()
+                .chain(source.iter())
+                .map(|p| p.display().to_string())
+                .collect();
             return Err(ServeError::DuplicateRelease {
                 dataset: key.0,
                 epoch: key.1,
+                paths,
             });
         }
         shard.insert(key, Registered { entry, source });
@@ -354,28 +367,31 @@ impl ReleaseStore {
         self.len() == 0
     }
 
-    /// Scans a directory of artifact JSON documents (one sealed
-    /// [`ReleaseArtifact`] per `.json` file, any other entries ignored)
-    /// into a store. Every document is parsed and **validated** during
-    /// the scan — so a corrupt file, a foreign schema version or a
-    /// duplicate `(dataset, epoch)` is a typed error naming the file,
-    /// not a latent failure — but the per-level index tables are only
-    /// built on first access ([`ReleaseStore::insert_sealed`]). Files
-    /// are visited in name order, so which of two duplicate files is
-    /// reported is deterministic.
+    /// Scans a directory of artifact files (one sealed
+    /// [`ReleaseArtifact`] per `.json` document or `.gda` binary
+    /// container, any other entries ignored) into a store. Every file
+    /// is parsed and **validated** during the scan — so a corrupt
+    /// file, a foreign schema version or a duplicate
+    /// `(dataset, epoch)` is a typed error naming the file, not a
+    /// latent failure — but the per-level index tables are only built
+    /// on first access ([`ReleaseStore::insert_sealed`]). Files are
+    /// visited in name order, so which of two duplicate files is
+    /// reported is deterministic; in particular, the same epoch
+    /// present as both formats is a [`ServeError::DuplicateRelease`]
+    /// naming both files, never a silent last-scan-wins.
     ///
     /// # Errors
     ///
-    /// * [`ServeError::EmptyDirectory`] when no `.json` files are
+    /// * [`ServeError::EmptyDirectory`] when no artifact files are
     ///   found.
     /// * [`ServeError::SchemaVersion`] for a manifest this build does
     ///   not read.
     /// * [`ServeError::DuplicateRelease`] when two files carry the same
-    ///   `(dataset, epoch)`.
-    /// * [`ServeError::Core`] wrapping `GraphError::Json` for malformed
-    ///   documents, `GraphError::Io` for filesystem failures, and
-    ///   `CoreError::Artifact` for payloads that fail sealing
-    ///   re-validation.
+    ///   `(dataset, epoch)` — both paths are named.
+    /// * [`ServeError::Core`] wrapping `GraphError::Json` /
+    ///   `GraphError::Binary` for malformed files, `GraphError::Io`
+    ///   for filesystem failures, and `CoreError::Artifact` for
+    ///   payloads that fail sealing re-validation.
     pub fn open_dir(dir: impl AsRef<Path>) -> Result<Self> {
         let dir = dir.as_ref();
         let mut candidates = Vec::new();
@@ -496,11 +512,17 @@ impl ReleaseStore {
                             epoch,
                             path: rendered,
                         }),
-                        Err(ServeError::DuplicateRelease { dataset, epoch }) => {
+                        Err(ServeError::DuplicateRelease {
+                            dataset,
+                            epoch,
+                            paths,
+                        }) => {
+                            let existing = paths.into_iter().find(|p| p != &rendered);
                             outcomes.push(FileOutcome::AlreadyRegistered {
                                 dataset,
                                 epoch,
                                 path: rendered,
+                                existing,
                             })
                         }
                         Err(other) => return Err(other),
@@ -716,8 +738,8 @@ fn classify_stray(path: &Path) -> Option<&'static str> {
         return Some("editor backup");
     }
     match path.extension().and_then(|e| e.to_str()) {
-        Some("json") | Some("tmp") => None,
-        _ => Some("not a .json artifact"),
+        Some("json") | Some("gda") | Some("tmp") => None,
+        _ => Some("not an artifact file (.json/.gda)"),
     }
 }
 
@@ -727,22 +749,38 @@ fn is_pending_tmp(path: &Path) -> bool {
     path.extension().is_some_and(|ext| ext == "tmp")
 }
 
-/// Parses and fully validates one artifact file: JSON shape, schema
-/// version range, sealing re-validation, checksum verification.
+/// Parses and fully validates one artifact file, dispatching on the
+/// extension ([`ArtifactFormat::from_path`]): document/container
+/// shape, schema version range (with file context), sealing
+/// re-validation, checksum verification. The binary route verifies the
+/// container's byte digest before decoding a single field; the JSON
+/// route re-hashes the canonical payload against the manifest digest.
 fn parse_artifact(path: &Path) -> Result<ReleaseArtifact> {
-    let file = File::open(path)?;
-    let payload: ArtifactPayload = graph_io::read_json(BufReader::new(file))?;
-    let manifest = payload.manifest();
-    if !(MIN_ARTIFACT_SCHEMA_VERSION..=ARTIFACT_SCHEMA_VERSION)
-        .contains(&manifest.schema_version)
-    {
-        return Err(ServeError::SchemaVersion {
-            path: path.display().to_string(),
-            found: manifest.schema_version,
-            supported: ARTIFACT_SCHEMA_VERSION,
-        });
+    let schema_check = |schema_version: u32| {
+        if (MIN_ARTIFACT_SCHEMA_VERSION..=ARTIFACT_SCHEMA_VERSION).contains(&schema_version) {
+            Ok(())
+        } else {
+            Err(ServeError::SchemaVersion {
+                path: path.display().to_string(),
+                found: schema_version,
+                supported: ARTIFACT_SCHEMA_VERSION,
+            })
+        }
+    };
+    match ArtifactFormat::from_path(path) {
+        Some(ArtifactFormat::Binary) => {
+            let bytes = std::fs::read(path)?;
+            let decoded = codec::decode(&bytes).map_err(ServeError::Core)?;
+            schema_check(decoded.manifest().schema_version)?;
+            decoded.seal().map_err(ServeError::Core)
+        }
+        _ => {
+            let file = File::open(path)?;
+            let payload: ArtifactPayload = graph_io::read_json(BufReader::new(file))?;
+            schema_check(payload.manifest().schema_version)?;
+            ReleaseArtifact::try_from(payload).map_err(ServeError::Core)
+        }
     }
-    ReleaseArtifact::try_from(payload).map_err(ServeError::Core)
 }
 
 /// A cloneable, thread-shareable handle to a [`ReleaseStore`] — the

@@ -221,7 +221,7 @@ fn strict_open_dir_skips_strays_and_report_notes_them() {
     assert!(notes.contains(&"directory"), "{notes:?}");
     assert!(notes.contains(&"hidden file"), "{notes:?}");
     assert!(notes.contains(&"editor backup"), "{notes:?}");
-    assert!(notes.contains(&"not a .json artifact"), "{notes:?}");
+    assert!(notes.contains(&"not an artifact file (.json/.gda)"), "{notes:?}");
     fs::remove_dir_all(&dir).unwrap();
 }
 
