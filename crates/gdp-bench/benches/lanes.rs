@@ -1,0 +1,113 @@
+//! Lane-vs-scalar pairs for the three ISSUE-9 hot kernels.
+//!
+//! Each pair benches the chunked lane path next to the pinned scalar
+//! fallback it must stay bit-identical to (the equivalence itself is
+//! enforced by the property suites; here we only watch the ratio):
+//!
+//! * `subset_gather_*` — the `IndexedRelease::estimate` premass gather
+//!   over a >65 536-node side, where the scalar fallback still pays the
+//!   per-call `to_vec` + `sort_unstable` duplicate check,
+//! * `pair_count_fold_*` — the `PairCounts` per-row fold emission
+//!   (bulk column copy + chunked count gather vs per-cell pushes),
+//! * `laplace_slice_*` — batched Laplace noise addition (pre-drawn
+//!   uniform blocks + chunked inverse-CDF transform vs a per-element
+//!   draw loop).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use gdp_mechanisms::sampling;
+use gdp_serve::kernels::{gather_subset, gather_subset_scalar};
+
+fn bench_subset_gather(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    // Just past the boundary where the scalar fallback switches from
+    // the stack bitmap to the alloc + sort duplicate check.
+    let n = 70_000u32;
+    let groups = 64u32;
+    let group_of: Vec<u32> = (0..n).map(|_| rng.gen_range(0..groups)).collect();
+    let premass: Vec<f64> = (0..groups).map(|_| rng.gen_range(-1e6..1e6)).collect();
+    let mut nodes: Vec<u32> = Vec::with_capacity(512);
+    while nodes.len() < 512 {
+        let node = rng.gen_range(0..n);
+        if !nodes.contains(&node) {
+            nodes.push(node);
+        }
+    }
+
+    c.bench_function("subset_gather_lane_512_of_70k", |b| {
+        b.iter(|| gather_subset(black_box(&group_of), black_box(&premass), black_box(&nodes)))
+    });
+    c.bench_function("subset_gather_scalar_512_of_70k", |b| {
+        b.iter(|| {
+            gather_subset_scalar(black_box(&group_of), black_box(&premass), black_box(&nodes))
+        })
+    });
+}
+
+fn bench_pair_count_fold(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let rows = 2_000usize;
+    let entries = 100_000usize;
+    let right_blocks = 2_000u32;
+    let mut offsets = vec![0usize; rows + 1];
+    for _ in 0..entries {
+        offsets[rng.gen_range(0..rows as u32) as usize + 1] += 1;
+    }
+    for i in 0..rows {
+        offsets[i + 1] += offsets[i];
+    }
+    let bucket: Vec<u32> = (0..entries)
+        .map(|_| rng.gen_range(0..right_blocks))
+        .collect();
+
+    c.bench_function("pair_count_fold_lane_100k", |b| {
+        b.iter(|| {
+            gdp_graph::fold_rows_for_bench(
+                black_box(&bucket),
+                black_box(&offsets),
+                black_box(right_blocks),
+            )
+        })
+    });
+    c.bench_function("pair_count_fold_scalar_100k", |b| {
+        b.iter(|| {
+            gdp_graph::fold_rows_scalar_for_bench(
+                black_box(&bucket),
+                black_box(&offsets),
+                black_box(right_blocks),
+            )
+        })
+    });
+}
+
+fn bench_laplace_slice(c: &mut Criterion) {
+    let scale = 4.0f64;
+    let mut values = vec![100.0f64; 100_000];
+
+    c.bench_function("laplace_slice_lane_100k", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(9);
+            sampling::laplace_add_into(&mut rng, black_box(scale), black_box(&mut values));
+        })
+    });
+    c.bench_function("laplace_slice_scalar_100k", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(9);
+            for v in values.iter_mut() {
+                *v += sampling::laplace(&mut rng, black_box(scale));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_subset_gather, bench_pair_count_fold, bench_laplace_slice
+);
+criterion_main!(benches);

@@ -36,12 +36,29 @@
 //! estimator rebuilds or release rescans, nor quietly turn the binary
 //! load path back into JSON-shaped parsing.
 //!
+//! ISSUE 9 adds the lane-kernel and threading instrumentation:
+//! `--threads N` pins the worker-pool width for the whole run (recorded
+//! in the report next to the host core count), the `lane_kernels`
+//! entries time each chunked lane kernel against its pinned scalar
+//! fallback (asserting bitwise-equal results every rep), and the
+//! `scaling` section re-times the datagen / disclose / answer phases at
+//! 1/2/4/8 pool threads with the outputs pinned bit-identical across
+//! thread counts. `--assert-gather-lane-over RATIO` makes the run fail
+//! when the lane subset-gather kernel stops beating the scalar path by
+//! the given factor, and `--assert-scaling-disclose-2t-over RATIO`
+//! requires the 2-thread disclose phase to show real parallel speedup
+//! (skipped with a notice on single-core hosts, where no speedup is
+//! physically available).
+//!
 //! ```text
 //! bench_pipeline [--out FILE] [--seed N] [--max-edges N] [--reps N]
+//!                [--threads N]
 //!                [--assert-disclose-100k-under MS]
 //!                [--assert-datagen-1m-under MS]
 //!                [--assert-answer-qps-over QPS]
 //!                [--assert-binary-load-1m-under MS]
+//!                [--assert-gather-lane-over RATIO]
+//!                [--assert-scaling-disclose-2t-over RATIO]
 //! ```
 
 use std::time::Instant;
@@ -157,11 +174,51 @@ struct ReaderThroughput {
     aggregate_qps: f64,
 }
 
+/// One lane-vs-scalar kernel pair (ISSUE 9): the chunked hot-kernel
+/// path timed against its pinned scalar fallback on identical inputs,
+/// outputs asserted bit-identical on every rep.
+#[derive(Debug, Serialize)]
+struct LaneKernelComparison {
+    kernel: String,
+    work_items: u64,
+    scalar_ms: f64,
+    lane_ms: f64,
+    speedup: f64,
+}
+
+/// One thread count's row of the multi-thread scaling story: the three
+/// rayon-parallel phases re-timed with the pool sized to `threads`,
+/// with speedups relative to the single-thread row. Results at every
+/// thread count are asserted bit-identical to the single-thread run
+/// (determinism is a workspace contract, see `docs/determinism.md`).
+#[derive(Debug, Serialize)]
+struct ScalingEntry {
+    threads: usize,
+    datagen_1m_ms: f64,
+    disclose_1m_ms: f64,
+    answer_100k_ms: f64,
+    datagen_speedup: f64,
+    disclose_speedup: f64,
+    answer_speedup: f64,
+}
+
+/// The `scaling` section of the report. `host_cores` is what
+/// `std::thread::available_parallelism()` reported — on a single-core
+/// host every speedup sits near 1.0 and the section mainly proves
+/// bit-stability across pool sizes; multi-core readers (and the CI
+/// runner) see the actual scaling.
+#[derive(Debug, Serialize)]
+struct ScalingReport {
+    host_cores: usize,
+    entries: Vec<ScalingEntry>,
+}
+
 #[derive(Debug, Serialize)]
 struct Report {
     generated_by: String,
     seed: u64,
     threads: usize,
+    host_cores: usize,
     scorer_100k: ScorerComparison,
     pair_counts_1m: PairCountsComparison,
     datagen_1m: Vec<DatagenComparison>,
@@ -170,7 +227,13 @@ struct Report {
     /// `None` only when `--max-edges` clips the 100k scale it is
     /// measured at.
     reader_throughput: Option<ReaderThroughput>,
+    lane_kernels: Vec<LaneKernelComparison>,
+    scaling: ScalingReport,
     phases: Vec<PhaseTimings>,
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 fn time_best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
@@ -787,15 +850,242 @@ fn pipeline_at(
     (timings, qps, readers)
 }
 
+/// The ISSUE-9 per-kernel measurements: each restructured hot kernel
+/// timed against its pinned scalar fallback on identical inputs at the
+/// 100k-edge working scale, outputs asserted bit-identical every rep.
+fn lane_kernel_comparison(seed: u64, reps: usize) -> Vec<LaneKernelComparison> {
+    use gdp_serve::kernels::{gather_subset, gather_subset_scalar};
+    let mut rng = StdRng::seed_from_u64(seed ^ 9);
+    let mut out = Vec::new();
+
+    // Subset-count gather on a side just past the 65 536-node boundary,
+    // where the scalar fallback's duplicate check is the old per-call
+    // `to_vec` + `sort_unstable` walk that ISSUE 9 replaced with the
+    // reusable lazily-cleared scratch bitmap. 1000 subsets of 512
+    // distinct nodes each — large enough that the sort the lane path
+    // hoisted out dominates the scalar cost, small enough that the
+    // lazy clear stays proportional to the subset.
+    let n = 70_000u32;
+    let groups = 64u32;
+    let group_of: Vec<u32> = (0..n).map(|_| rng.gen_range(0..groups)).collect();
+    let premass: Vec<f64> = (0..groups).map(|_| rng.gen_range(-1e6..1e6)).collect();
+    let subsets = distinct_subsets(&mut rng, n, 1000, 512);
+    type GatherFn = fn(&[u32], &[f64], &[u32]) -> Option<f64>;
+    let run = |gather: GatherFn| {
+        let mut acc = 0.0f64;
+        for nodes in &subsets {
+            acc += gather(&group_of, &premass, nodes).expect("clean subset");
+        }
+        acc
+    };
+    let (scalar_ms, scalar_acc) = time_best_of(reps * 20, || run(gather_subset_scalar));
+    let (lane_ms, lane_acc) = time_best_of(reps * 20, || run(gather_subset));
+    assert_eq!(
+        lane_acc.to_bits(),
+        scalar_acc.to_bits(),
+        "lane gather must be bit-identical to the scalar fallback"
+    );
+    out.push(LaneKernelComparison {
+        kernel: "subset_gather".to_string(),
+        work_items: (subsets.len() * 512) as u64,
+        scalar_ms,
+        lane_ms,
+        speedup: scalar_ms / lane_ms,
+    });
+
+    // Pair-count row fold: a bucketed edge set at the 100k-edge scale
+    // (2000 rows, 100k entries) through the chunked vs per-cell
+    // emission paths.
+    let rows = 2_000usize;
+    let entries = 100_000usize;
+    let right_blocks = 2_000u32;
+    let mut offsets = vec![0usize; rows + 1];
+    for _ in 0..entries {
+        offsets[rng.gen_range(0..rows as u32) as usize + 1] += 1;
+    }
+    for i in 0..rows {
+        offsets[i + 1] += offsets[i];
+    }
+    let bucket: Vec<u32> = (0..entries).map(|_| rng.gen_range(0..right_blocks)).collect();
+    let (fold_scalar_ms, cells_scalar) = time_best_of(reps * 5, || {
+        gdp_graph::fold_rows_scalar_for_bench(&bucket, &offsets, right_blocks)
+    });
+    let (fold_lane_ms, cells_lane) = time_best_of(reps * 5, || {
+        gdp_graph::fold_rows_for_bench(&bucket, &offsets, right_blocks)
+    });
+    assert_eq!(cells_lane, cells_scalar, "fold paths must agree");
+    out.push(LaneKernelComparison {
+        kernel: "pair_count_fold".to_string(),
+        work_items: entries as u64,
+        scalar_ms: fold_scalar_ms,
+        lane_ms: fold_lane_ms,
+        speedup: fold_scalar_ms / fold_lane_ms,
+    });
+
+    // Batched Laplace: the chunked pre-drawn-uniform transform behind
+    // `randomize_slice` vs the per-element draw loop it replaced (both
+    // consume the identical RNG stream — asserted bitwise).
+    let len = 100_000usize;
+    let scale = 4.0;
+    let base: Vec<f64> = (0..len).map(|i| i as f64).collect();
+    let (lap_scalar_ms, scalar_vals) = time_best_of(reps * 5, || {
+        let mut vals = base.clone();
+        let mut r = StdRng::seed_from_u64(seed ^ 10);
+        for v in &mut vals {
+            *v += gdp_mechanisms::sampling::laplace(&mut r, scale);
+        }
+        vals
+    });
+    let (lap_lane_ms, lane_vals) = time_best_of(reps * 5, || {
+        let mut vals = base.clone();
+        let mut r = StdRng::seed_from_u64(seed ^ 10);
+        gdp_mechanisms::sampling::laplace_add_into(&mut r, scale, &mut vals);
+        vals
+    });
+    for (a, b) in scalar_vals.iter().zip(&lane_vals) {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "batched Laplace must be bit-identical to the draw loop"
+        );
+    }
+    out.push(LaneKernelComparison {
+        kernel: "laplace_randomize_slice".to_string(),
+        work_items: len as u64,
+        scalar_ms: lap_scalar_ms,
+        lane_ms: lap_lane_ms,
+        speedup: lap_scalar_ms / lap_lane_ms,
+    });
+
+    out
+}
+
+/// The ISSUE-9 multi-thread scaling sweep: the three rayon-parallel
+/// phases (streaming datagen at 1M draws, disclosure at 1M edges,
+/// batch answering at the 100k scale) re-timed at 1/2/4/8 pool
+/// threads, outputs asserted bit-identical to the single-thread run.
+/// Restores the entering `RAYON_NUM_THREADS` before returning.
+fn scaling_report(seed: u64, reps: usize) -> ScalingReport {
+    let entering = std::env::var("RAYON_NUM_THREADS").ok();
+
+    // Shared fixtures, built once outside the timed loops.
+    let edges_1m = 1_000_000usize;
+    let side_1m = ((edges_1m as f64).sqrt() * 6.3) as u32;
+    let model_1m = GraphModel::ErdosRenyi {
+        left: side_1m,
+        right: side_1m,
+        edges: edges_1m,
+    };
+    let graph_1m = model_1m.generate(&mut StdRng::seed_from_u64(seed));
+    let hierarchy_1m = Specializer::new(
+        SpecializationConfig::paper_default(8).expect("rounds > 0"),
+    )
+    .specialize(&graph_1m, &mut StdRng::seed_from_u64(seed ^ 1))
+    .expect("specialize succeeds");
+    let discloser = MultiLevelDiscloser::new(
+        DisclosureConfig::count_only(0.5, 1e-6)
+            .expect("valid budget")
+            .with_queries(vec![Query::TotalAssociations, Query::PerGroupCounts]),
+    );
+
+    let edges_100k = 100_000usize;
+    let side_100k = ((edges_100k as f64).sqrt() * 6.3) as u32;
+    let graph_100k = GraphModel::ErdosRenyi {
+        left: side_100k,
+        right: side_100k,
+        edges: edges_100k,
+    }
+    .generate(&mut StdRng::seed_from_u64(seed));
+    let hierarchy_100k = Specializer::new(
+        SpecializationConfig::paper_default(8).expect("rounds > 0"),
+    )
+    .specialize(&graph_100k, &mut StdRng::seed_from_u64(seed ^ 1))
+    .expect("specialize succeeds");
+    let release_100k = discloser
+        .disclose(&graph_100k, &hierarchy_100k, &mut StdRng::seed_from_u64(seed ^ 2))
+        .expect("disclose succeeds");
+    let artifact = ReleaseArtifact::seal("bench-scaling", 1, hierarchy_100k, release_100k)
+        .expect("artifact seals");
+    let indexed = IndexedRelease::new(artifact).expect("artifact indexes");
+    let subsets = distinct_subsets(
+        &mut StdRng::seed_from_u64(seed ^ 3),
+        graph_100k.left_count(),
+        1000,
+        64,
+    );
+
+    let mut entries: Vec<ScalingEntry> = Vec::new();
+    let mut baseline: Option<(f64, f64, f64)> = None;
+    let mut pinned: Option<(gdp_graph::BipartiteGraph, gdp_core::MultiLevelRelease, Vec<f64>)> =
+        None;
+    for threads in [1usize, 2, 4, 8] {
+        // The vendored pool sizes itself from this env var on every
+        // parallel call, so re-pointing it re-sizes the phases below.
+        std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+
+        let (datagen_ms, graph) = time_best_of(reps, || {
+            model_1m.generate(&mut StdRng::seed_from_u64(seed))
+        });
+        let (disclose_ms, release) = time_best_of(reps, || {
+            discloser
+                .disclose(&graph_1m, &hierarchy_1m, &mut StdRng::seed_from_u64(seed ^ 2))
+                .expect("disclose succeeds")
+        });
+        let (answer_ms, answers) = time_best_of(reps, || {
+            indexed
+                .estimate_batch(1, Side::Left, &subsets)
+                .expect("batch answers")
+        });
+
+        match &pinned {
+            None => pinned = Some((graph, release, answers)),
+            Some((g1, r1, a1)) => {
+                assert_eq!(&graph, g1, "datagen must be bit-stable across thread counts");
+                assert_eq!(&release, r1, "disclosure must be bit-stable across thread counts");
+                for (a, b) in a1.iter().zip(&answers) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "answering must be bit-stable across thread counts"
+                    );
+                }
+            }
+        }
+
+        let (d1, x1, a1) = *baseline.get_or_insert((datagen_ms, disclose_ms, answer_ms));
+        entries.push(ScalingEntry {
+            threads,
+            datagen_1m_ms: datagen_ms,
+            disclose_1m_ms: disclose_ms,
+            answer_100k_ms: answer_ms,
+            datagen_speedup: d1 / datagen_ms,
+            disclose_speedup: x1 / disclose_ms,
+            answer_speedup: a1 / answer_ms,
+        });
+    }
+
+    match entering {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    ScalingReport {
+        host_cores: host_cores(),
+        entries,
+    }
+}
+
 fn main() {
     let mut out_path = "BENCH_pipeline.json".to_string();
     let mut seed = 42u64;
     let mut max_edges = 1_000_000usize;
     let mut reps = 3usize;
+    let mut threads: Option<usize> = None;
     let mut disclose_100k_ceiling_ms: Option<f64> = None;
     let mut datagen_1m_ceiling_ms: Option<f64> = None;
     let mut answer_qps_floor: Option<f64> = None;
     let mut binary_load_1m_ceiling_ms: Option<f64> = None;
+    let mut gather_lane_floor: Option<f64> = None;
+    let mut scaling_disclose_2t_floor: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -817,6 +1107,14 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--reps needs a number")
+            }
+            "--threads" => {
+                threads = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &usize| n >= 1)
+                        .expect("--threads needs a positive number"),
+                )
             }
             "--assert-disclose-100k-under" => {
                 disclose_100k_ceiling_ms = Some(
@@ -846,11 +1144,26 @@ fn main() {
                         .expect("--assert-binary-load-1m-under needs a number (ms)"),
                 )
             }
+            "--assert-gather-lane-over" => {
+                gather_lane_floor = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--assert-gather-lane-over needs a number (speedup ratio)"),
+                )
+            }
+            "--assert-scaling-disclose-2t-over" => {
+                scaling_disclose_2t_floor = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--assert-scaling-disclose-2t-over needs a number (speedup ratio)"),
+                )
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "flags: [--out FILE] [--seed N] [--max-edges N] [--reps N] \
+                    "flags: [--out FILE] [--seed N] [--max-edges N] [--reps N] [--threads N] \
                      [--assert-disclose-100k-under MS] [--assert-datagen-1m-under MS] \
-                     [--assert-answer-qps-over QPS] [--assert-binary-load-1m-under MS]"
+                     [--assert-answer-qps-over QPS] [--assert-binary-load-1m-under MS] \
+                     [--assert-gather-lane-over RATIO] [--assert-scaling-disclose-2t-over RATIO]"
                 );
                 return;
             }
@@ -859,6 +1172,14 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    // Size the rayon pool before any parallel call: the vendored pool
+    // reads this env var per call, so one write here governs every
+    // phase below (the scaling sweep re-points it per row and restores
+    // this value afterwards).
+    if let Some(n) = threads {
+        std::env::set_var("RAYON_NUM_THREADS", n.to_string());
     }
 
     eprintln!("measuring cut-scorer comparison (100k edges, 64 candidates)…");
@@ -946,6 +1267,32 @@ fn main() {
         answer_qps.extend(qps);
     }
 
+    eprintln!("measuring lane kernels vs pinned scalar fallbacks…");
+    let lane_kernels = lane_kernel_comparison(seed, reps);
+    for k in &lane_kernels {
+        eprintln!(
+            "  {:<24} scalar {:.3} ms  lane {:.3} ms  speedup {:.2}×",
+            k.kernel, k.scalar_ms, k.lane_ms, k.speedup
+        );
+    }
+
+    eprintln!("measuring multi-thread scaling (1/2/4/8 pool threads)…");
+    let scaling = scaling_report(seed, reps.min(2));
+    eprintln!("  host cores: {}", scaling.host_cores);
+    for e in &scaling.entries {
+        eprintln!(
+            "  {} thread(s): datagen {:.1} ms ({:.2}×) | disclose {:.1} ms ({:.2}×) | \
+             answer {:.3} ms ({:.2}×)",
+            e.threads,
+            e.datagen_1m_ms,
+            e.datagen_speedup,
+            e.disclose_1m_ms,
+            e.disclose_speedup,
+            e.answer_100k_ms,
+            e.answer_speedup
+        );
+    }
+
     let disclose_100k = phases
         .iter()
         .find(|p| (90_000..=110_000).contains(&p.edges))
@@ -960,12 +1307,15 @@ fn main() {
         generated_by: "gdp-bench bench_pipeline".to_string(),
         seed,
         threads: rayon::current_num_threads(),
+        host_cores: host_cores(),
         scorer_100k: scorer,
         pair_counts_1m: pair_counts,
         datagen_1m,
         artifact_io_1m,
         answer_qps,
         reader_throughput,
+        lane_kernels,
+        scaling,
         phases,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -1064,5 +1414,65 @@ fn main() {
         eprintln!(
             "binary artifact load+index at 1M edges: {ms:.1} ms ≤ ceiling {ceiling:.1} ms"
         );
+    }
+
+    // Regression gate for CI: the chunked lane subset-gather kernel must
+    // keep beating its pinned scalar fallback by the given factor — a
+    // change that quietly de-vectorizes the gather (or reintroduces the
+    // per-call bitmap zeroing / sort the lane path hoisted out) shows up
+    // here as a collapsed ratio, independent of runner speed.
+    if let Some(floor) = gather_lane_floor {
+        let gather = report
+            .lane_kernels
+            .iter()
+            .find(|k| k.kernel == "subset_gather")
+            .expect("lane_kernels must include the subset_gather entry");
+        if gather.speedup < floor {
+            eprintln!(
+                "FAIL: lane subset gather at {:.2}× over scalar (floor {floor:.2}×; \
+                 scalar {:.3} ms, lane {:.3} ms)",
+                gather.speedup, gather.scalar_ms, gather.lane_ms
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "lane subset gather: {:.2}× over scalar ≥ floor {floor:.2}×",
+            gather.speedup
+        );
+    }
+
+    // Regression gate for CI: disclosure at 2 pool threads must show
+    // real parallel speedup over the same run at 1 thread. On a
+    // single-core host no speedup is physically available, so the gate
+    // skips (with a notice) rather than encoding the runner's shape.
+    if let Some(floor) = scaling_disclose_2t_floor {
+        if report.scaling.host_cores < 2 {
+            eprintln!(
+                "skipping --assert-scaling-disclose-2t-over: single-core host \
+                 (host_cores = {})",
+                report.scaling.host_cores
+            );
+        } else {
+            let row = report
+                .scaling
+                .entries
+                .iter()
+                .find(|e| e.threads == 2)
+                .expect("scaling report must include the 2-thread row");
+            if row.disclose_speedup < floor {
+                eprintln!(
+                    "FAIL: disclose at 2 threads is {:.2}× over 1 thread \
+                     (floor {floor:.2}×; 1t {:.1} ms, 2t {:.1} ms)",
+                    row.disclose_speedup,
+                    row.disclose_1m_ms * row.disclose_speedup,
+                    row.disclose_1m_ms
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "disclose scaling at 2 threads: {:.2}× over 1 thread ≥ floor {floor:.2}×",
+                row.disclose_speedup
+            );
+        }
     }
 }

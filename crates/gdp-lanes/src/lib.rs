@@ -1,0 +1,408 @@
+//! Portable fixed-width lane abstraction for the workspace's hot kernels.
+//!
+//! The disclosure pipeline's inner loops — the subset-count premass
+//! gather in `gdp-serve`, the pair-count edge fold in `gdp-graph`, the
+//! batched noise transforms in `gdp-mechanisms` — are memory-bound
+//! sweeps whose scalar forms interleave bounds checks, bitmap updates
+//! and dependent loads in one loop body, which stops the compiler from
+//! vectorizing any of it. This crate provides the restructuring tool:
+//! **fixed-width lane types implemented as plain arrays** ([`U32x8`],
+//! [`F64x8`], [`F64x4`]) plus chunked kernels built on them, written so
+//! the independent per-lane work (loads, compares, elementwise
+//! transforms) sits in straight-line `[T; LANES]` loops the compiler
+//! can autovectorize on any target — no intrinsics, no `unsafe`, no
+//! target features. The style follows the portable lane-width backends
+//! of SIMD field-arithmetic crates: a lane type is just an array with
+//! elementwise ops, and the scalar loop remains the pinned fallback.
+//!
+//! # The bit-pinned summation contract
+//!
+//! Floating-point summation **order** is part of this workspace's
+//! released-answer contract: a subset estimate is defined as a fold in
+//! subset order, and artifacts sealed yesterday must serve the same
+//! bits tomorrow. Lane kernels therefore never reorder `f64` additions.
+//! Where a chunk of lanes feeds an accumulator, the loads are lane-wise
+//! (independent, vectorizable) and the reduction is **one ordered
+//! horizontal fold** ([`F64x8::fold_ordered`]) — exactly the scalar
+//! add sequence, so every kernel here is bit-identical to its scalar
+//! fallback by construction, and property tests in this crate and at
+//! every call site pin it.
+//!
+//! Every chunked kernel ships next to its scalar form
+//! (`*_scalar`); call sites keep using the scalar form as the
+//! equivalence baseline and criterion comparison point, the same
+//! convention as `cut_utilities_naive` and `PairCounts::compute_naive`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Lane count of the `u32`-shaped lane type ([`U32x8`]): 8 × 32 bits,
+/// one 256-bit vector register on common targets.
+pub const U32_LANES: usize = 8;
+
+/// Lane count of the wide `f64` lane type ([`F64x8`]), matched to
+/// [`U32_LANES`] so a `u32` index chunk drives one `f64` load chunk.
+pub const F64_LANES_WIDE: usize = 8;
+
+/// Lane count of the narrow `f64` lane type ([`F64x4`]): 4 × 64 bits,
+/// one 256-bit vector register on common targets.
+pub const F64_LANES: usize = 4;
+
+/// Eight `u32` lanes as a plain array — index chunks, bound masks and
+/// `u32`→`u32` gathers.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct U32x8(pub [u32; U32_LANES]);
+
+impl U32x8 {
+    /// All lanes set to `x`.
+    #[inline]
+    pub fn splat(x: u32) -> Self {
+        Self([x; U32_LANES])
+    }
+
+    /// Loads the first [`U32_LANES`] elements of `slice`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is shorter than [`U32_LANES`].
+    #[inline]
+    pub fn load(slice: &[u32]) -> Self {
+        Self(slice[..U32_LANES].try_into().expect("lane-width slice"))
+    }
+
+    /// Whether any lane is `>= bound` — a branchless lane-wise compare
+    /// folded to one flag (the hoisted bounds check of a gather chunk).
+    #[inline]
+    pub fn any_ge(self, bound: u32) -> bool {
+        let mut mask = false;
+        for x in self.0 {
+            mask |= x >= bound;
+        }
+        mask
+    }
+
+    /// Lane-wise gather `table[self[i]]` — eight independent loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any lane indexes out of `table`'s bounds; callers mask
+    /// with [`U32x8::any_ge`] first on untrusted indices.
+    #[inline]
+    pub fn gather(self, table: &[u32]) -> Self {
+        let mut out = [0u32; U32_LANES];
+        for (slot, i) in out.iter_mut().zip(self.0) {
+            *slot = table[i as usize];
+        }
+        Self(out)
+    }
+}
+
+/// Eight `f64` lanes as a plain array — the gather-side counterpart of
+/// [`U32x8`]: loads are lane-wise, reduction is ordered.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct F64x8(pub [f64; F64_LANES_WIDE]);
+
+impl F64x8 {
+    /// Lane-wise gather `values[idx[i]]` — eight independent loads with
+    /// no cross-lane dependency, the vectorizable half of a gather-sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any lane of `idx` indexes out of `values`' bounds.
+    #[inline]
+    pub fn gather(idx: U32x8, values: &[f64]) -> Self {
+        let mut out = [0.0f64; F64_LANES_WIDE];
+        for (slot, i) in out.iter_mut().zip(idx.0) {
+            *slot = values[i as usize];
+        }
+        Self(out)
+    }
+
+    /// **Ordered** horizontal reduction: folds the lanes into `acc`
+    /// strictly left to right — `(((acc + l0) + l1) + …) + l7` — the
+    /// exact add sequence a scalar loop performs, so chunked
+    /// accumulation stays bit-identical to the scalar fallback.
+    #[inline]
+    pub fn fold_ordered(self, acc: f64) -> f64 {
+        let mut total = acc;
+        for x in self.0 {
+            total += x;
+        }
+        total
+    }
+}
+
+/// Four `f64` lanes as a plain array — elementwise transform chunks
+/// (the batched noise-sampling shape).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct F64x4(pub [f64; F64_LANES]);
+
+impl F64x4 {
+    /// All lanes set to `x`.
+    #[inline]
+    pub fn splat(x: f64) -> Self {
+        Self([x; F64_LANES])
+    }
+
+    /// Loads the first [`F64_LANES`] elements of `slice`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is shorter than [`F64_LANES`].
+    #[inline]
+    pub fn load(slice: &[f64]) -> Self {
+        Self(slice[..F64_LANES].try_into().expect("lane-width slice"))
+    }
+
+    /// Applies `f` to every lane independently. The closure must be a
+    /// pure elementwise transform for the chunked/scalar equivalence to
+    /// hold (it trivially does: each output lane sees exactly the ops
+    /// the scalar loop would run on that element).
+    #[inline]
+    pub fn map(self, f: impl Fn(f64) -> f64) -> Self {
+        let mut out = self.0;
+        for slot in &mut out {
+            *slot = f(*slot);
+        }
+        Self(out)
+    }
+
+    /// Stores the lanes into the first [`F64_LANES`] slots of `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than [`F64_LANES`].
+    #[inline]
+    pub fn store(self, out: &mut [f64]) {
+        out[..F64_LANES].copy_from_slice(&self.0);
+    }
+}
+
+impl std::ops::Add for F64x4 {
+    type Output = Self;
+
+    /// Lane-wise `self + other`.
+    #[inline]
+    fn add(self, other: Self) -> Self {
+        let mut out = self.0;
+        for (slot, x) in out.iter_mut().zip(other.0) {
+            *slot += x;
+        }
+        Self(out)
+    }
+}
+
+/// Whether any element of `vals` is `>= bound`, chunked [`U32_LANES`]
+/// wide: each chunk is one branchless lane compare, so the loop carries
+/// a single well-predicted branch per chunk instead of one per element.
+///
+/// Equivalent to [`any_ge_scalar`] (pinned by property tests).
+#[inline]
+pub fn any_ge(vals: &[u32], bound: u32) -> bool {
+    let mut chunks = vals.chunks_exact(U32_LANES);
+    for chunk in chunks.by_ref() {
+        if U32x8::load(chunk).any_ge(bound) {
+            return true;
+        }
+    }
+    chunks.remainder().iter().any(|&v| v >= bound)
+}
+
+/// Scalar fallback of [`any_ge`].
+#[inline]
+pub fn any_ge_scalar(vals: &[u32], bound: u32) -> bool {
+    vals.iter().any(|&v| v >= bound)
+}
+
+/// The double-gather ordered sum at the heart of the subset-count
+/// estimate: `Σ values[map[idx[i]]]`, accumulated **strictly in index
+/// order**. Chunks of [`U32_LANES`] indices drive two lane-wise gather
+/// stages (independent loads the compiler can vectorize or at least
+/// fully pipeline — nothing in the chunk body branches), then one
+/// ordered horizontal fold per chunk preserves the scalar add sequence
+/// bit for bit.
+///
+/// Callers validate indices first ([`any_ge`] against `map.len()`);
+/// out-of-range indices panic exactly like the scalar form.
+///
+/// Bit-identical to [`gather_map_sum_scalar`] (pinned by property
+/// tests here and at the `gdp-serve` call site).
+///
+/// # Panics
+///
+/// Panics if any `idx[i]` is out of `map`'s bounds or any `map[idx[i]]`
+/// is out of `values`' bounds.
+#[inline]
+pub fn gather_map_sum(idx: &[u32], map: &[u32], values: &[f64]) -> f64 {
+    let mut total = 0.0f64;
+    let mut chunks = idx.chunks_exact(U32_LANES);
+    for chunk in chunks.by_ref() {
+        let groups = U32x8::load(chunk).gather(map);
+        total = F64x8::gather(groups, values).fold_ordered(total);
+    }
+    for &i in chunks.remainder() {
+        total += values[map[i as usize] as usize];
+    }
+    total
+}
+
+/// Scalar fallback of [`gather_map_sum`]: the plain pointer-chasing
+/// fold, kept as the equivalence baseline and criterion comparison.
+#[inline]
+pub fn gather_map_sum_scalar(idx: &[u32], map: &[u32], values: &[f64]) -> f64 {
+    let mut total = 0.0f64;
+    for &i in idx {
+        total += values[map[i as usize] as usize];
+    }
+    total
+}
+
+/// Chunked `u32` gather `out[i] = table[idx[i]]` — the
+/// structure-of-arrays scatter step of the pair-count edge sweep. Each
+/// chunk is two straight-line lane loops (load indices, gather) with no
+/// per-element branching.
+///
+/// Identical to [`gather_u32_scalar`] (pinned by property tests).
+///
+/// # Panics
+///
+/// Panics if any index is out of `table`'s bounds, or if `out` is
+/// shorter than `idx`.
+#[inline]
+pub fn gather_u32(table: &[u32], idx: &[u32], out: &mut [u32]) {
+    let mut chunks = idx.chunks_exact(U32_LANES);
+    let mut out_chunks = out.chunks_exact_mut(U32_LANES);
+    for (chunk, out_chunk) in chunks.by_ref().zip(out_chunks.by_ref()) {
+        let gathered = U32x8::load(chunk).gather(table);
+        out_chunk.copy_from_slice(&gathered.0);
+    }
+    for (&i, slot) in chunks.remainder().iter().zip(out_chunks.into_remainder()) {
+        *slot = table[i as usize];
+    }
+}
+
+/// Scalar fallback of [`gather_u32`].
+#[inline]
+pub fn gather_u32_scalar(table: &[u32], idx: &[u32], out: &mut [u32]) {
+    for (&i, slot) in idx.iter().zip(out.iter_mut()) {
+        *slot = table[i as usize];
+    }
+}
+
+/// Chunked `u64` gather `out[i] = table[idx[i]]` — the count-emission
+/// step of the pair-count row fold (touched columns index a dense
+/// accumulator). Chunks are [`U32_LANES`]/2 wide: four 64-bit lanes,
+/// one 256-bit register on common targets.
+///
+/// Identical to [`gather_u64_scalar`] (pinned by property tests).
+///
+/// # Panics
+///
+/// Panics if any index is out of `table`'s bounds, or if `out` is
+/// shorter than `idx`.
+#[inline]
+pub fn gather_u64(table: &[u64], idx: &[u32], out: &mut [u64]) {
+    const LANES: usize = U32_LANES / 2;
+    let mut chunks = idx.chunks_exact(LANES);
+    let mut out_chunks = out.chunks_exact_mut(LANES);
+    for (chunk, out_chunk) in chunks.by_ref().zip(out_chunks.by_ref()) {
+        let mut lanes = [0u64; LANES];
+        for (slot, &i) in lanes.iter_mut().zip(chunk) {
+            *slot = table[i as usize];
+        }
+        out_chunk.copy_from_slice(&lanes);
+    }
+    for (&i, slot) in chunks.remainder().iter().zip(out_chunks.into_remainder()) {
+        *slot = table[i as usize];
+    }
+}
+
+/// Scalar fallback of [`gather_u64`].
+#[inline]
+pub fn gather_u64_scalar(table: &[u64], idx: &[u32], out: &mut [u64]) {
+    for (&i, slot) in idx.iter().zip(out.iter_mut()) {
+        *slot = table[i as usize];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_widths_are_register_shaped() {
+        assert_eq!(U32_LANES, 8);
+        assert_eq!(F64_LANES_WIDE, 8);
+        assert_eq!(F64_LANES, 4);
+    }
+
+    #[test]
+    fn u32x8_mask_and_gather() {
+        let v = U32x8::load(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert!(!v.any_ge(8));
+        assert!(v.any_ge(7));
+        assert!(U32x8::splat(3).any_ge(3));
+        let table: Vec<u32> = (0..8).map(|i| 10 * i).collect();
+        assert_eq!(v.gather(&table).0, [0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn f64x8_fold_is_strictly_ordered() {
+        // A sum whose value depends on add order: big + tiny pairs.
+        let lanes = F64x8([1e16, 1.0, -1e16, 1.0, 1e16, 1.0, -1e16, 1.0]);
+        let mut scalar = 0.5;
+        for x in lanes.0 {
+            scalar += x;
+        }
+        assert_eq!(lanes.fold_ordered(0.5).to_bits(), scalar.to_bits());
+    }
+
+    #[test]
+    fn f64x4_elementwise_ops() {
+        let a = F64x4::load(&[1.0, -2.0, 3.0, -4.0]);
+        assert_eq!(a.map(f64::abs).0, [1.0, 2.0, 3.0, 4.0]);
+        assert_eq!((a + F64x4::splat(1.0)).0, [2.0, -1.0, 4.0, -3.0]);
+        let mut out = [0.0; 4];
+        a.store(&mut out);
+        assert_eq!(out, [1.0, -2.0, 3.0, -4.0]);
+    }
+
+    #[test]
+    fn kernels_handle_empty_and_remainder_lengths() {
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17] {
+            let idx: Vec<u32> = (0..len as u32).collect();
+            let map: Vec<u32> = (0..len as u32).map(|i| i % 4).collect();
+            let values = [0.25, -1.5, 3.0, 7.5];
+            if len > 0 {
+                assert_eq!(
+                    gather_map_sum(&idx, &map, &values).to_bits(),
+                    gather_map_sum_scalar(&idx, &map, &values).to_bits(),
+                    "len {len}"
+                );
+            } else {
+                assert_eq!(gather_map_sum(&idx, &map, &values), 0.0);
+            }
+            assert_eq!(any_ge(&idx, len as u32), any_ge_scalar(&idx, len as u32));
+            assert_eq!(any_ge(&idx, 1), any_ge_scalar(&idx, 1));
+            let table: Vec<u32> = (0..4u32).map(|i| 100 + i).collect();
+            let small_idx: Vec<u32> = (0..len as u32).map(|i| i % 4).collect();
+            let mut a = vec![0u32; len];
+            let mut b = vec![0u32; len];
+            gather_u32(&table, &small_idx, &mut a);
+            gather_u32_scalar(&table, &small_idx, &mut b);
+            assert_eq!(a, b, "len {len}");
+            let wide: Vec<u64> = (0..4u64).map(|i| u64::MAX - i).collect();
+            let mut wa = vec![0u64; len];
+            let mut wb = vec![0u64; len];
+            gather_u64(&wide, &small_idx, &mut wa);
+            gather_u64_scalar(&wide, &small_idx, &mut wb);
+            assert_eq!(wa, wb, "len {len}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn gather_panics_out_of_bounds_like_scalar() {
+        let _ = gather_map_sum(&[3], &[0, 0, 0], &[1.0]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Lane-vs-scalar equivalence property suite.
+//!
+//! Every chunked kernel must be **bit-identical** to its scalar
+//! fallback at every length — in particular at the remainder-heavy
+//! lengths `0`, `1`, `LANES-1`, `LANES`, `LANES+1` — and for the `f64`
+//! gather across the awkward corners of the float domain (subnormals,
+//! negative zero, mixed magnitudes), because summation order is part of
+//! the workspace's released-answer contract.
+
+use proptest::prelude::*;
+
+use gdp_lanes::{
+    any_ge, any_ge_scalar, gather_map_sum, gather_map_sum_scalar, gather_u32,
+    gather_u32_scalar, gather_u64, gather_u64_scalar, U32_LANES,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic value pool exercising subnormals, signed zeros, and
+/// magnitudes far enough apart that any add reordering changes bits.
+fn awkward_f64(rng: &mut StdRng) -> f64 {
+    match rng.gen_range(0u32..8) {
+        0 => f64::MIN_POSITIVE / 2.0,       // subnormal
+        1 => -f64::MIN_POSITIVE / 4.0,      // negative subnormal
+        2 => -0.0,
+        3 => 0.0,
+        4 => 1e16,
+        5 => -1e16,
+        6 => rng.gen_range(-1.0..1.0),
+        _ => rng.gen_range(-1e6..1e6),
+    }
+}
+
+/// Lengths that hit every chunk/remainder shape around the lane width.
+fn boundary_lengths() -> Vec<usize> {
+    vec![
+        0,
+        1,
+        U32_LANES - 1,
+        U32_LANES,
+        U32_LANES + 1,
+        2 * U32_LANES - 1,
+        2 * U32_LANES,
+        2 * U32_LANES + 1,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gather_map_sum_matches_scalar_bitwise(
+        len in 0usize..200,
+        groups in 1u32..50,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let idx: Vec<u32> = (0..len as u32).collect();
+        let map: Vec<u32> = (0..len).map(|_| rng.gen_range(0..groups)).collect();
+        let values: Vec<f64> = (0..groups).map(|_| awkward_f64(&mut rng)).collect();
+        let lane = gather_map_sum(&idx, &map, &values);
+        let scalar = gather_map_sum_scalar(&idx, &map, &values);
+        prop_assert_eq!(lane.to_bits(), scalar.to_bits());
+    }
+
+    #[test]
+    fn gather_map_sum_matches_scalar_at_lane_boundaries(
+        groups in 1u32..20,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for len in boundary_lengths() {
+            let idx: Vec<u32> = (0..len as u32).collect();
+            let map: Vec<u32> = (0..len).map(|_| rng.gen_range(0..groups)).collect();
+            let values: Vec<f64> = (0..groups).map(|_| awkward_f64(&mut rng)).collect();
+            let lane = gather_map_sum(&idx, &map, &values);
+            let scalar = gather_map_sum_scalar(&idx, &map, &values);
+            prop_assert_eq!(lane.to_bits(), scalar.to_bits());
+        }
+    }
+
+    #[test]
+    fn any_ge_matches_scalar(len in 0usize..100, bound in 0u32..150, seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vals: Vec<u32> = (0..len).map(|_| rng.gen_range(0..140)).collect();
+        prop_assert_eq!(any_ge(&vals, bound), any_ge_scalar(&vals, bound));
+    }
+
+    #[test]
+    fn gather_u32_matches_scalar(
+        len in 0usize..100,
+        table_len in 1u32..60,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let table: Vec<u32> = (0..table_len).map(|_| rng.gen()).collect();
+        let idx: Vec<u32> = (0..len).map(|_| rng.gen_range(0..table_len)).collect();
+        let mut lane = vec![0u32; len];
+        let mut scalar = vec![0u32; len];
+        gather_u32(&table, &idx, &mut lane);
+        gather_u32_scalar(&table, &idx, &mut scalar);
+        prop_assert_eq!(lane, scalar);
+    }
+
+    #[test]
+    fn gather_u64_matches_scalar(
+        len in 0usize..100,
+        table_len in 1u32..60,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let table: Vec<u64> = (0..table_len).map(|_| rng.gen()).collect();
+        let idx: Vec<u32> = (0..len).map(|_| rng.gen_range(0..table_len)).collect();
+        let mut lane = vec![0u64; len];
+        let mut scalar = vec![0u64; len];
+        gather_u64(&table, &idx, &mut lane);
+        gather_u64_scalar(&table, &idx, &mut scalar);
+        prop_assert_eq!(lane, scalar);
+    }
+}

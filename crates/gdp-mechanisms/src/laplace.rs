@@ -96,11 +96,12 @@ impl LaplaceMechanism {
     }
 
     /// Adds calibrated noise to every element of `values` in place — the
-    /// batched hot path the disclosure pipeline uses.
+    /// batched hot path the disclosure pipeline uses. Runs the chunked
+    /// pre-drawn-uniform transform ([`sampling::laplace_add_into`]),
+    /// bit-identical to a per-element `v += laplace(rng, scale)` loop
+    /// under the same seed.
     pub fn randomize_slice<R: Rng + ?Sized>(&self, values: &mut [f64], rng: &mut R) {
-        for v in values {
-            *v += sampling::laplace(rng, self.scale);
-        }
+        sampling::laplace_add_into(rng, self.scale, values);
     }
 }
 

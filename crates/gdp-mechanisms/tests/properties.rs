@@ -232,3 +232,86 @@ proptest! {
         prop_assert!((normal_cdf(x) - p).abs() < 1e-9);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Lane-kernel bit-identity: the chunked pre-drawn-uniform Laplace batch
+// samplers must reproduce the per-element draw loop exactly — same RNG
+// stream consumed, same bits out — at every length around the lane
+// width (0, 1, LANES−1, LANES, LANES+1) and the pre-draw block
+// boundary.
+// ---------------------------------------------------------------------------
+
+/// Lengths covering chunk remainders and the 256-slot pre-draw block
+/// edge of the batched samplers.
+fn batch_lengths() -> Vec<usize> {
+    let lanes = gdp_lanes::F64_LANES;
+    vec![0, 1, lanes - 1, lanes, lanes + 1, 255, 256, 257, 600]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn laplace_into_is_bit_identical_to_single_draws(
+        scale in 0.01f64..1e6,
+        seed in 0u64..100_000,
+    ) {
+        for len in batch_lengths() {
+            let mut batched = vec![0.0; len];
+            gdp_mechanisms::sampling::laplace_into(
+                &mut StdRng::seed_from_u64(seed), scale, &mut batched);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let singles: Vec<f64> =
+                (0..len).map(|_| gdp_mechanisms::sampling::laplace(&mut rng, scale)).collect();
+            let lane_bits: Vec<u64> = batched.iter().map(|x| x.to_bits()).collect();
+            let scalar_bits: Vec<u64> = singles.iter().map(|x| x.to_bits()).collect();
+            prop_assert_eq!(lane_bits, scalar_bits, "len {}", len);
+        }
+    }
+
+    #[test]
+    fn laplace_add_into_is_bit_identical_to_single_draw_loop(
+        scale in 0.01f64..1e6,
+        seed in 0u64..100_000,
+    ) {
+        for len in batch_lengths() {
+            let base: Vec<f64> = (0..len).map(|i| (i as f64) * 0.75 - 3.0).collect();
+            let mut batched = base.clone();
+            gdp_mechanisms::sampling::laplace_add_into(
+                &mut StdRng::seed_from_u64(seed), scale, &mut batched);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut scalar = base;
+            for v in &mut scalar {
+                *v += gdp_mechanisms::sampling::laplace(&mut rng, scale);
+            }
+            let lane_bits: Vec<u64> = batched.iter().map(|x| x.to_bits()).collect();
+            let scalar_bits: Vec<u64> = scalar.iter().map(|x| x.to_bits()).collect();
+            prop_assert_eq!(lane_bits, scalar_bits, "len {}", len);
+        }
+    }
+
+    /// The mechanism-level slice APIs ride the same kernels: pinned
+    /// against per-element mechanism calls.
+    #[test]
+    fn randomize_slice_is_bit_identical_to_randomize_loop(
+        e in eps_strategy(),
+        s in sens_strategy(),
+        seed in 0u64..100_000,
+    ) {
+        let mech = LaplaceMechanism::new(
+            Epsilon::new(e).unwrap(),
+            L1Sensitivity::new(s).unwrap(),
+        ).unwrap();
+        for len in batch_lengths() {
+            let base: Vec<f64> = (0..len).map(|i| i as f64).collect();
+            let mut sliced = base.clone();
+            mech.randomize_slice(&mut sliced, &mut StdRng::seed_from_u64(seed));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let looped: Vec<f64> =
+                base.iter().map(|&v| mech.randomize(v, &mut rng)).collect();
+            let lane_bits: Vec<u64> = sliced.iter().map(|x| x.to_bits()).collect();
+            let scalar_bits: Vec<u64> = looped.iter().map(|x| x.to_bits()).collect();
+            prop_assert_eq!(lane_bits, scalar_bits, "len {}", len);
+        }
+    }
+}

@@ -240,60 +240,31 @@ impl IndexedRelease {
     pub fn estimate(&self, level: usize, side: Side, nodes: &[u32]) -> Result<f64> {
         let indexed_side = self.indexed_side(level, side)?;
         let n = indexed_side.node_count();
-        // Hot path: a pure per-node gather in subset order — one
-        // node→group lookup and one premass load per queried node, the
-        // exact summation the scan path performs. Duplicate detection
-        // costs no hashing: a zero-initialized stack bitmap over the
-        // node id space for sides up to 65 536 nodes (8 KB on the
-        // stack, L1-resident — measured negligible next to the
-        // gather), a sorted scratch copy of the subset beyond that.
-        const BITMAP_WORDS: usize = 1024; // 65 536 node ids
-        let words = (n as usize).div_ceil(64);
-        let mut defective = false;
-        let mut total = 0.0;
-        if words <= BITMAP_WORDS {
-            let mut bitmap = [0u64; BITMAP_WORDS];
-            for &node in nodes {
-                if node >= n {
-                    defective = true;
-                    break;
-                }
-                let (word, bit) = (node as usize / 64, 1u64 << (node % 64));
-                defective |= bitmap[word] & bit != 0;
-                bitmap[word] |= bit;
-                total += indexed_side.premass[indexed_side.group_of[node as usize] as usize];
-            }
-        } else {
-            for &node in nodes {
-                if node >= n {
-                    defective = true;
-                    break;
-                }
-                total += indexed_side.premass[indexed_side.group_of[node as usize] as usize];
-            }
-            if !defective {
-                let mut sorted = nodes.to_vec();
-                sorted.sort_unstable();
-                defective = sorted.windows(2).any(|w| w[0] == w[1]);
+        // Hot path: the lane-structured gather kernel — a chunked
+        // branchless validation sweep over a reusable scratch bitmap,
+        // then a pure check-free double gather whose ordered fold
+        // matches the scalar summation bit-for-bit (see
+        // `crate::kernels` for the structure and the pinned scalar
+        // fallback it is tested against).
+        match crate::kernels::gather_subset(&indexed_side.group_of, &indexed_side.premass, nodes) {
+            Some(total) => Ok(total),
+            None => {
+                // Cold path: the canonical validation walk — shared with
+                // the scan estimator — reports the error, so precedence
+                // (first offender in subset order) is identical to the
+                // baseline's by construction.
+                Err(match gdp_core::answering::validate_subset(side, nodes, n) {
+                    Err(err) => ServeError::Core(err),
+                    // The gather and the canonical walk disagreeing on
+                    // defectiveness would be a serving-layer bug; report it
+                    // typed rather than killing the worker.
+                    Ok(()) => ServeError::Internal(
+                        "subset gather flagged a defect the canonical validation walk did not"
+                            .to_string(),
+                    ),
+                })
             }
         }
-        if defective {
-            // Cold path: the canonical validation walk — shared with
-            // the scan estimator — reports the error, so precedence
-            // (first offender in subset order) is identical to the
-            // baseline's by construction.
-            return Err(match gdp_core::answering::validate_subset(side, nodes, n) {
-                Err(err) => ServeError::Core(err),
-                // The gather and the canonical walk disagreeing on
-                // defectiveness would be a serving-layer bug; report it
-                // typed rather than killing the worker.
-                Ok(()) => ServeError::Internal(
-                    "subset gather flagged a defect the canonical validation walk did not"
-                        .to_string(),
-                ),
-            });
-        }
-        Ok(total)
     }
 
     /// Answers a batch of subset queries, fanning out over rayon.

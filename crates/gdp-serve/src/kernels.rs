@@ -1,0 +1,291 @@
+//! The raw subset-gather kernels behind [`IndexedRelease::estimate`].
+//!
+//! Exposed as a public module so the criterion pairs in `gdp-bench` and
+//! the equivalence property suites can drive the lane path and its
+//! pinned scalar fallback directly, without an artifact in the loop.
+//!
+//! # Structure of the lane path
+//!
+//! The scalar form ([`gather_subset_scalar`]) interleaves the bounds
+//! check, the duplicate-bitmap update and the dependent double gather
+//! in one loop body — every iteration carries two branches and the
+//! bitmap read-modify-write, none of it vectorizable. The lane path
+//! ([`gather_subset`]) hoists validation out of the accumulation loop
+//! entirely:
+//!
+//! 1. **Sweep** (the private `subset_defective`): one chunked pass over
+//!    the subset — a branchless [`U32x8`] bound mask per
+//!    chunk (a single well-predicted branch per 8 nodes), then the
+//!    duplicate-bitmap bit sets, against a **reusable thread-local
+//!    bitmap** cleared lazily (only the words the subset touched),
+//!    instead of zero-initializing an 8 KiB stack array per call or —
+//!    on sides past 65 536 nodes — allocating and sorting a copy of
+//!    the whole subset.
+//! 2. **Gather** ([`gdp_lanes::gather_map_sum`]): a check-free chunked
+//!    double gather whose loads are lane-wise and independent, with
+//!    **one ordered horizontal fold per chunk** — the exact add
+//!    sequence of the scalar loop, so the result is bit-identical.
+//!
+//! Summation order is part of the released-answer contract (an
+//! artifact sealed yesterday must serve the same bits tomorrow), which
+//! is why the reduction is ordered rather than lane-parallel; the
+//! speedup comes from removing per-element branching and bitmap
+//! traffic from the float chain, not from reordering it.
+//!
+//! [`IndexedRelease::estimate`]: crate::IndexedRelease::estimate
+
+use std::cell::RefCell;
+
+use gdp_graph::lanes;
+use gdp_lanes::{U32x8, U32_LANES};
+
+/// Stack-bitmap capacity of the scalar fallback: 1024 words = 65 536
+/// node ids, the boundary past which the scalar path falls back to
+/// sort-based duplicate detection.
+pub const SCALAR_BITMAP_WORDS: usize = 1024;
+
+thread_local! {
+    /// The reusable duplicate-detection bitmap. Sized to the largest
+    /// side this thread has gathered against, zero between calls by
+    /// the lazy-clear invariant: every call clears exactly the words
+    /// its subset set before returning.
+    static DUP_SCRATCH: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The lane-path subset gather: `Σ premass[group_of[v]]` over `v` in
+/// subset order, or `None` when the subset is defective (a node out of
+/// range, or a duplicate) — the caller re-walks defective subsets
+/// canonically to produce the typed error, so this path never decides
+/// error precedence.
+///
+/// Bit-identical to [`gather_subset_scalar`] on every input (pinned by
+/// unit and property tests): validation is hoisted, the accumulation
+/// order is not changed.
+pub fn gather_subset(group_of: &[u32], premass: &[f64], nodes: &[u32]) -> Option<f64> {
+    if subset_defective(nodes, group_of.len() as u32) {
+        return None;
+    }
+    Some(lanes::gather_map_sum(nodes, group_of, premass))
+}
+
+/// One chunked sweep deciding defectiveness: any node `>= n` or any
+/// duplicate. Bits are set in the thread-local scratch bitmap and
+/// cleared before returning.
+fn subset_defective(nodes: &[u32], n: u32) -> bool {
+    let words = (n as usize).div_ceil(64);
+    DUP_SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        if scratch.len() < words {
+            scratch.resize(words, 0);
+        }
+        let (defective, marked) = sweep(nodes, n, &mut scratch);
+        // Lazy clear: every marked node is in range, and all set bits
+        // live in these words, so this restores the all-zero invariant
+        // in O(|S|) regardless of the side's size.
+        for &node in marked {
+            scratch[node as usize / 64] = 0;
+        }
+        defective
+    })
+}
+
+/// The sweep body. Returns the defect flag and the prefix of `nodes`
+/// whose bits were set (defect-free chunks plus, on a duplicate, the
+/// chunk that contained it; nothing from a chunk with an out-of-range
+/// node — the bound mask runs before any bit is touched).
+fn sweep<'a>(nodes: &'a [u32], n: u32, bitmap: &mut [u64]) -> (bool, &'a [u32]) {
+    let mut marked = 0usize;
+    let mut chunks = nodes.chunks_exact(U32_LANES);
+    for chunk in chunks.by_ref() {
+        // Branchless lane compare, one branch per chunk — and it must
+        // run first: an out-of-range id would index past the bitmap.
+        if U32x8::load(chunk).any_ge(n) {
+            return (true, &nodes[..marked]);
+        }
+        let mut dup = false;
+        for &node in chunk {
+            let (word, bit) = (node as usize / 64, 1u64 << (node % 64));
+            dup |= bitmap[word] & bit != 0;
+            bitmap[word] |= bit;
+        }
+        marked += U32_LANES;
+        if dup {
+            return (true, &nodes[..marked]);
+        }
+    }
+    for &node in chunks.remainder() {
+        if node >= n {
+            return (true, &nodes[..marked]);
+        }
+        let (word, bit) = (node as usize / 64, 1u64 << (node % 64));
+        if bitmap[word] & bit != 0 {
+            return (true, &nodes[..marked + 1]);
+        }
+        bitmap[word] |= bit;
+        marked += 1;
+    }
+    (false, &nodes[..marked])
+}
+
+/// The pre-lane scalar form, kept verbatim as the **pinned fallback**:
+/// per-node bounds branch, interleaved bitmap update (a
+/// zero-initialized 8 KiB stack bitmap for sides up to 65 536 nodes),
+/// and — beyond that — duplicate detection by allocating and sorting a
+/// copy of the subset on every call. The equivalence baseline and the
+/// criterion comparison point for [`gather_subset`].
+pub fn gather_subset_scalar(group_of: &[u32], premass: &[f64], nodes: &[u32]) -> Option<f64> {
+    let n = group_of.len() as u32;
+    let words = (n as usize).div_ceil(64);
+    let mut defective = false;
+    let mut total = 0.0;
+    if words <= SCALAR_BITMAP_WORDS {
+        let mut bitmap = [0u64; SCALAR_BITMAP_WORDS];
+        for &node in nodes {
+            if node >= n {
+                defective = true;
+                break;
+            }
+            let (word, bit) = (node as usize / 64, 1u64 << (node % 64));
+            defective |= bitmap[word] & bit != 0;
+            bitmap[word] |= bit;
+            total += premass[group_of[node as usize] as usize];
+        }
+    } else {
+        for &node in nodes {
+            if node >= n {
+                defective = true;
+                break;
+            }
+            total += premass[group_of[node as usize] as usize];
+        }
+        if !defective {
+            let mut sorted = nodes.to_vec();
+            sorted.sort_unstable();
+            defective = sorted.windows(2).any(|w| w[0] == w[1]);
+        }
+    }
+    if defective {
+        None
+    } else {
+        Some(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A side of `n` nodes with `groups` groups and sign-mixed premass
+    /// values (including a negative zero and a subnormal so ordered
+    /// summation differences cannot hide).
+    fn side(n: u32, groups: u32) -> (Vec<u32>, Vec<f64>) {
+        let group_of: Vec<u32> = (0..n).map(|v| (v.wrapping_mul(2_654_435_761)) % groups).collect();
+        let premass: Vec<f64> = (0..groups)
+            .map(|g| match g % 5 {
+                0 => -0.0,
+                1 => f64::MIN_POSITIVE / 2.0,
+                2 => (g as f64) * 1e12,
+                3 => -(g as f64) * 1e-9,
+                _ => g as f64 + 0.125,
+            })
+            .collect();
+        (group_of, premass)
+    }
+
+    fn assert_paths_agree(group_of: &[u32], premass: &[f64], nodes: &[u32]) {
+        let lane = gather_subset(group_of, premass, nodes);
+        let scalar = gather_subset_scalar(group_of, premass, nodes);
+        assert_eq!(
+            lane.map(f64::to_bits),
+            scalar.map(f64::to_bits),
+            "lane/scalar divergence on subset {nodes:?}"
+        );
+    }
+
+    /// The 65 536-node scalar boundary, one node either side of it and
+    /// on it: the lane path must agree bitwise with whichever duplicate
+    /// detector the scalar fallback picks — the ISSUE-9 regression for
+    /// the large-side sort path.
+    #[test]
+    fn boundary_65536_both_sides() {
+        for n in [65_535u32, 65_536, 65_537] {
+            let (group_of, premass) = side(n, 73);
+            // Clean subsets across the whole range, remainder lengths included.
+            let clean: Vec<u32> = (0..80).map(|i| i * (n / 80)).collect();
+            assert_paths_agree(&group_of, &premass, &clean);
+            assert_paths_agree(&group_of, &premass, &clean[..U32_LANES - 1]);
+            assert_paths_agree(&group_of, &premass, &[n - 1]);
+            // Duplicates, early and late.
+            let mut dup = clean.clone();
+            dup.push(clean[3]);
+            assert_paths_agree(&group_of, &premass, &dup);
+            assert_paths_agree(&group_of, &premass, &[0, 0]);
+            // Out of range, alone and after valid prefixes.
+            assert_paths_agree(&group_of, &premass, &[n]);
+            let mut oob = clean.clone();
+            oob.push(n + 17);
+            assert_paths_agree(&group_of, &premass, &oob);
+            // Empty subset.
+            assert_paths_agree(&group_of, &premass, &[]);
+        }
+    }
+
+    /// The scratch bitmap must not leak state between calls on the same
+    /// thread: a duplicate (or an early out-of-range exit) in one call
+    /// must leave the next call's verdicts untouched.
+    #[test]
+    fn scratch_bitmap_clears_between_calls() {
+        let (group_of, premass) = side(200_000, 31);
+        let probe: Vec<u32> = (0..64u32).map(|i| i * 3000).collect();
+        let baseline = gather_subset(&group_of, &premass, &probe).expect("clean subset");
+        // A duplicate-heavy call, an out-of-range call (early exit after
+        // marking a prefix), then the probe again — same bits.
+        let mut dup = probe.clone();
+        dup.extend_from_slice(&probe);
+        assert_eq!(gather_subset(&group_of, &premass, &dup), None);
+        let mut oob = probe.clone();
+        oob.push(400_000);
+        assert_eq!(gather_subset(&group_of, &premass, &oob), None);
+        let again = gather_subset(&group_of, &premass, &probe).expect("still clean");
+        assert_eq!(baseline.to_bits(), again.to_bits());
+        // And a subset that *reuses* ids from the defective calls is
+        // still clean — the bits really were cleared, not masked.
+        assert!(gather_subset(&group_of, &premass, &probe[..7]).is_some());
+    }
+
+    /// Growing the scratch (first large side seen on the thread) must
+    /// zero-fill the new words.
+    #[test]
+    fn scratch_bitmap_grows_zeroed() {
+        let (small_g, small_p) = side(70_000, 11);
+        let (big_g, big_p) = side(900_000, 11);
+        let nodes: Vec<u32> = (0..33u32).map(|i| 60_000 + i * 17).collect();
+        assert_paths_agree(&small_g, &small_p, &nodes);
+        let far: Vec<u32> = (0..33u32).map(|i| 800_000 + i * 13).collect();
+        assert_paths_agree(&big_g, &big_p, &far);
+        assert_paths_agree(&big_g, &big_p, &nodes);
+    }
+
+    #[test]
+    fn chunk_granular_oob_matches_scalar_verdict() {
+        // Out-of-range ids at every position within a chunk: the lane
+        // sweep stops at chunk granularity, the scalar loop per node —
+        // both must report defective, and clean calls must still work
+        // afterwards.
+        let (group_of, premass) = side(1000, 7);
+        for pos in 0..=2 * U32_LANES {
+            let mut nodes: Vec<u32> = (0..=2 * U32_LANES as u32).collect();
+            nodes[pos] = 5000;
+            assert_paths_agree(&group_of, &premass, &nodes);
+        }
+        assert_paths_agree(&group_of, &premass, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_side_rejects_everything() {
+        let (group_of, premass): (Vec<u32>, Vec<f64>) = (Vec::new(), Vec::new());
+        assert_eq!(gather_subset(&group_of, &premass, &[0]), None);
+        assert_eq!(gather_subset(&group_of, &premass, &[]), Some(0.0));
+        assert_eq!(gather_subset_scalar(&group_of, &premass, &[]), Some(0.0));
+    }
+}

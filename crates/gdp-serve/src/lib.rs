@@ -92,6 +92,7 @@ mod query;
 mod service;
 mod store;
 
+pub mod kernels;
 pub mod lifecycle;
 pub mod workload;
 
