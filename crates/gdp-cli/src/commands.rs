@@ -13,7 +13,7 @@ use gdp_core::{
 };
 use gdp_datagen::engine::GraphModel;
 use gdp_datagen::{DblpConfig, DblpGenerator};
-use gdp_graph::{io as graph_io, GraphStats};
+use gdp_graph::{io as graph_io, EdgeDelta, GraphStats};
 use gdp_mechanisms::PrivacyBudget;
 use gdp_serve::{
     workload, AnswerService, IndexedRelease, Query as ServeQuery, ReleaseStore,
@@ -45,6 +45,7 @@ commands:
   publish --in FILE --out FILE [--format json|bin] [--dataset NAME]
           [--epoch N] [--rounds N] [--eps E] [--delta D]
           [--budget-eps E] [--budget-delta D]
+          [--deltas D1.txt[,D2.txt...] --out-dir DIR]
           [--strategy exponential|median|random]
           [--mechanism gaussian|analytic|laplace|geometric] [--seed N]
           [--hist-max D]
@@ -59,7 +60,12 @@ commands:
       sibling, fsync, atomic rename): a kill mid-publish leaves
       debris, never a torn artifact. Releases the total, per-group
       counts and the left-degree histogram (bins 0..=--hist-max,
-      default 64) at every level
+      default 64) at every level. With --deltas, publishes an epoch
+      CHAIN instead: the base epoch from --in, then one epoch per
+      plain-text delta file (docs/epochs.md) via the incremental
+      publish_next path, all into --out-dir under canonical names;
+      each manifest carries the chain's cumulative ledger, and an
+      over-budget epoch stops the chain with a typed refusal
   convert --in FILE --out FILE [--format json|bin]
       re-encode a published artifact between the JSON and `.gda`
       binary formats (either direction, or same-format rewrite). The
@@ -401,8 +407,6 @@ fn resolve_out_format(
 pub fn publish(args: &[String]) -> CmdResult {
     let flags = parse_flags(args)?;
     let input = flags.get("in").ok_or("publish requires --in FILE")?;
-    let out = flags.get("out").ok_or("publish requires --out FILE")?;
-    let format = resolve_out_format(&flags, out)?;
     let dataset = flags.get("dataset").cloned().unwrap_or_else(|| "default".to_string());
     let epoch: u64 = get_num(&flags, "epoch", 1)?;
     let rounds: u32 = get_num(&flags, "rounds", 8)?;
@@ -444,6 +448,50 @@ pub fn publish(args: &[String]) -> CmdResult {
         "phase 2: publishing dataset `{dataset}` epoch {epoch} ({mechanism:?}, eps_g {eps})..."
     );
     let mut session = DisclosureSession::new(graph, hierarchy, total);
+
+    if let Some(delta_list) = flags.get("deltas") {
+        // Epoch-chain mode: publish the base epoch, then one further
+        // epoch per delta file via the incremental `publish_next` path
+        // (dirty-row statistics update, cumulative ledger enforced),
+        // all into --out-dir under canonical file names. The chain
+        // stops with the typed refusal the moment an epoch's charge
+        // does not fit the authorized total — already-published
+        // artifacts stay on disk.
+        let dir = flags
+            .get("out-dir")
+            .ok_or("publish --deltas requires --out-dir DIR")?;
+        let format = match flags.get("format").map(String::as_str) {
+            None | Some("json") => ArtifactFormat::Json,
+            Some("bin") => ArtifactFormat::Binary,
+            Some(other) => return Err(format!("unknown format `{other}` (json|bin)")),
+        };
+        let (artifact, path) = session
+            .publish_to_dir_as(&config, &dataset, epoch, dir, format, &mut rng)
+            .map_err(|e| e.to_string())?;
+        eprintln!("epoch {epoch}: wrote {}", path.display());
+        print_ledger(artifact.manifest());
+        for delta_path in delta_list.split(',').filter(|s| !s.is_empty()) {
+            let text = std::fs::read_to_string(delta_path)
+                .map_err(|e| format!("cannot read {delta_path}: {e}"))?;
+            let edge_delta =
+                EdgeDelta::from_text(&text).map_err(|e| format!("{delta_path}: {e}"))?;
+            let (artifact, path) = session
+                .publish_next_to_dir_as(&config, &dataset, &edge_delta, dir, format, &mut rng)
+                .map_err(|e| format!("epoch chain refused at {delta_path}: {e}"))?;
+            eprintln!(
+                "epoch {}: applied {delta_path} (+{} -{} edges) and wrote {}",
+                artifact.epoch(),
+                edge_delta.insert_count(),
+                edge_delta.delete_count(),
+                path.display(),
+            );
+            print_ledger(artifact.manifest());
+        }
+        return Ok(());
+    }
+
+    let out = flags.get("out").ok_or("publish requires --out FILE")?;
+    let format = resolve_out_format(&flags, out)?;
     let artifact = session
         .publish(&config, &dataset, epoch, &mut rng)
         .map_err(|e| e.to_string())?;
@@ -463,7 +511,24 @@ pub fn publish(args: &[String]) -> CmdResult {
         session.accountant().spent_epsilon(),
         budget_eps,
     );
+    print_ledger(m);
     Ok(())
+}
+
+/// Prints a manifest's cross-epoch ledger block (schema v3+) to stderr.
+fn print_ledger(m: &gdp_core::ArtifactManifest) {
+    if let Some(ledger) = &m.ledger {
+        eprintln!(
+            "ledger: epoch charge eps {:.3}, chain cumulative eps {:.3} of {:.3} \
+             across {} release(s), remaining eps {:.3}{}",
+            ledger.epoch_epsilon,
+            ledger.cumulative_epsilon,
+            ledger.total_epsilon,
+            ledger.releases,
+            ledger.remaining_epsilon(),
+            if ledger.exhausted() { " (budget exhausted)" } else { "" },
+        );
+    }
 }
 
 /// `gdp convert` — re-encode a published artifact between the JSON and

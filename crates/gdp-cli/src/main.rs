@@ -13,6 +13,7 @@
 //! gdp publish  --in graph.txt --out artifact.json [--format json|bin]
 //!              [--dataset NAME] [--epoch N] [--rounds N] [--eps E]
 //!              [--delta D] [--budget-eps E] [--budget-delta D] [--seed N]
+//!              [--deltas d1.txt[,d2.txt...] --out-dir DIR]
 //! gdp convert  --in artifact.json --out artifact.gda [--format json|bin]
 //! gdp answer   --artifact artifact.json --queries queries.txt
 //!              [--privilege P] [--level L]

@@ -44,11 +44,17 @@ use crate::Result;
 /// * **1** — initial layout, no content digest.
 /// * **2** — adds [`ArtifactManifest::content_digest`], an FNV-1a hash
 ///   over the canonical payload, verified on every load.
+/// * **3** — adds the optional [`ArtifactManifest::ledger`], the
+///   cross-epoch privacy accounting record written by
+///   [`crate::DisclosureSession::publish`] /
+///   [`crate::DisclosureSession::publish_next`]. Artifacts sealed
+///   outside a session (no accountant in scope) carry no ledger, at
+///   any version.
 ///
 /// Loading accepts [`MIN_ARTIFACT_SCHEMA_VERSION`]..=this; anything
 /// else fails with [`CoreError::Artifact`] instead of misinterpreting
 /// the payload.
-pub const ARTIFACT_SCHEMA_VERSION: u32 = 2;
+pub const ARTIFACT_SCHEMA_VERSION: u32 = 3;
 
 /// The oldest artifact schema version this build still reads. Version-1
 /// artifacts (no content digest) load without checksum verification —
@@ -100,6 +106,106 @@ impl fmt::Display for ArtifactFormat {
     }
 }
 
+/// The cross-epoch privacy accounting record a sessioned publish stamps
+/// into its manifest: what **this** epoch cost, what the whole chain
+/// has spent so far (sequential composition, this epoch included), and
+/// the authorized total it is charged against.
+///
+/// The ledger is what lets an auditor — or the serving stack's `/stats`
+/// endpoint — reconstruct the chain's budget position from the latest
+/// artifact alone, without replaying every epoch. The invariants
+/// (`epoch ≤ cumulative ≤ total`, all within the accountant's drift
+/// slack) are enforced at seal time and re-checked on every load, so an
+/// over-budget manifest cannot be fabricated by editing a file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ManifestLedger {
+    /// Total `ε` charged for this epoch's disclosure.
+    pub epoch_epsilon: f64,
+    /// Total `δ` charged for this epoch's disclosure.
+    pub epoch_delta: f64,
+    /// Cumulative `ε` spent across the chain, this epoch included.
+    pub cumulative_epsilon: f64,
+    /// Cumulative `δ` spent across the chain, this epoch included.
+    pub cumulative_delta: f64,
+    /// The authorized total `ε` the chain draws down.
+    pub total_epsilon: f64,
+    /// The authorized total `δ` the chain draws down.
+    pub total_delta: f64,
+    /// How many releases the accountant has recorded, this one included.
+    pub releases: u64,
+}
+
+impl ManifestLedger {
+    /// `ε` still unspent after this epoch (never negative; drift-level
+    /// residues clamp to zero the same way the accountant's
+    /// tolerance-aware `remaining()` does).
+    pub fn remaining_epsilon(&self) -> f64 {
+        let left = self.total_epsilon - self.cumulative_epsilon;
+        if left <= self.total_epsilon * gdp_mechanisms::BUDGET_RELATIVE_SLACK {
+            0.0
+        } else {
+            left
+        }
+    }
+
+    /// `δ` still unspent after this epoch (never negative).
+    pub fn remaining_delta(&self) -> f64 {
+        let left = self.total_delta - self.cumulative_delta;
+        if left <= self.total_delta * gdp_mechanisms::BUDGET_RELATIVE_SLACK {
+            0.0
+        } else {
+            left
+        }
+    }
+
+    /// Whether the chain's pot is drained within tolerance — the next
+    /// sessioned publish against this chain will be refused.
+    pub fn exhausted(&self) -> bool {
+        self.remaining_epsilon() == 0.0
+    }
+
+    /// The seal-time invariants, shared by sealing and load-time
+    /// re-validation.
+    fn validate(&self) -> Result<()> {
+        let fields = [
+            ("epoch_epsilon", self.epoch_epsilon),
+            ("epoch_delta", self.epoch_delta),
+            ("cumulative_epsilon", self.cumulative_epsilon),
+            ("cumulative_delta", self.cumulative_delta),
+            ("total_epsilon", self.total_epsilon),
+            ("total_delta", self.total_delta),
+        ];
+        for (name, value) in fields {
+            if !value.is_finite() || value < 0.0 {
+                return Err(CoreError::Artifact(format!(
+                    "ledger {name} must be finite and non-negative, got {value}"
+                )));
+            }
+        }
+        let slack = gdp_mechanisms::BUDGET_RELATIVE_SLACK;
+        if self.epoch_epsilon > self.cumulative_epsilon * (1.0 + slack)
+            || self.epoch_delta > self.cumulative_delta * (1.0 + slack) + f64::MIN_POSITIVE
+        {
+            return Err(CoreError::Artifact(
+                "ledger epoch charge exceeds the chain's cumulative spend".to_string(),
+            ));
+        }
+        if self.cumulative_epsilon > self.total_epsilon * (1.0 + slack)
+            || self.cumulative_delta > self.total_delta * (1.0 + slack) + f64::MIN_POSITIVE
+        {
+            return Err(CoreError::Artifact(
+                "ledger cumulative spend exceeds the authorized total".to_string(),
+            ));
+        }
+        if self.releases == 0 {
+            return Err(CoreError::Artifact(
+                "ledger must record at least the release it is attached to".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Artifact metadata — everything a consumer (or an artifact store) can
 /// know about a release without touching the payload.
 ///
@@ -135,6 +241,11 @@ pub struct ArtifactManifest {
     /// every load ([`CoreError::ChecksumMismatch`] on disagreement).
     /// `None` only for version-1 artifacts, which predate the digest.
     pub content_digest: Option<u64>,
+    /// Cross-epoch privacy accounting (schema version 3+): this epoch's
+    /// charge and the chain's cumulative spend against its authorized
+    /// total. `None` for artifacts sealed outside a
+    /// [`crate::DisclosureSession`] and for pre-version-3 files.
+    pub ledger: Option<ManifestLedger>,
 }
 
 // Hand-written so version-1 documents (no `content_digest` key) still
@@ -159,6 +270,10 @@ impl Deserialize for ArtifactManifest {
             left_nodes: Deserialize::from_value(serde::field(map, "left_nodes")?)?,
             right_nodes: Deserialize::from_value(serde::field(map, "right_nodes")?)?,
             content_digest: match serde::opt_field(map, "content_digest") {
+                None => None,
+                Some(val) => Deserialize::from_value(val)?,
+            },
+            ledger: match serde::opt_field(map, "ledger") {
                 None => None,
                 Some(val) => Deserialize::from_value(val)?,
             },
@@ -373,6 +488,9 @@ fn validate(
     if manifest.epsilon_g != release.epsilon_g() || manifest.delta != release.delta() {
         return fail("manifest budget disagrees with the release".to_string());
     }
+    if let Some(ledger) = &manifest.ledger {
+        ledger.validate()?;
+    }
     Ok(())
 }
 
@@ -391,10 +509,42 @@ impl ReleaseArtifact {
         hierarchy: GroupHierarchy,
         release: MultiLevelRelease,
     ) -> Result<Self> {
+        Self::seal_inner(dataset.into(), epoch, hierarchy, release, None)
+    }
+
+    /// [`ReleaseArtifact::seal`] with a cross-epoch privacy
+    /// [`ManifestLedger`] stamped into the manifest — the sessioned
+    /// publish path ([`crate::DisclosureSession::publish`] /
+    /// [`crate::DisclosureSession::publish_next`]). The ledger's
+    /// invariants are validated together with the rest of the manifest.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ReleaseArtifact::seal`] refuses, plus
+    /// [`CoreError::Artifact`] for a ledger whose fields are not finite
+    /// non-negative or whose `epoch ≤ cumulative ≤ total` chain is
+    /// broken.
+    pub fn seal_with_ledger(
+        dataset: impl Into<String>,
+        epoch: u64,
+        hierarchy: GroupHierarchy,
+        release: MultiLevelRelease,
+        ledger: ManifestLedger,
+    ) -> Result<Self> {
+        Self::seal_inner(dataset.into(), epoch, hierarchy, release, Some(ledger))
+    }
+
+    fn seal_inner(
+        dataset: String,
+        epoch: u64,
+        hierarchy: GroupHierarchy,
+        release: MultiLevelRelease,
+        ledger: Option<ManifestLedger>,
+    ) -> Result<Self> {
         let finest = hierarchy.finest();
         let manifest = ArtifactManifest {
             schema_version: ARTIFACT_SCHEMA_VERSION,
-            dataset: dataset.into(),
+            dataset,
             epoch,
             mechanism: release.mechanism(),
             epsilon_g: release.epsilon_g(),
@@ -404,6 +554,7 @@ impl ReleaseArtifact {
             left_nodes: finest.left().node_count(),
             right_nodes: finest.right().node_count(),
             content_digest: Some(content_digest(&hierarchy, &release)?),
+            ledger,
         };
         validate(&manifest, &hierarchy, &release)?;
         Ok(Self {
@@ -652,7 +803,7 @@ mod tests {
         a.write_json(&mut buf).unwrap();
         let doctored = String::from_utf8(buf)
             .unwrap()
-            .replacen("\"schema_version\": 2", "\"schema_version\": 99", 1);
+            .replacen("\"schema_version\": 3", "\"schema_version\": 99", 1);
         let err = ReleaseArtifact::read_json(doctored.as_bytes()).unwrap_err();
         assert!(
             err.to_string().contains("schema version 99"),
@@ -660,20 +811,28 @@ mod tests {
         );
     }
 
-    /// Renders an artifact as the version-1 layout: no digest key,
-    /// schema_version 1 — what a pre-digest build wrote.
+    /// Renders an artifact as the version-1 layout: no digest key, no
+    /// ledger key, schema_version 1 — what a pre-digest build wrote.
     fn render_as_v1(a: &ReleaseArtifact) -> String {
         let mut buf = Vec::new();
         a.write_json(&mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
+        let ledger_line = text
+            .lines()
+            .find(|l| l.contains("\"ledger\""))
+            .expect("v3 documents carry a ledger key")
+            .to_string();
         let digest_line = text
             .lines()
             .find(|l| l.contains("\"content_digest\""))
-            .expect("v2 documents carry a digest")
+            .expect("v3 documents carry a digest")
             .to_string();
-        // The digest is the manifest's last field: drop it together
-        // with the previous line's separating comma.
-        text.replacen("\"schema_version\": 2", "\"schema_version\": 1", 1)
+        // Ledger is the manifest's last field, digest the one before
+        // it: dropping `,\n<line>` for each (the digest line's trailing
+        // comma disappears with the ledger drop) leaves valid v1 JSON.
+        let digest_line = digest_line.trim_end_matches(',');
+        text.replacen("\"schema_version\": 3", "\"schema_version\": 1", 1)
+            .replacen(&format!(",\n{ledger_line}"), "", 1)
             .replacen(&format!(",\n{digest_line}"), "", 1)
     }
 
@@ -683,6 +842,7 @@ mod tests {
         let a = ReleaseArtifact::seal("dblp", 9, hierarchy, release).unwrap();
         let v1 = render_as_v1(&a);
         assert!(!v1.contains("content_digest"));
+        assert!(!v1.contains("\"ledger\""));
         let back = ReleaseArtifact::read_json(v1.as_bytes()).unwrap();
         assert_eq!(back.manifest().schema_version, 1);
         assert_eq!(back.manifest().content_digest, None);
@@ -693,6 +853,97 @@ mod tests {
         back.write_json(&mut buf).unwrap();
         let again = ReleaseArtifact::read_json(buf.as_slice()).unwrap();
         assert_eq!(back, again);
+    }
+
+    fn sample_ledger() -> ManifestLedger {
+        ManifestLedger {
+            epoch_epsilon: 0.7,
+            epoch_delta: 1e-6,
+            cumulative_epsilon: 1.4,
+            cumulative_delta: 2e-6,
+            total_epsilon: 2.1,
+            total_delta: 1e-5,
+            releases: 2,
+        }
+    }
+
+    #[test]
+    fn ledger_round_trips_and_reports_remaining() {
+        let (hierarchy, release) = publishable();
+        let ledger = sample_ledger();
+        let a =
+            ReleaseArtifact::seal_with_ledger("dblp", 2, hierarchy, release, ledger.clone())
+                .unwrap();
+        assert_eq!(a.manifest().ledger.as_ref(), Some(&ledger));
+        let mut buf = Vec::new();
+        a.write_json(&mut buf).unwrap();
+        let back = ReleaseArtifact::read_json(buf.as_slice()).unwrap();
+        assert_eq!(a, back);
+        let got = back.manifest().ledger.as_ref().unwrap();
+        assert!((got.remaining_epsilon() - 0.7).abs() < 1e-12);
+        assert!((got.remaining_delta() - 8e-6).abs() < 1e-18);
+        assert!(!got.exhausted());
+        // A drained chain reads exhausted even with ulp residue.
+        let drained = ManifestLedger {
+            cumulative_epsilon: 2.1 - 1e-13,
+            ..sample_ledger()
+        };
+        assert!(drained.exhausted());
+        assert_eq!(drained.remaining_epsilon(), 0.0);
+    }
+
+    #[test]
+    fn broken_ledger_invariants_are_refused_at_seal_and_load() {
+        let (hierarchy, release) = publishable();
+        // Over-budget: cumulative beyond the authorized total.
+        let over = ManifestLedger {
+            cumulative_epsilon: 2.5,
+            ..sample_ledger()
+        };
+        let err = ReleaseArtifact::seal_with_ledger(
+            "dblp",
+            2,
+            hierarchy.clone(),
+            release.clone(),
+            over,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("exceeds the authorized total"), "{err}");
+        // Epoch charge larger than the whole chain's spend.
+        let inverted = ManifestLedger {
+            epoch_epsilon: 1.5,
+            ..sample_ledger()
+        };
+        let err =
+            ReleaseArtifact::seal_with_ledger("dblp", 2, hierarchy.clone(), release.clone(), inverted)
+                .unwrap_err();
+        assert!(err.to_string().contains("cumulative"), "{err}");
+        // Non-finite fields.
+        let nan = ManifestLedger {
+            epoch_epsilon: f64::NAN,
+            ..sample_ledger()
+        };
+        let err = ReleaseArtifact::seal_with_ledger(
+            "dblp",
+            2,
+            hierarchy.clone(),
+            release.clone(),
+            nan,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("finite"), "{err}");
+        // And an edited file cannot smuggle an over-budget ledger past
+        // load-time re-validation.
+        let good =
+            ReleaseArtifact::seal_with_ledger("dblp", 2, hierarchy, release, sample_ledger())
+                .unwrap();
+        let mut buf = Vec::new();
+        good.write_json(&mut buf).unwrap();
+        let doctored = String::from_utf8(buf)
+            .unwrap()
+            .replacen("\"total_epsilon\": 2.1", "\"total_epsilon\": 0.5", 1);
+        let err = ReleaseArtifact::read_json(doctored.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("exceeds the authorized total"), "{err}");
     }
 
     #[test]

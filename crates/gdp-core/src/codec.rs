@@ -34,7 +34,7 @@ use gdp_graph::binfmt::{read_container, write_container, ByteReader, ByteWriter}
 use gdp_graph::{GraphError, Side, SidePartition};
 use gdp_mechanisms::{Delta, Epsilon, PrivacyBudget};
 
-use crate::artifact::{ArtifactManifest, ReleaseArtifact};
+use crate::artifact::{ArtifactManifest, ManifestLedger, ReleaseArtifact};
 use crate::disclosure::NoiseMechanism;
 use crate::error::CoreError;
 use crate::hierarchy::{GroupHierarchy, GroupLevel};
@@ -116,6 +116,26 @@ fn encode_manifest(m: &ArtifactManifest) -> Vec<u8> {
             w.put_u64(0);
         }
     }
+    // Schema version 3: the optional cross-epoch privacy ledger, as a
+    // presence flag + fixed-width record. Always written by this build;
+    // pre-v3 files simply end before it (see `decode_manifest`).
+    match &m.ledger {
+        Some(l) => {
+            w.put_u32(1);
+            w.put_u32(0);
+            w.put_f64(l.epoch_epsilon);
+            w.put_f64(l.epoch_delta);
+            w.put_f64(l.cumulative_epsilon);
+            w.put_f64(l.cumulative_delta);
+            w.put_f64(l.total_epsilon);
+            w.put_f64(l.total_delta);
+            w.put_u64(l.releases);
+        }
+        None => {
+            w.put_u32(0);
+            w.put_u32(0);
+        }
+    }
     w.into_bytes()
 }
 
@@ -135,12 +155,36 @@ fn decode_manifest(bytes: &[u8]) -> Result<ArtifactManifest> {
     let has_digest = r.take_u32("manifest digest flag")?;
     r.take_u32("manifest padding")?;
     let digest = r.take_u64("manifest content_digest")?;
-    r.expect_end("manifest section")?;
     let content_digest = match has_digest {
         0 => None,
         1 => Some(digest),
         other => return Err(bad(format!("manifest digest flag is {other}, not 0/1"))),
     };
+    // Pre-v3 manifests end here; v3 appends the ledger block.
+    let ledger = if r.remaining() > 0 {
+        match r.take_u32("manifest ledger flag")? {
+            0 => {
+                r.take_u32("manifest padding")?;
+                None
+            }
+            1 => {
+                r.take_u32("manifest padding")?;
+                Some(ManifestLedger {
+                    epoch_epsilon: r.take_f64("ledger epoch_epsilon")?,
+                    epoch_delta: r.take_f64("ledger epoch_delta")?,
+                    cumulative_epsilon: r.take_f64("ledger cumulative_epsilon")?,
+                    cumulative_delta: r.take_f64("ledger cumulative_delta")?,
+                    total_epsilon: r.take_f64("ledger total_epsilon")?,
+                    total_delta: r.take_f64("ledger total_delta")?,
+                    releases: r.take_u64("ledger releases")?,
+                })
+            }
+            other => return Err(bad(format!("manifest ledger flag is {other}, not 0/1"))),
+        }
+    } else {
+        None
+    };
+    r.expect_end("manifest section")?;
     Ok(ArtifactManifest {
         schema_version,
         dataset,
@@ -153,6 +197,7 @@ fn decode_manifest(bytes: &[u8]) -> Result<ArtifactManifest> {
         left_nodes,
         right_nodes,
         content_digest,
+        ledger,
     })
 }
 
@@ -510,6 +555,48 @@ mod tests {
         assert_eq!(decoded.manifest().level_count, manifest.level_count);
         let err = decoded.seal().unwrap_err();
         assert!(matches!(err, CoreError::Artifact(_)), "{err}");
+    }
+
+    #[test]
+    fn ledger_manifests_round_trip_bit_identically() {
+        let a = artifact();
+        let (dataset, epoch) = (a.dataset().to_string(), a.epoch());
+        let ledger = ManifestLedger {
+            epoch_epsilon: 0.6,
+            epoch_delta: 1e-6,
+            cumulative_epsilon: 1.2,
+            cumulative_delta: 2e-6,
+            total_epsilon: 3.0,
+            total_delta: 1e-5,
+            releases: 2,
+        };
+        let with = ReleaseArtifact::seal_with_ledger(
+            dataset,
+            epoch,
+            a.hierarchy().clone(),
+            a.release().clone(),
+            ledger.clone(),
+        )
+        .unwrap();
+        let bytes = encode(&with).unwrap();
+        let back = decode(&bytes).unwrap().seal().unwrap();
+        assert_eq!(with, back);
+        assert_eq!(back.manifest().ledger.as_ref(), Some(&ledger));
+        // Pre-v3 bytes (manifest section ending at the digest) still
+        // decode, with no ledger.
+        let m = a.manifest();
+        let mut legacy = encode_manifest(m);
+        // Strip the ledger block this build appends: flag + pad.
+        legacy.truncate(legacy.len() - 8);
+        let bytes = write_container(&[
+            (SECTION_MANIFEST, legacy),
+            (SECTION_HIERARCHY, encode_hierarchy(a.hierarchy())),
+            (SECTION_RELEASE, encode_release(a.release())),
+        ])
+        .unwrap();
+        let back = decode(&bytes).unwrap().seal().unwrap();
+        assert_eq!(back.manifest().ledger, None);
+        assert_eq!(back.hierarchy(), a.hierarchy());
     }
 
     #[test]

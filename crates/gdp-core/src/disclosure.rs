@@ -148,15 +148,42 @@ impl MultiLevelDiscloser {
         hierarchy: &GroupHierarchy,
         rng: &mut R,
     ) -> Result<MultiLevelRelease> {
+        // One edge sweep for the whole disclosure: every level's answers
+        // and sensitivities are served from this cache.
+        let stats = HierarchyStats::compute(graph, hierarchy)?;
+        let left_degree_hist = DegreeHistogram::from_degrees(&graph.left_degrees());
+        self.disclose_from_stats(hierarchy, &stats, &left_degree_hist, rng)
+    }
+
+    /// Releases every hierarchy level from **pre-computed** statistics —
+    /// the entry point of epoch-incremental disclosure, where
+    /// [`HierarchyStats::apply_delta`] keeps the cache current across
+    /// epochs and no edge sweep happens at all.
+    ///
+    /// Statistics computation consumes no randomness, so this draws the
+    /// exact RNG stream [`Self::disclose`] draws: given equal stats and
+    /// histogram, the two produce bit-identical releases from the same
+    /// seed.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidConfig`] when no queries are configured.
+    /// * [`CoreError::LevelOutOfRange`] when `stats` covers fewer levels
+    ///   than the hierarchy.
+    /// * Mechanism construction errors (e.g. classic Gaussian with
+    ///   `εg ≥ 1`).
+    pub fn disclose_from_stats<R: Rng + ?Sized>(
+        &self,
+        hierarchy: &GroupHierarchy,
+        stats: &HierarchyStats,
+        left_degree_hist: &DegreeHistogram,
+        rng: &mut R,
+    ) -> Result<MultiLevelRelease> {
         if self.config.queries.is_empty() {
             return Err(CoreError::InvalidConfig(
                 "disclosure needs at least one query".to_string(),
             ));
         }
-        // One edge sweep for the whole disclosure: every level's answers
-        // and sensitivities are served from this cache.
-        let stats = HierarchyStats::compute(graph, hierarchy)?;
-        let left_degree_hist = DegreeHistogram::from_degrees(&graph.left_degrees());
         // Levels are released to disjoint audiences, each calibrated to
         // its own sensitivity — independent work, so fan out with rayon.
         // Per-level seeds are drawn sequentially from the master RNG so
@@ -171,7 +198,7 @@ impl MultiLevelDiscloser {
                 let ctx = AnswerContext {
                     level,
                     stats: stats.level(i)?,
-                    left_degree_hist: &left_degree_hist,
+                    left_degree_hist,
                 };
                 self.disclose_level_cached(&ctx, i, &mut level_rng)
             })

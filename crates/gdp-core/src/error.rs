@@ -65,6 +65,13 @@ pub enum CoreError {
         /// Number of groups on that side at the level.
         group_count: u32,
     },
+    /// `publish_next` was asked to extend an epoch chain that has no
+    /// published base epoch for the named dataset — publish epoch 0 with
+    /// `publish`/`publish_to_dir` first.
+    NoBaseEpoch {
+        /// The dataset whose chain was asked to advance.
+        dataset: String,
+    },
     /// A release artifact failed sealing, validation, or carried an
     /// unsupported schema version.
     Artifact(String),
@@ -118,6 +125,10 @@ impl fmt::Display for CoreError {
             } => write!(
                 f,
                 "group {group} out of range for {side} side with {group_count} groups"
+            ),
+            Self::NoBaseEpoch { dataset } => write!(
+                f,
+                "dataset {dataset:?} has no published base epoch to apply a delta to"
             ),
             Self::Artifact(msg) => write!(f, "artifact error: {msg}"),
             Self::ChecksumMismatch { expected, computed } => write!(

@@ -80,7 +80,7 @@ pub mod theory;
 
 pub use access::{AccessControlled, AccessPolicy, Privilege};
 pub use artifact::{
-    ArtifactFormat, ArtifactManifest, ReleaseArtifact, ARTIFACT_SCHEMA_VERSION,
+    ArtifactFormat, ArtifactManifest, ManifestLedger, ReleaseArtifact, ARTIFACT_SCHEMA_VERSION,
     MIN_ARTIFACT_SCHEMA_VERSION,
 };
 pub use baseline::{

@@ -62,44 +62,34 @@ impl LevelSensitivity {
     /// * `L2 = √(incident(g)² + Σ_r c(g,r)²)`
     pub fn per_group_counts(level: &GroupLevel, graph: &BipartiteGraph) -> Self {
         let pc = PairCounts::compute(graph, level.left(), level.right());
-        Self::per_group_counts_from_pair_counts(&pc)
+        Self::per_group_counts_from_marginals(&pc.marginals())
     }
 
-    /// [`Self::per_group_counts`] from cached level statistics — reuses
-    /// the level's cached pair counts instead of rescanning edges. Both
-    /// paths fold the same CSR cells in the same (row-major) order, so
-    /// the floating-point accumulation is bit-identical.
+    /// [`Self::per_group_counts`] from cached level statistics — reads
+    /// the level's cached `Σ c` / `Σ c²` block marginals instead of
+    /// rescanning edges or refolding cells. Both paths consume the same
+    /// integer marginals (exact, order-free), so the result is
+    /// bit-identical to the direct path — including for marginals that
+    /// were delta-maintained across epochs rather than recomputed.
     pub fn per_group_counts_cached(stats: &LevelStats) -> Self {
-        Self::per_group_counts_from_pair_counts(stats.pair_counts())
+        Self::per_group_counts_from_marginals(stats.marginals())
     }
 
-    /// The shared exact fold both [`Self::per_group_counts`] paths use.
-    fn per_group_counts_from_pair_counts(pc: &PairCounts) -> Self {
-        let lb = pc.left_blocks() as usize;
-        let rb = pc.right_blocks() as usize;
-        // Accumulate Σ c and Σ c² per left block and per right block.
-        let mut left_sum = vec![0u64; lb];
-        let mut left_sq = vec![0f64; lb];
-        let mut right_sum = vec![0u64; rb];
-        let mut right_sq = vec![0f64; rb];
-        for ((l, r), c) in pc.iter() {
-            let cf = c as f64;
-            left_sum[l as usize] += c;
-            left_sq[l as usize] += cf * cf;
-            right_sum[r as usize] += c;
-            right_sq[r as usize] += cf * cf;
-        }
+    /// The shared exact `O(blocks)` fold both [`Self::per_group_counts`]
+    /// paths use: the per-block `Σ c` and `Σ c²` sums are cached integer
+    /// marginals, so only the final max scan runs here.
+    fn per_group_counts_from_marginals(m: &gdp_graph::PairMarginals) -> Self {
         let mut l1: f64 = 0.0;
         let mut l2: f64 = 0.0;
-        for g in 0..lb {
-            let inc = left_sum[g] as f64;
+        for (&sum, &sq) in m.left.iter().zip(&m.left_sq) {
+            let inc = sum as f64;
             l1 = l1.max(2.0 * inc);
-            l2 = l2.max((inc * inc + left_sq[g]).sqrt());
+            l2 = l2.max((inc * inc + sq as f64).sqrt());
         }
-        for g in 0..rb {
-            let inc = right_sum[g] as f64;
+        for (&sum, &sq) in m.right.iter().zip(&m.right_sq) {
+            let inc = sum as f64;
             l1 = l1.max(2.0 * inc);
-            l2 = l2.max((inc * inc + right_sq[g]).sqrt());
+            l2 = l2.max((inc * inc + sq as f64).sqrt());
         }
         Self { l1, l2 }
     }

@@ -33,7 +33,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use gdp_graph::{BipartiteGraph, PairCounts, PairMarginals};
+use gdp_graph::{BipartiteGraph, EdgeDelta, GraphError, PairCounts, PairMarginals};
 
 use crate::error::CoreError;
 use crate::hierarchy::GroupHierarchy;
@@ -85,6 +85,43 @@ impl LevelStats {
     /// Total association count (the graph's edge count).
     pub fn total(&self) -> u64 {
         self.marginals.total
+    }
+
+    /// Applies one level's aggregated cell deltas: the pair-count table
+    /// updates through [`PairCounts::apply_cell_deltas_recording`]
+    /// (dirty rows only, recording each cell's pre-update count) and
+    /// the cached marginals follow by exact integer adjustments plus an
+    /// `O(blocks)` max rescan — bit-identical to rederiving them from
+    /// the updated counts. `old_counts` is a recycled scratch buffer.
+    fn apply_cell_deltas(
+        &mut self,
+        deltas: &[((u32, u32), i64)],
+        old_counts: &mut Vec<u64>,
+    ) -> Result<()> {
+        self.pair_counts
+            .apply_cell_deltas_recording(deltas, old_counts)
+            .map_err(CoreError::Graph)?;
+        let mut total = self.marginals.total as i128;
+        for (&((l, r), d), &have) in deltas.iter().zip(old_counts.iter()) {
+            let left = &mut self.marginals.left[l as usize];
+            *left = (*left as i128 + d as i128) as u64;
+            let right = &mut self.marginals.right[r as usize];
+            *right = (*right as i128 + d as i128) as u64;
+            total += d as i128;
+            // Squared-count marginals move by new² − old²; both squares
+            // are exact integers, so the adjustment is order-free.
+            let old = have as i128;
+            let new = old + d as i128;
+            let sq_change = new * new - old * old;
+            let left_sq = &mut self.marginals.left_sq[l as usize];
+            *left_sq = (*left_sq as i128 + sq_change) as u64;
+            let right_sq = &mut self.marginals.right_sq[r as usize];
+            *right_sq = (*right_sq as i128 + sq_change) as u64;
+        }
+        self.marginals.total = total as u64;
+        self.marginals.max_left = self.marginals.left.iter().copied().max().unwrap_or(0);
+        self.marginals.max_right = self.marginals.right.iter().copied().max().unwrap_or(0);
+        Ok(())
     }
 }
 
@@ -194,6 +231,148 @@ impl HierarchyStats {
             .map(LevelStats::max_incident_edges)
             .collect()
     }
+
+    /// Updates every level's statistics under an [`EdgeDelta`] without
+    /// touching the edge list: the delta's endpoints map through the
+    /// finest level's assignments into aggregated cell deltas, those
+    /// apply to the finest table (dirty rows only), and the *cell
+    /// deltas themselves* roll up the refinement chain via the same
+    /// block maps [`Self::compute`] folds counts through — so each
+    /// coarser level re-merges only its dirty rows too.
+    ///
+    /// All arithmetic is integer, so the result is **bit-identical** to
+    /// `HierarchyStats::compute(&graph.apply_delta(delta)?, hierarchy)`
+    /// — pinned across random graphs and batches by the
+    /// `delta_equivalence` property suite.
+    ///
+    /// The delta must already be consistent with the graph these stats
+    /// were computed from (the caller applies it to the graph first,
+    /// which validates membership); here only node ranges are checked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidHierarchy`] on a level-count
+    /// mismatch and [`CoreError::Graph`] for out-of-range endpoints or
+    /// a batch that disagrees with the stored counts (e.g. deleting
+    /// from an empty cell). A refused delta may leave *this* value
+    /// partially updated — treat it as poisoned and recompute.
+    pub fn apply_delta(&mut self, hierarchy: &GroupHierarchy, delta: &EdgeDelta) -> Result<()> {
+        if hierarchy.level_count() != self.levels.len() {
+            return Err(CoreError::InvalidHierarchy(format!(
+                "hierarchy has {} levels but stats cover {}",
+                hierarchy.level_count(),
+                self.levels.len()
+            )));
+        }
+        let finest = hierarchy.finest();
+        let left_assignment = finest.left().assignment();
+        let right_assignment = finest.right().assignment();
+        let mut keyed: Vec<(u64, i64)> = Vec::with_capacity(delta.len());
+        for (sign, edges) in [(1i64, delta.inserts()), (-1i64, delta.deletes())] {
+            for &(l, r) in edges {
+                let li = l.as_usize();
+                let ri = r.as_usize();
+                if li >= left_assignment.len() {
+                    return Err(CoreError::Graph(GraphError::LeftNodeOutOfRange {
+                        index: l.index(),
+                        left_count: left_assignment.len() as u32,
+                    }));
+                }
+                if ri >= right_assignment.len() {
+                    return Err(CoreError::Graph(GraphError::RightNodeOutOfRange {
+                        index: r.index(),
+                        right_count: right_assignment.len() as u32,
+                    }));
+                }
+                let key = ((left_assignment[li] as u64) << 32) | right_assignment[ri] as u64;
+                keyed.push((key, sign));
+            }
+        }
+        let mut cells = Vec::with_capacity(keyed.len());
+        let mut folded = Vec::with_capacity(keyed.len());
+        let mut old_counts = Vec::with_capacity(keyed.len());
+        fold_cell_deltas(&mut keyed, &mut cells);
+        self.levels[0].apply_cell_deltas(&cells, &mut old_counts)?;
+        for i in 1..self.levels.len() {
+            let finer = hierarchy.level(i - 1)?;
+            let coarser = hierarchy.level(i)?;
+            let left_map = finer
+                .left()
+                .block_map_to(coarser.left())
+                .map_err(CoreError::Graph)?;
+            let right_map = finer
+                .right()
+                .block_map_to(coarser.right())
+                .map_err(CoreError::Graph)?;
+            let cols = coarser.right().block_count() as usize;
+            let grid_cells = coarser.left().block_count() as usize * cols;
+            if grid_cells <= DENSE_FOLD_MAX_CELLS {
+                // Coarse level: scatter into a recycled dense grid and
+                // collect nonzero entries in one row-major scan (zeroing
+                // behind it, so the grid stays clean for reuse) — no
+                // per-level sort.
+                FOLD_GRID.with(|g| {
+                    let mut grid = g.borrow_mut();
+                    if grid.len() < grid_cells {
+                        grid.resize(grid_cells, 0);
+                    }
+                    for &((l, r), d) in &cells {
+                        grid[left_map[l as usize] as usize * cols
+                            + right_map[r as usize] as usize] += d;
+                    }
+                    folded.clear();
+                    for (idx, v) in grid[..grid_cells].iter_mut().enumerate() {
+                        if *v != 0 {
+                            folded.push((((idx / cols) as u32, (idx % cols) as u32), *v));
+                            *v = 0;
+                        }
+                    }
+                });
+                std::mem::swap(&mut cells, &mut folded);
+            } else {
+                keyed.clear();
+                keyed.extend(cells.iter().map(|&((l, r), d)| {
+                    let key =
+                        ((left_map[l as usize] as u64) << 32) | right_map[r as usize] as u64;
+                    (key, d)
+                }));
+                fold_cell_deltas(&mut keyed, &mut cells);
+            }
+            self.levels[i].apply_cell_deltas(&cells, &mut old_counts)?;
+        }
+        Ok(())
+    }
+}
+
+/// Coarse levels whose full block grid fits under this many cells fold
+/// their deltas by dense scatter-add instead of sort-and-fold (the scan
+/// that collects nonzero entries also re-zeroes the recycled grid).
+const DENSE_FOLD_MAX_CELLS: usize = 1 << 17;
+
+thread_local! {
+    // Recycled dense fold grid — kept zeroed between uses so the delta
+    // rollup never re-allocates (and never re-faults) at steady state.
+    static FOLD_GRID: std::cell::RefCell<Vec<i64>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Sorts (in place) and folds keyed signed cell changes into
+/// strictly-sorted `((left_block, right_block), change)` cells, dropping
+/// cancellations — the delta-side analogue of the keyed rollup fold in
+/// [`PairCounts::rollup`]. `cells` is cleared first; both buffers are
+/// caller-recycled across the rollup chain so the per-epoch delta path
+/// stays allocation-free at steady state.
+fn fold_cell_deltas(keyed: &mut [(u64, i64)], cells: &mut Vec<((u32, u32), i64)>) {
+    keyed.sort_unstable_by_key(|&(k, _)| k);
+    cells.clear();
+    for &(k, d) in keyed.iter() {
+        let key = ((k >> 32) as u32, k as u32);
+        match cells.last_mut() {
+            Some((prev, sum)) if *prev == key => *sum += d,
+            _ => cells.push((key, d)),
+        }
+    }
+    cells.retain(|&(_, d)| d != 0);
 }
 
 #[cfg(test)]
@@ -232,6 +411,60 @@ mod tests {
             assert_eq!(cached.total(), g.edge_count());
         }
         assert_eq!(stats.sensitivities(), h.sensitivities(&g));
+    }
+
+    #[test]
+    fn apply_delta_matches_full_recompute() {
+        use gdp_graph::{EdgeDelta, LeftId, RightId};
+        let g = graph();
+        let h = Specializer::new(SpecializationConfig::median(3).unwrap())
+            .specialize(&g, &mut StdRng::seed_from_u64(11))
+            .unwrap();
+        let mut stats = HierarchyStats::compute(&g, &h).unwrap();
+        // Delete two existing edges, insert two absent ones.
+        let delta = EdgeDelta::new(
+            vec![
+                (LeftId::new(0), RightId::new(1)),
+                (LeftId::new(23), RightId::new(0)),
+            ],
+            vec![
+                (LeftId::new(0), RightId::new(0)),
+                (LeftId::new(1), RightId::new(7)),
+            ],
+        );
+        let g2 = g.apply_delta(&delta).unwrap();
+        stats.apply_delta(&h, &delta).unwrap();
+        assert_eq!(stats, HierarchyStats::compute(&g2, &h).unwrap());
+        // Empty delta is an exact no-op.
+        let before = stats.clone();
+        stats.apply_delta(&h, &EdgeDelta::empty()).unwrap();
+        assert_eq!(stats, before);
+    }
+
+    #[test]
+    fn apply_delta_range_and_level_mismatch_errors() {
+        use gdp_graph::{EdgeDelta, LeftId, RightId};
+        let g = graph();
+        let h = Specializer::new(SpecializationConfig::median(2).unwrap())
+            .specialize(&g, &mut StdRng::seed_from_u64(3))
+            .unwrap();
+        let mut stats = HierarchyStats::compute(&g, &h).unwrap();
+        let oob = EdgeDelta::new(vec![(LeftId::new(99), RightId::new(0))], Vec::new());
+        assert!(matches!(
+            stats.apply_delta(&h, &oob),
+            Err(CoreError::Graph(
+                gdp_graph::GraphError::LeftNodeOutOfRange { index: 99, .. }
+            ))
+        ));
+        let other = Specializer::new(SpecializationConfig::median(3).unwrap())
+            .specialize(&g, &mut StdRng::seed_from_u64(3))
+            .unwrap();
+        if other.level_count() != h.level_count() {
+            assert!(matches!(
+                stats.apply_delta(&other, &EdgeDelta::empty()),
+                Err(CoreError::InvalidHierarchy(_))
+            ));
+        }
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Property suite pinning `HierarchyStats::apply_delta` — the
+//! epoch-incremental statistics path `DisclosureSession::publish_next`
+//! rides — **bitwise** to `HierarchyStats::compute` over the post-delta
+//! graph, at every level of the refinement chain. All maintained
+//! quantities (cell counts, marginals, squared marginals, totals) are
+//! integers, so exact equality is the contract; a single ulp of
+//! divergence would break the bit-identical-release guarantee the
+//! session documents (see `docs/epochs.md`).
+//!
+//! Covers empty deltas, delete-every-edge batches (cells and whole
+//! dirty rows emptied at every level), inserts into empty rows, and
+//! repeated application (delta then inverse) so the recycled rebuild
+//! scratch and dense fold grids are re-entered with stale contents.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use gdp_core::{HierarchyStats, SpecializationConfig, Specializer};
+use gdp_graph::{BipartiteGraph, EdgeDelta, GraphBuilder, LeftId, RightId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A base graph plus a valid delta against it: deletes are a stride of
+/// the existing edges (stride 1 ⇒ *every* edge deleted), inserts are
+/// deduplicated absent pairs.
+fn fixture() -> impl Strategy<Value = (BipartiteGraph, EdgeDelta)> {
+    (2u32..24, 2u32..24)
+        .prop_flat_map(|(nl, nr)| {
+            (
+                Just(nl),
+                Just(nr),
+                proptest::collection::vec((0..nl, 0..nr), 1..120),
+                proptest::collection::vec((0..nl, 0..nr), 0..40),
+                0usize..5,
+            )
+        })
+        .prop_map(|(nl, nr, edges, candidates, stride)| {
+            let mut b = GraphBuilder::new(nl, nr);
+            for &(l, r) in &edges {
+                b.add_edge(LeftId::new(l), RightId::new(r)).unwrap();
+            }
+            let graph = b.build();
+            let deletes: Vec<(LeftId, RightId)> = match stride {
+                0 => Vec::new(),
+                s => graph.edges().step_by(s).collect(),
+            };
+            let present: BTreeSet<(u32, u32)> =
+                graph.edges().map(|(l, r)| (l.index(), r.index())).collect();
+            let mut chosen = BTreeSet::new();
+            let inserts: Vec<(LeftId, RightId)> = candidates
+                .into_iter()
+                .filter(|&p| !present.contains(&p) && chosen.insert(p))
+                .map(|(l, r)| (LeftId::new(l), RightId::new(r)))
+                .collect();
+            (graph, EdgeDelta::new(inserts, deletes))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn delta_applied_stats_match_full_recompute_at_every_level(
+        (graph, delta) in fixture(),
+        rounds in 1u32..4,
+        seed in 0u64..50,
+    ) {
+        let hierarchy = Specializer::new(SpecializationConfig::paper_default(rounds).unwrap())
+            .specialize(&graph, &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        let base = HierarchyStats::compute(&graph, &hierarchy).unwrap();
+
+        let updated_graph = graph.apply_delta(&delta).unwrap();
+        let full = HierarchyStats::compute(&updated_graph, &hierarchy).unwrap();
+
+        // Dirty-row rollup lands bit-identical to the full sweep —
+        // `PartialEq` covers every level's cells AND the cached
+        // marginals the disclosure sensitivities are derived from.
+        let mut stats = base.clone();
+        stats.apply_delta(&hierarchy, &delta).unwrap();
+        prop_assert_eq!(&stats, &full);
+
+        // The inverse delta walks the same value back through the
+        // recycled scratch to the original stats, bit-for-bit.
+        let undo = EdgeDelta::new(delta.deletes().to_vec(), delta.inserts().to_vec());
+        stats.apply_delta(&hierarchy, &undo).unwrap();
+        prop_assert_eq!(&stats, &base);
+
+        // Empty delta: a bitwise no-op.
+        stats.apply_delta(&hierarchy, &EdgeDelta::empty()).unwrap();
+        prop_assert_eq!(&stats, &base);
+    }
+}

@@ -38,6 +38,38 @@ impl BipartiteGraph {
         }
     }
 
+    /// The raw left-direction CSR arrays (offsets, neighbour list) — the
+    /// delta applier rebuilds untouched row spans by bulk copy from
+    /// these.
+    pub(crate) fn left_csr(&self) -> (&[usize], &[RightId]) {
+        (&self.left_offsets, &self.left_neighbors)
+    }
+
+    /// The raw right-direction CSR arrays (offsets, neighbour list).
+    pub(crate) fn right_csr(&self) -> (&[usize], &[LeftId]) {
+        (&self.right_offsets, &self.right_neighbors)
+    }
+
+    /// Swaps freshly built CSR arrays in, leaving the old arrays in the
+    /// caller's buffers — the delta applier's allocation-free epoch
+    /// advance (the retired arrays become the next build's scratch).
+    pub(crate) fn swap_csr(
+        &mut self,
+        left_offsets: &mut Vec<usize>,
+        left_neighbors: &mut Vec<RightId>,
+        right_offsets: &mut Vec<usize>,
+        right_neighbors: &mut Vec<LeftId>,
+    ) {
+        debug_assert_eq!(*left_offsets.last().unwrap(), left_neighbors.len());
+        debug_assert_eq!(*right_offsets.last().unwrap(), right_neighbors.len());
+        debug_assert_eq!(left_offsets.len(), self.left_offsets.len());
+        debug_assert_eq!(right_offsets.len(), self.right_offsets.len());
+        std::mem::swap(&mut self.left_offsets, left_offsets);
+        std::mem::swap(&mut self.left_neighbors, left_neighbors);
+        std::mem::swap(&mut self.right_offsets, right_offsets);
+        std::mem::swap(&mut self.right_neighbors, right_neighbors);
+    }
+
     /// An empty graph with the given side sizes and no associations.
     pub fn empty(left_count: u32, right_count: u32) -> Self {
         Self {

@@ -43,6 +43,49 @@ pub enum GraphError {
         /// What broke the refinement relation.
         message: String,
     },
+    /// An edge-delta insert named an association already present in the
+    /// graph (or listed the same pair twice in one batch).
+    DeltaInsertExists {
+        /// Left endpoint of the offending association.
+        left: u32,
+        /// Right endpoint of the offending association.
+        right: u32,
+    },
+    /// An edge-delta delete named an association absent from the graph
+    /// (or listed the same pair twice in one batch).
+    DeltaDeleteMissing {
+        /// Left endpoint of the offending association.
+        left: u32,
+        /// Right endpoint of the offending association.
+        right: u32,
+    },
+    /// The same association appeared in both the insert and the delete
+    /// half of one edge-delta batch — the intended outcome is ambiguous,
+    /// so the batch is refused whole.
+    DeltaConflict {
+        /// Left endpoint of the offending association.
+        left: u32,
+        /// Right endpoint of the offending association.
+        right: u32,
+    },
+    /// A cell-delta batch was malformed: keys not strictly sorted
+    /// row-major, a duplicate key, or an explicit zero change.
+    DeltaInvalid {
+        /// What was malformed.
+        message: String,
+    },
+    /// A cell-delta would drive a block-pair count below zero — the
+    /// batch disagrees with the counts it claims to update.
+    DeltaCellUnderflow {
+        /// Left block of the offending cell.
+        left_block: u32,
+        /// Right block of the offending cell.
+        right_block: u32,
+        /// The count currently stored in the cell.
+        have: u64,
+        /// The signed change that would underflow it.
+        change: i64,
+    },
     /// A text edge-list could not be parsed.
     Parse {
         /// 1-based line number of the failure.
@@ -88,6 +131,28 @@ impl fmt::Display for GraphError {
             Self::NotARefinement { message } => {
                 write!(f, "partition is not a refinement: {message}")
             }
+            Self::DeltaInsertExists { left, right } => write!(
+                f,
+                "delta insert ({left}, {right}) names an association that already exists"
+            ),
+            Self::DeltaDeleteMissing { left, right } => write!(
+                f,
+                "delta delete ({left}, {right}) names an association that does not exist"
+            ),
+            Self::DeltaConflict { left, right } => write!(
+                f,
+                "association ({left}, {right}) appears in both the insert and delete half of one delta"
+            ),
+            Self::DeltaInvalid { message } => write!(f, "malformed delta batch: {message}"),
+            Self::DeltaCellUnderflow {
+                left_block,
+                right_block,
+                have,
+                change,
+            } => write!(
+                f,
+                "cell delta {change} would drive pair count ({left_block}, {right_block}) = {have} below zero"
+            ),
             Self::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
             Self::Json(message) => write!(f, "json error: {message}"),
             Self::Binary { offset, message } => {

@@ -42,6 +42,7 @@
 mod bipartite;
 mod builder;
 mod csr_direct;
+mod delta;
 mod error;
 mod histogram;
 mod node;
@@ -64,6 +65,7 @@ pub use gdp_lanes as lanes;
 pub use bipartite::{BipartiteGraph, EdgeIter};
 pub use builder::GraphBuilder;
 pub use csr_direct::{CsrDirectBuilder, EdgeSink, RecordingSink, RowShardSink};
+pub use delta::EdgeDelta;
 pub use error::GraphError;
 pub use histogram::DegreeHistogram;
 pub use node::{LeftId, NodeId, RightId, Side};

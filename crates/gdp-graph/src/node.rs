@@ -110,6 +110,25 @@ impl From<u32> for RightId {
     }
 }
 
+/// Crate-internal unwrapping of a typed node id to its raw index, for
+/// code generic over which side it walks (the CSR delta rebuild).
+pub(crate) trait NodeIndex {
+    /// The raw index.
+    fn node_index(self) -> u32;
+}
+
+impl NodeIndex for LeftId {
+    fn node_index(self) -> u32 {
+        self.0
+    }
+}
+
+impl NodeIndex for RightId {
+    fn node_index(self) -> u32 {
+        self.0
+    }
+}
+
 /// A node on either side of the graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum NodeId {

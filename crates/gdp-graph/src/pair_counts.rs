@@ -35,6 +35,16 @@ use crate::partition::SidePartition;
 /// dense accumulation grid to a sort-and-fold over keyed cells.
 const DENSE_ROLLUP_MAX_CELLS: usize = 1 << 22;
 
+thread_local! {
+    // Recycled CSR build buffers for the structural delta rebuild:
+    // freeing and re-allocating multi-MB arrays every epoch makes the
+    // allocator return pages to the kernel, so each rebuild would pay
+    // first-touch page faults over the whole table. The retired arrays
+    // are swapped in here instead and reused by the next rebuild.
+    static CSR_SCRATCH: std::cell::RefCell<(Vec<usize>, Vec<u32>, Vec<u64>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
+}
+
 /// Sparse per-(left-block, right-block) association counts under a pair
 /// of side partitions — the "subgraphs induced by each group level" that
 /// the paper's Phase 2 perturbs.
@@ -65,6 +75,14 @@ pub struct PairMarginals {
     pub left: Vec<u64>,
     /// Column sums: associations incident to each right block.
     pub right: Vec<u64>,
+    /// Row sums of **squared** cell counts: `Σ_r c(g,r)²` per left
+    /// block — the L2 half of the per-group-counts sensitivity, cached
+    /// so disclosure never refolds the cells. Exact: `Σ c² ≤ total²`,
+    /// so `u64` never wraps for graphs under 2³² associations (the
+    /// adjacency arrays run out of address space long before that).
+    pub left_sq: Vec<u64>,
+    /// Column sums of squared cell counts per right block.
+    pub right_sq: Vec<u64>,
     /// Total count across all cells (the graph's edge count).
     pub total: u64,
     /// Largest left-block marginal.
@@ -318,19 +336,209 @@ impl PairCounts {
         }
     }
 
+    /// Applies a batch of signed cell deltas in place — the per-level
+    /// update step of an epoch-incremental disclosure (see
+    /// `docs/epochs.md`).
+    ///
+    /// `deltas` must be strictly sorted row-major by `(left_block,
+    /// right_block)` with unique keys and nonzero changes. A refused
+    /// batch (typed [`GraphError`](crate::GraphError)) leaves the
+    /// counts untouched: the
+    /// rare all-cells-survive case is validated up front and updated by
+    /// in-place arithmetic, while the common structural case (some cell
+    /// appears or vanishes) validates *during* a rebuild that writes
+    /// only per-thread recycled scratch, swapped in on success — so
+    /// steady-state epoch updates are allocation-free and atomicity
+    /// costs no extra lookup pass. Counts are integers, so the result
+    /// is bit-identical to recomputing from the updated graph
+    /// (property-pinned in `tests/delta_equivalence`).
+    pub fn apply_cell_deltas(&mut self, deltas: &[((u32, u32), i64)]) -> crate::Result<()> {
+        let mut old_counts = Vec::with_capacity(deltas.len());
+        self.apply_cell_deltas_recording(deltas, &mut old_counts)
+    }
+
+    /// [`Self::apply_cell_deltas`], also recording each dirty cell's
+    /// **pre-update** count into `old_counts` (parallel to `deltas`,
+    /// cleared first) — callers maintaining derived marginals (Σ c,
+    /// Σ c² per block) compute their adjustments from these without
+    /// re-searching the updated table.
+    pub fn apply_cell_deltas_recording(
+        &mut self,
+        deltas: &[((u32, u32), i64)],
+        old_counts: &mut Vec<u64>,
+    ) -> crate::Result<()> {
+        use crate::error::GraphError;
+        old_counts.clear();
+        old_counts.reserve(deltas.len());
+        // Shape pass — no table reads: ranges, nonzero, strictly sorted.
+        let mut prev: Option<(u32, u32)> = None;
+        for (i, &((l, r), d)) in deltas.iter().enumerate() {
+            if l >= self.left_blocks {
+                return Err(GraphError::BlockOutOfRange {
+                    block: l,
+                    block_count: self.left_blocks,
+                });
+            }
+            if r >= self.right_blocks {
+                return Err(GraphError::BlockOutOfRange {
+                    block: r,
+                    block_count: self.right_blocks,
+                });
+            }
+            if d == 0 {
+                return Err(GraphError::DeltaInvalid {
+                    message: format!("zero change for cell ({l}, {r}) at position {i}"),
+                });
+            }
+            if prev.is_some_and(|p| (l, r) <= p) {
+                return Err(GraphError::DeltaInvalid {
+                    message: format!("cells not strictly sorted row-major at position {i}"),
+                });
+            }
+            prev = Some((l, r));
+        }
+        // Classification with early exit: the moment a cell would
+        // appear or vanish, stop probing and rebuild (which re-reads
+        // and validates every cell in order anyway).
+        let mut structural = false;
+        for &((l, r), d) in deltas {
+            let have = self.get(l, r);
+            let new = have as i128 + d as i128;
+            if new < 0 {
+                return Err(GraphError::DeltaCellUnderflow {
+                    left_block: l,
+                    right_block: r,
+                    have,
+                    change: d,
+                });
+            }
+            if have == 0 || new == 0 {
+                structural = true;
+                break;
+            }
+            old_counts.push(have);
+        }
+        if !structural {
+            // Every dirty cell exists and survives: in-place arithmetic.
+            for &((l, r), d) in deltas {
+                let (lo, hi) = (self.row_ptr[l as usize], self.row_ptr[l as usize + 1]);
+                let i = self.col_idx[lo..hi]
+                    .binary_search(&r)
+                    .expect("validated cell exists");
+                let c = &mut self.cell_counts[lo + i];
+                *c = (*c as i128 + d as i128) as u64;
+            }
+            return Ok(());
+        }
+        old_counts.clear();
+        self.apply_cell_deltas_structural(deltas, old_counts)
+    }
+
+    /// The structural half of [`Self::apply_cell_deltas_recording`]:
+    /// rebuilds the CSR arrays into per-thread recycled buffers — clean
+    /// row spans copy whole, dirty rows copy span-wise between their
+    /// deltas — validating underflow as it merges. Only scratch memory
+    /// is written before the final swap, so a refused batch leaves the
+    /// table untouched, and the retired arrays become the next call's
+    /// warm scratch (steady-state epoch updates allocate nothing).
+    fn apply_cell_deltas_structural(
+        &mut self,
+        deltas: &[((u32, u32), i64)],
+        old_counts: &mut Vec<u64>,
+    ) -> crate::Result<()> {
+        use crate::error::GraphError;
+        CSR_SCRATCH.with(|scratch| {
+            let mut s = scratch.borrow_mut();
+            let (row_ptr, col_idx, cell_counts) = &mut *s;
+            let rows = self.left_blocks as usize;
+            row_ptr.clear();
+            row_ptr.reserve(rows + 1);
+            row_ptr.push(0usize);
+            col_idx.clear();
+            col_idx.reserve(self.col_idx.len() + deltas.len());
+            cell_counts.clear();
+            cell_counts.reserve(self.col_idx.len() + deltas.len());
+            let mut di = 0usize;
+            let mut row = 0usize;
+            while row < rows {
+                let next_dirty = deltas.get(di).map_or(rows, |&((l, _), _)| l as usize);
+                if next_dirty > row {
+                    let (a, b) = (self.row_ptr[row], self.row_ptr[next_dirty]);
+                    let base = col_idx.len();
+                    col_idx.extend_from_slice(&self.col_idx[a..b]);
+                    cell_counts.extend_from_slice(&self.cell_counts[a..b]);
+                    for r in row + 1..=next_dirty {
+                        row_ptr.push(base + (self.row_ptr[r] - a));
+                    }
+                    row = next_dirty;
+                    continue;
+                }
+                // Dirty row: walk its deltas in column order,
+                // bulk-copying the untouched cell span before each one.
+                let end = di
+                    + deltas[di..].iter().take_while(|&&((l, _), _)| l as usize == row).count();
+                let (a, b) = (self.row_ptr[row], self.row_ptr[row + 1]);
+                let old_cols = &self.col_idx[a..b];
+                let old_cnts = &self.cell_counts[a..b];
+                let mut pos = 0usize;
+                for &((l, r), d) in &deltas[di..end] {
+                    let cut = pos + old_cols[pos..].partition_point(|&c| c < r);
+                    col_idx.extend_from_slice(&old_cols[pos..cut]);
+                    cell_counts.extend_from_slice(&old_cnts[pos..cut]);
+                    pos = cut;
+                    let have = if pos < old_cols.len() && old_cols[pos] == r {
+                        pos += 1;
+                        old_cnts[pos - 1]
+                    } else {
+                        0
+                    };
+                    let new = have as i128 + d as i128;
+                    if new < 0 {
+                        return Err(GraphError::DeltaCellUnderflow {
+                            left_block: l,
+                            right_block: r,
+                            have,
+                            change: d,
+                        });
+                    }
+                    if new != 0 {
+                        col_idx.push(r);
+                        cell_counts.push(new as u64);
+                    }
+                    old_counts.push(have);
+                }
+                col_idx.extend_from_slice(&old_cols[pos..]);
+                cell_counts.extend_from_slice(&old_cnts[pos..]);
+                di = end;
+                row_ptr.push(col_idx.len());
+                row += 1;
+            }
+            std::mem::swap(&mut self.row_ptr, row_ptr);
+            std::mem::swap(&mut self.col_idx, col_idx);
+            std::mem::swap(&mut self.cell_counts, cell_counts);
+            Ok(())
+        })
+    }
+
     /// All marginal statistics (row/column sums, total, per-side maxima)
     /// in one pass over the CSR arrays.
     pub fn marginals(&self) -> PairMarginals {
         let mut left = vec![0u64; self.left_blocks as usize];
         let mut right = vec![0u64; self.right_blocks as usize];
+        let mut left_sq = vec![0u64; self.left_blocks as usize];
+        let mut right_sq = vec![0u64; self.right_blocks as usize];
         let mut total = 0u64;
         for (l, slot) in left.iter_mut().enumerate() {
             let mut row_sum = 0u64;
+            let mut row_sq = 0u64;
             for (r, c) in self.row(l as u32) {
                 row_sum += c;
+                row_sq += c * c;
                 right[r as usize] += c;
+                right_sq[r as usize] += c * c;
             }
             *slot = row_sum;
+            left_sq[l] = row_sq;
             total += row_sum;
         }
         let max_left = left.iter().copied().max().unwrap_or(0);
@@ -338,6 +546,8 @@ impl PairCounts {
         PairMarginals {
             left,
             right,
+            left_sq,
+            right_sq,
             total,
             max_left,
             max_right,
@@ -756,6 +966,82 @@ mod tests {
                 .collect();
             assert_eq!(out, expect, "len {len}");
         }
+    }
+
+    #[test]
+    fn cell_deltas_in_place_path() {
+        let g = sample_graph();
+        let pl = SidePartition::new(Side::Left, vec![0, 0, 1, 1], 2).unwrap();
+        let pr = SidePartition::new(Side::Right, vec![0, 0, 1], 2).unwrap();
+        let mut pc = PairCounts::compute(&g, &pl, &pr);
+        // All touched cells exist and survive: (0,0)=3, (1,0)=1, (1,1)=2.
+        pc.apply_cell_deltas(&[((0, 0), 2), ((1, 1), -1)]).unwrap();
+        assert_eq!(pc.get(0, 0), 5);
+        assert_eq!(pc.get(1, 0), 1);
+        assert_eq!(pc.get(1, 1), 1);
+        assert_eq!(pc.non_empty_cells(), 3);
+    }
+
+    #[test]
+    fn cell_deltas_structural_rebuild() {
+        let g = sample_graph();
+        let pl = SidePartition::new(Side::Left, vec![0, 0, 1, 1], 2).unwrap();
+        let pr = SidePartition::new(Side::Right, vec![0, 0, 1], 2).unwrap();
+        let mut pc = PairCounts::compute(&g, &pl, &pr);
+        // Kill (1,0), birth (0,1), leave row 1's other cell alone.
+        pc.apply_cell_deltas(&[((0, 1), 4), ((1, 0), -1)]).unwrap();
+        assert_eq!(pc.get(0, 1), 4);
+        assert_eq!(pc.get(1, 0), 0);
+        assert_eq!(pc.get(1, 1), 2);
+        assert_eq!(pc.non_empty_cells(), 3);
+        // Canonical CSR: equal to a from-scratch table with those counts.
+        let expect = PairCounts::from_sorted_cells(
+            &[((0, 0), 3), ((0, 1), 4), ((1, 1), 2)],
+            2,
+            2,
+        );
+        assert_eq!(pc, expect);
+    }
+
+    #[test]
+    fn cell_deltas_delete_row_to_empty() {
+        let mut pc = PairCounts::from_sorted_cells(&[((0, 0), 2), ((2, 1), 1)], 3, 2);
+        pc.apply_cell_deltas(&[((2, 1), -1)]).unwrap();
+        assert_eq!(pc.get(2, 1), 0);
+        assert_eq!(pc.non_empty_cells(), 1);
+        assert_eq!(pc, PairCounts::from_sorted_cells(&[((0, 0), 2)], 3, 2));
+        // Empty delta batch is a no-op on any table.
+        let before = pc.clone();
+        pc.apply_cell_deltas(&[]).unwrap();
+        assert_eq!(pc, before);
+    }
+
+    #[test]
+    fn cell_deltas_refusals_leave_counts_untouched() {
+        let base = PairCounts::from_sorted_cells(&[((0, 0), 2), ((1, 1), 1)], 2, 2);
+        let cases: &[&[((u32, u32), i64)]] = &[
+            &[((0, 0), -3)],                  // underflow
+            &[((0, 0), 1), ((0, 0), 1)],      // duplicate key
+            &[((1, 1), 1), ((0, 0), 1)],      // unsorted
+            &[((0, 1), 0)],                   // zero change
+            &[((5, 0), 1)],                   // left block out of range
+            &[((0, 9), 1)],                   // right block out of range
+            &[((0, 1), -1)],                  // underflow on an absent cell
+        ];
+        for deltas in cases {
+            let mut pc = base.clone();
+            assert!(pc.apply_cell_deltas(deltas).is_err(), "{deltas:?}");
+            assert_eq!(pc, base, "{deltas:?}");
+        }
+        assert!(matches!(
+            base.clone().apply_cell_deltas(&[((0, 0), -3)]),
+            Err(crate::GraphError::DeltaCellUnderflow {
+                left_block: 0,
+                right_block: 0,
+                have: 2,
+                change: -3
+            })
+        ));
     }
 
     #[test]

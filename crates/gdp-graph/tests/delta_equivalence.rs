@@ -1,0 +1,175 @@
+//! Property suite pinning the graph-side delta paths **bitwise** to
+//! full recomputation: `apply_delta` / `apply_delta_in_place` against a
+//! builder rebuild of the post-delta edge set, and
+//! `PairCounts::apply_cell_deltas` against `PairCounts::compute` over
+//! the updated graph. Every quantity involved is integer, so exact
+//! equality is the contract, not an approximation — the same convention
+//! the epoch-incremental `publish_next` path relies on (see
+//! `docs/epochs.md`).
+//!
+//! The strategies deliberately cover the edge shapes the merge code has
+//! to get right: empty deltas, delete-every-edge batches (rows and
+//! cells emptied entirely), inserts into empty rows, and **repeated**
+//! applications so the recycled per-thread rebuild scratch is exercised
+//! with stale prior contents.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use proptest::prelude::*;
+
+use gdp_graph::{
+    BipartiteGraph, EdgeDelta, GraphBuilder, LeftId, PairCounts, RightId, Side, SidePartition,
+};
+
+/// A base graph plus a valid delta against it: deletes are a stride of
+/// the existing edges (stride 1 ⇒ *every* edge deleted), inserts are
+/// deduplicated absent pairs. Deletes and inserts cannot overlap by
+/// construction.
+fn fixture() -> impl Strategy<Value = (BipartiteGraph, EdgeDelta)> {
+    (2u32..24, 2u32..24)
+        .prop_flat_map(|(nl, nr)| {
+            (
+                Just(nl),
+                Just(nr),
+                proptest::collection::vec((0..nl, 0..nr), 1..120),
+                proptest::collection::vec((0..nl, 0..nr), 0..40),
+                0usize..5,
+            )
+        })
+        .prop_map(|(nl, nr, edges, candidates, stride)| {
+            let mut b = GraphBuilder::new(nl, nr);
+            for &(l, r) in &edges {
+                b.add_edge(LeftId::new(l), RightId::new(r)).unwrap();
+            }
+            let graph = b.build();
+            let deletes: Vec<(LeftId, RightId)> = match stride {
+                0 => Vec::new(),
+                s => graph.edges().step_by(s).collect(),
+            };
+            let present: BTreeSet<(u32, u32)> =
+                graph.edges().map(|(l, r)| (l.index(), r.index())).collect();
+            let mut chosen = BTreeSet::new();
+            let inserts: Vec<(LeftId, RightId)> = candidates
+                .into_iter()
+                .filter(|&p| !present.contains(&p) && chosen.insert(p))
+                .map(|(l, r)| (LeftId::new(l), RightId::new(r)))
+                .collect();
+            (graph, EdgeDelta::new(inserts, deletes))
+        })
+}
+
+/// The delta that undoes `delta` against the graph it was applied to.
+fn inverse(delta: &EdgeDelta) -> EdgeDelta {
+    EdgeDelta::new(delta.deletes().to_vec(), delta.inserts().to_vec())
+}
+
+/// `i % blocks` assignments — surjective whenever `nodes ≥ blocks`.
+fn modulo_partition(side: Side, nodes: u32, blocks: u32) -> SidePartition {
+    let blocks = blocks.min(nodes).max(1);
+    SidePartition::new(side, (0..nodes).map(|i| i % blocks).collect(), blocks).unwrap()
+}
+
+/// Folds a delta's edges through side assignments into the
+/// strictly-sorted signed cell batch `apply_cell_deltas` consumes.
+fn cell_deltas(
+    delta: &EdgeDelta,
+    left: &SidePartition,
+    right: &SidePartition,
+) -> Vec<((u32, u32), i64)> {
+    let mut folded: BTreeMap<(u32, u32), i64> = BTreeMap::new();
+    for (sign, edges) in [(1i64, delta.inserts()), (-1i64, delta.deletes())] {
+        for &(l, r) in edges {
+            let key = (
+                left.assignment()[l.as_usize()],
+                right.assignment()[r.as_usize()],
+            );
+            *folded.entry(key).or_insert(0) += sign;
+        }
+    }
+    folded.into_iter().filter(|&(_, d)| d != 0).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn delta_application_matches_builder_rebuild((graph, delta) in fixture()) {
+        // Reference: rebuild the post-delta edge set from scratch.
+        let mut edges: BTreeSet<(u32, u32)> =
+            graph.edges().map(|(l, r)| (l.index(), r.index())).collect();
+        for &(l, r) in delta.deletes() {
+            prop_assert!(edges.remove(&(l.index(), r.index())));
+        }
+        for &(l, r) in delta.inserts() {
+            prop_assert!(edges.insert((l.index(), r.index())));
+        }
+        let mut b = GraphBuilder::new(graph.left_count(), graph.right_count());
+        for &(l, r) in &edges {
+            b.add_edge(LeftId::new(l), RightId::new(r)).unwrap();
+        }
+        let rebuilt = b.build();
+
+        let applied = graph.apply_delta(&delta).unwrap();
+        prop_assert_eq!(&applied, &rebuilt);
+
+        // In-place twin, then the inverse on the SAME value: two
+        // successive rebuilds through the recycled scratch, ending
+        // exactly where we started.
+        let mut g = graph.clone();
+        g.apply_delta_in_place(&delta).unwrap();
+        prop_assert_eq!(&g, &rebuilt);
+        g.apply_delta_in_place(&inverse(&delta)).unwrap();
+        prop_assert_eq!(&g, &graph);
+    }
+
+    #[test]
+    fn cell_delta_application_matches_recount(
+        (graph, delta) in fixture(),
+        lb in 1u32..8,
+        rb in 1u32..8,
+    ) {
+        let left = modulo_partition(Side::Left, graph.left_count(), lb);
+        let right = modulo_partition(Side::Right, graph.right_count(), rb);
+        let before = PairCounts::compute(&graph, &left, &right);
+        let after = PairCounts::compute(&graph.apply_delta(&delta).unwrap(), &left, &right);
+        let cells = cell_deltas(&delta, &left, &right);
+
+        // Recording variant: pre-update counts must match point reads
+        // taken before the update.
+        let expected_old: Vec<u64> =
+            cells.iter().map(|&((l, r), _)| before.get(l, r)).collect();
+        let mut pc = before.clone();
+        let mut old = Vec::new();
+        pc.apply_cell_deltas_recording(&cells, &mut old).unwrap();
+        prop_assert_eq!(&pc, &after);
+        prop_assert_eq!(&old, &expected_old);
+
+        // Undo on the same value — scratch reuse with stale contents —
+        // restores the original table bit-for-bit.
+        let undo: Vec<((u32, u32), i64)> =
+            cells.iter().map(|&(k, d)| (k, -d)).collect();
+        pc.apply_cell_deltas(&undo).unwrap();
+        prop_assert_eq!(&pc, &before);
+
+        // Marginals derived from a delta-applied table equal marginals
+        // recomputed from scratch (the disclosure sensitivity cache
+        // consumes these).
+        let mut pc2 = before.clone();
+        pc2.apply_cell_deltas(&cells).unwrap();
+        prop_assert_eq!(pc2.marginals(), after.marginals());
+    }
+
+    #[test]
+    fn empty_delta_is_a_bitwise_no_op((graph, _) in fixture()) {
+        let mut g = graph.clone();
+        g.apply_delta_in_place(&EdgeDelta::empty()).unwrap();
+        prop_assert_eq!(&g, &graph);
+
+        let left = modulo_partition(Side::Left, graph.left_count(), 3);
+        let right = modulo_partition(Side::Right, graph.right_count(), 3);
+        let before = PairCounts::compute(&graph, &left, &right);
+        let mut pc = before.clone();
+        pc.apply_cell_deltas(&[]).unwrap();
+        prop_assert_eq!(&pc, &before);
+    }
+}

@@ -74,11 +74,25 @@ impl PrivacyAccountant {
 
     /// Budget still available under sequential composition.
     ///
-    /// Returns `None` once the remaining `ε` rounds to zero (a zero-ε
-    /// budget cannot be represented, by design).
+    /// Comparisons are **tolerance-aware**: a long chain of small
+    /// charges accumulates ulp-level rounding in the running sums, so a
+    /// naive `total − spent` can report a vanishing positive residue
+    /// after the pot was drained exactly, or a vanishing negative one a
+    /// step early. Residues within [`BUDGET_RELATIVE_SLACK`] of the
+    /// total are treated as zero in both `ε` (→ `None`, the pot is
+    /// empty) and `δ` (→ clamped to pure).
+    ///
+    /// Returns `None` once the remaining `ε` is exhausted within
+    /// tolerance (a zero-ε budget cannot be represented, by design).
     pub fn remaining(&self) -> Option<PrivacyBudget> {
         let eps = self.total.epsilon.get() - self.spent_epsilon;
-        let delta = (self.total.delta.get() - self.spent_delta).max(0.0);
+        if eps <= self.total.epsilon.get() * BUDGET_RELATIVE_SLACK {
+            return None;
+        }
+        let mut delta = (self.total.delta.get() - self.spent_delta).max(0.0);
+        if delta <= self.total.delta.get() * BUDGET_RELATIVE_SLACK {
+            delta = 0.0;
+        }
         match (Epsilon::new(eps), Delta::new(delta)) {
             (Ok(e), Ok(d)) => Some(PrivacyBudget {
                 epsilon: e,
@@ -88,29 +102,31 @@ impl PrivacyAccountant {
         }
     }
 
+    /// Whether the pot is drained within tolerance — equivalent to
+    /// `remaining().is_none()`, and the state in which **every** further
+    /// charge is refused regardless of size.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining().is_none()
+    }
+
     /// Records a charge, failing (without recording) if it would exceed
     /// the authorized total.
     ///
-    /// A tiny relative tolerance (1e-9) absorbs floating-point rounding in
-    /// budgets assembled by repeated splitting.
+    /// The comparison carries the same [`BUDGET_RELATIVE_SLACK`]
+    /// tolerance as [`Self::remaining`], symmetric in both directions:
+    /// a charge that exactly fits still fits when the running sum
+    /// drifted a few ulps *high* (budgets assembled by repeated
+    /// splitting), and once the pot is drained within tolerance no
+    /// charge is admitted even if drift left a sub-slack positive
+    /// residue — `charge` and `remaining` can never disagree about
+    /// whether the pot is empty.
     ///
     /// # Errors
     ///
     /// Returns [`MechanismError::BudgetExhausted`] if the cumulative spend
     /// would exceed the total in either `ε` or `δ`.
     pub fn charge(&mut self, budget: PrivacyBudget, label: impl Into<String>) -> Result<()> {
-        let new_eps = self.spent_epsilon + budget.epsilon.get();
-        let new_delta = self.spent_delta + budget.delta.get();
-        let eps_cap = self.total.epsilon.get() * (1.0 + 1e-9);
-        let delta_cap = self.total.delta.get() * (1.0 + 1e-9) + f64::MIN_POSITIVE;
-        if new_eps > eps_cap || new_delta > delta_cap {
-            return Err(MechanismError::BudgetExhausted {
-                requested_epsilon: new_eps,
-                available_epsilon: self.total.epsilon.get(),
-                requested_delta: new_delta,
-                available_delta: self.total.delta.get(),
-            });
-        }
+        let (new_eps, new_delta) = self.admit(budget)?;
         self.spent_epsilon = new_eps;
         self.spent_delta = new_delta;
         self.ledger.push(LedgerEntry {
@@ -119,7 +135,51 @@ impl PrivacyAccountant {
         });
         Ok(())
     }
+
+    /// Whether a charge of `budget` would be admitted **right now**,
+    /// without recording anything — the exact admission test
+    /// [`Self::charge`] applies, shared so a caller can refuse an
+    /// operation *before* mutating other state and still be guaranteed
+    /// the subsequent `charge` succeeds (absent interleaved charges).
+    ///
+    /// # Errors
+    ///
+    /// The same [`MechanismError::BudgetExhausted`] the matching
+    /// `charge` would return.
+    pub fn check(&self, budget: PrivacyBudget) -> Result<()> {
+        self.admit(budget).map(|_| ())
+    }
+
+    /// The shared admission test: the post-charge `(ε, δ)` sums, or the
+    /// typed refusal if they would exceed the authorized total under
+    /// [`BUDGET_RELATIVE_SLACK`] tolerance.
+    fn admit(&self, budget: PrivacyBudget) -> Result<(f64, f64)> {
+        let new_eps = self.spent_epsilon + budget.epsilon.get();
+        let new_delta = self.spent_delta + budget.delta.get();
+        let eps_cap = self.total.epsilon.get() * (1.0 + BUDGET_RELATIVE_SLACK);
+        let delta_cap =
+            self.total.delta.get() * (1.0 + BUDGET_RELATIVE_SLACK) + f64::MIN_POSITIVE;
+        if self.is_exhausted() || new_eps > eps_cap || new_delta > delta_cap {
+            return Err(MechanismError::BudgetExhausted {
+                requested_epsilon: new_eps,
+                available_epsilon: self.total.epsilon.get(),
+                requested_delta: new_delta,
+                available_delta: self.total.delta.get(),
+            });
+        }
+        Ok((new_eps, new_delta))
+    }
 }
+
+/// The relative tolerance [`PrivacyAccountant`] applies when comparing
+/// cumulative spend against the authorized total, in **both**
+/// directions: it absorbs the ulp-level drift of long charge chains
+/// (so an exactly-fitting final epoch is admitted even if the running
+/// sum rounded up) and collapses sub-slack positive residues to "empty"
+/// (so a drained pot refuses everything even if the sum rounded down).
+/// At 1e-9 it is ~10⁷ × the rounding error of a million-charge chain
+/// yet far below any meaningful privacy budget granularity.
+pub const BUDGET_RELATIVE_SLACK: f64 = 1e-9;
 
 /// Sequential composition: running mechanisms `M₁…Mₖ` on the *same* data
 /// costs `(Σεᵢ, Σδᵢ)`.
@@ -218,6 +278,47 @@ mod tests {
         }
         // Exactly consumed despite 9-way division rounding.
         assert!(acct.remaining().is_none() || acct.remaining().unwrap().epsilon.get() < 1e-9);
+    }
+
+    #[test]
+    fn thousand_way_drain_ends_exactly_empty() {
+        // Regression: `remaining()` used naive `total − spent`, so a
+        // 1000-charge chain whose rounding drifted the running sum a few
+        // ulps *low* reported a vanishing positive residue after the pot
+        // was drained exactly — and a sub-slack charge could still be
+        // admitted. The drain must (a) admit every share including the
+        // exactly-fitting last one, (b) end with `remaining() == None`,
+        // and (c) refuse any further charge no matter how small.
+        let total = b(1.0, 1e-6);
+        let mut acct = PrivacyAccountant::new(total);
+        let shares = total.split_even(1000).unwrap();
+        assert_eq!(shares.len(), 1000);
+        for (i, share) in shares.into_iter().enumerate() {
+            acct.charge(share, format!("epoch {i}"))
+                .unwrap_or_else(|e| panic!("charge {i} refused: {e}"));
+        }
+        assert_eq!(acct.ledger().len(), 1000);
+        assert!(acct.remaining().is_none(), "drained pot must read empty");
+        assert!(acct.is_exhausted());
+        // Even a charge far below the slack tolerance is refused once
+        // the pot is empty — charge and remaining cannot disagree.
+        let err = acct.charge(b(1e-15, 0.0), "overdraft").unwrap_err();
+        assert!(matches!(err, MechanismError::BudgetExhausted { .. }));
+        assert_eq!(acct.ledger().len(), 1000);
+    }
+
+    #[test]
+    fn drift_high_still_admits_exactly_fitting_final_charge() {
+        // The symmetric direction: sums that drift a few ulps *high*
+        // must not refuse a final charge that logically fits.
+        let total = b(0.7, 0.0);
+        let mut acct = PrivacyAccountant::new(total);
+        for i in 0..7 {
+            // 0.1 is not exactly representable; 7 additions drift high.
+            acct.charge(b(0.1, 0.0), format!("week {i}"))
+                .unwrap_or_else(|e| panic!("charge {i} refused: {e}"));
+        }
+        assert!(acct.remaining().is_none());
     }
 
     #[test]

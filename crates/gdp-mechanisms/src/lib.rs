@@ -65,7 +65,7 @@ pub mod special;
 
 pub use accountant::{
     advanced_composition, parallel_composition, sequential_composition, LedgerEntry,
-    PrivacyAccountant,
+    PrivacyAccountant, BUDGET_RELATIVE_SLACK,
 };
 pub use budget::{BudgetSplit, Delta, Epsilon, PrivacyBudget};
 pub use error::MechanismError;

@@ -66,4 +66,4 @@ pub use fault::{FaultAction, FaultPlan, Gate};
 pub use http::{HttpError, Request, Response};
 pub use reload::{ReloadConfig, StoreSnapshot};
 pub use server::{DrainReport, Server, ServerConfig, ServerHandle};
-pub use stats::{CacheSnapshot, StatsSnapshot, VariantCounts};
+pub use stats::{ledger_section, CacheSnapshot, LedgerInfo, StatsSnapshot, VariantCounts};

@@ -166,6 +166,7 @@ impl Shared {
             self.queue.capacity(),
             self.service.cache_stats(),
             store_section,
+            crate::stats::ledger_section(store),
         )
     }
 

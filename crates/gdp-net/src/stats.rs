@@ -54,6 +54,33 @@ impl From<CacheStats> for CacheSnapshot {
     }
 }
 
+/// The privacy-ledger line for one served release: what its epoch
+/// charged and where the cross-epoch chain stands as of that epoch
+/// (copied from the manifest's [`gdp_core::ManifestLedger`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LedgerInfo {
+    /// The release's dataset.
+    pub dataset: String,
+    /// The release's epoch.
+    pub epoch: u64,
+    /// ε charged by this epoch alone.
+    pub epoch_epsilon: f64,
+    /// δ charged by this epoch alone.
+    pub epoch_delta: f64,
+    /// ε spent by the whole chain up to and including this epoch.
+    pub cumulative_epsilon: f64,
+    /// δ spent by the whole chain up to and including this epoch.
+    pub cumulative_delta: f64,
+    /// The lifetime ε cap the chain was authorized against.
+    pub total_epsilon: f64,
+    /// The lifetime δ cap the chain was authorized against.
+    pub total_delta: f64,
+    /// ε still unspent as of this epoch (tolerance-clamped to `0`).
+    pub remaining_epsilon: f64,
+    /// Whether the chain was out of ε budget after this epoch.
+    pub exhausted: bool,
+}
+
 /// One consistent-enough reading of every server counter — the
 /// `GET /stats` response body.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -93,6 +120,10 @@ pub struct StatsSnapshot {
     pub cache: CacheSnapshot,
     /// Release-store lifecycle: contents, quarantine and reload health.
     pub store: StoreSnapshot,
+    /// Per-release privacy-ledger state, one entry per served release
+    /// whose manifest carries a ledger (pre-ledger artifacts are
+    /// omitted). Sorted by `(dataset, epoch)`.
+    pub ledgers: Vec<LedgerInfo>,
 }
 
 /// The live counters, shared across acceptor, workers and supervisor.
@@ -155,8 +186,9 @@ impl ServerStats {
         self.started.elapsed().as_millis() as u64
     }
 
-    /// Snapshots every counter. `draining`, queue gauges, the cache and
-    /// store sections come from the caller (they live elsewhere).
+    /// Snapshots every counter. `draining`, queue gauges, the cache,
+    /// store and ledger sections come from the caller (they live
+    /// elsewhere).
     pub fn snapshot(
         &self,
         draining: bool,
@@ -164,6 +196,7 @@ impl ServerStats {
         queue_capacity: usize,
         cache: CacheStats,
         store: StoreSnapshot,
+        ledgers: Vec<LedgerInfo>,
     ) -> StatsSnapshot {
         let v = |i: usize| self.per_variant[i].load(Ordering::Relaxed);
         StatsSnapshot {
@@ -189,8 +222,39 @@ impl ServerStats {
             },
             cache: cache.into(),
             store,
+            ledgers,
         }
     }
+}
+
+/// Builds the `/stats` ledger section from a store's current contents:
+/// one [`LedgerInfo`] per release whose manifest carries a ledger,
+/// sorted by `(dataset, epoch)` (both listings are already sorted).
+pub fn ledger_section(store: &gdp_serve::ReleaseStore) -> Vec<LedgerInfo> {
+    let mut out = Vec::new();
+    for dataset in store.datasets() {
+        for epoch in store.epochs(&dataset) {
+            let Ok(indexed) = store.get(&dataset, epoch) else {
+                continue;
+            };
+            let Some(ledger) = indexed.artifact().manifest().ledger.clone() else {
+                continue;
+            };
+            out.push(LedgerInfo {
+                dataset: dataset.clone(),
+                epoch,
+                epoch_epsilon: ledger.epoch_epsilon,
+                epoch_delta: ledger.epoch_delta,
+                cumulative_epsilon: ledger.cumulative_epsilon,
+                cumulative_delta: ledger.cumulative_delta,
+                total_epsilon: ledger.total_epsilon,
+                total_delta: ledger.total_delta,
+                remaining_epsilon: ledger.remaining_epsilon(),
+                exhausted: ledger.exhausted(),
+            });
+        }
+    }
+    out
 }
 
 impl Default for ServerStats {

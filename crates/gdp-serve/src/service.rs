@@ -43,8 +43,16 @@ impl CacheStats {
 
 /// The memo key is variant-aware: two queries of different kinds (or
 /// the same kind with different parameters) at the same
-/// `(dataset, epoch, level)` are distinct entries.
-type CacheKey = (String, u64, usize, Query);
+/// `(dataset, epoch, level)` are distinct entries. The third component
+/// is the release's manifest `content_digest` (0 for pre-digest v1
+/// artifacts): a `(dataset, epoch)` that is retired and later
+/// re-registered with different bytes — retention GC followed by a
+/// republish, a `merge_dir` hot-reload — can never be served from the
+/// old release's memo entries, because the new artifact's digest keys
+/// a disjoint part of the table. Stale entries age out through the
+/// normal CLOCK sweep (or immediately via
+/// [`AnswerService::invalidate_release`]).
+type CacheKey = (String, u64, u64, usize, Query);
 
 /// One resident memo entry in the clock ring.
 #[derive(Debug)]
@@ -135,6 +143,33 @@ impl ClockCache {
             slot.referenced = false;
             return 1;
         }
+    }
+
+    /// Drops every resident entry; returns how many were dropped.
+    fn flush(&mut self) -> usize {
+        let dropped = self.slots.len();
+        self.slots.clear();
+        self.index.clear();
+        self.hand = 0;
+        dropped
+    }
+
+    /// Drops every entry memoized for `(dataset, epoch)` — any digest;
+    /// returns how many were dropped. Rebuilds the ring compactly, so
+    /// the hand restarts; correctness never depends on hand position.
+    fn remove_release(&mut self, dataset: &str, epoch: u64) -> usize {
+        let old = std::mem::take(&mut self.slots);
+        self.index.clear();
+        self.hand = 0;
+        let before = old.len();
+        for slot in old {
+            if slot.key.0 == dataset && slot.key.1 == epoch {
+                continue;
+            }
+            self.index.insert(Arc::clone(&slot.key), self.slots.len());
+            self.slots.push(slot);
+        }
+        before - self.slots.len()
     }
 }
 
@@ -275,12 +310,17 @@ impl AnswerService {
         level: usize,
         query: Query,
     ) -> Result<TypedAnswer> {
-        let key: CacheKey = (dataset.to_string(), epoch, level, query);
+        // Key on the release's content digest as well as its store key:
+        // if this (dataset, epoch) was retired and re-registered with
+        // different bytes, the old release's memo entries are
+        // unreachable rather than stale.
+        let digest = indexed.artifact().manifest().content_digest.unwrap_or(0);
+        let key: CacheKey = (dataset.to_string(), epoch, digest, level, query);
         if let Some(value) = self.cache().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(value);
         }
-        let value = indexed.answer(level, &key.3)?;
+        let value = indexed.answer(level, &key.4)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
         let evicted = self.cache().insert(key, value.clone());
         if evicted > 0 {
@@ -388,6 +428,23 @@ impl AnswerService {
         let indexed = self.store.get(dataset, epoch)?;
         let mut range = indexed.policy().accessible_levels(privilege);
         Ok(range.next())
+    }
+
+    /// Drops every memo entry for `(dataset, epoch)`, any content
+    /// digest — the explicit companion to the digest-keyed protection:
+    /// call it after retiring or replacing a release
+    /// ([`ReleaseStore::merge_dir`](crate::ReleaseStore::merge_dir),
+    /// retention GC) to reclaim the table space immediately instead of
+    /// letting the unreachable entries age out through the CLOCK
+    /// sweep. Returns how many entries were dropped.
+    pub fn invalidate_release(&self, dataset: &str, epoch: u64) -> usize {
+        self.cache().remove_release(dataset, epoch)
+    }
+
+    /// Drops every memo entry. Returns how many were dropped. Hit/miss
+    /// counters are not reset — they count requests, not residency.
+    pub fn flush_cache(&self) -> usize {
+        self.cache().flush()
     }
 
     /// Current memoization counters.
@@ -697,6 +754,99 @@ mod tests {
                 .unwrap();
             assert_eq!(&single, got, "{} batch answer drifted", q.name());
         }
+    }
+
+    /// Seals a ("dblp", 4) artifact whose noisy values depend on
+    /// `noise_seed` — different seeds give different content digests.
+    fn artifact_with_noise(noise_seed: u64) -> ReleaseArtifact {
+        let mut rng = StdRng::seed_from_u64(90);
+        let graph = DblpGenerator::new(DblpConfig::tiny()).generate(&mut rng);
+        let hierarchy = Specializer::new(SpecializationConfig::median(3).unwrap())
+            .specialize(&graph, &mut rng)
+            .unwrap();
+        let release = MultiLevelDiscloser::new(
+            DisclosureConfig::count_only(0.9, 1e-6)
+                .unwrap()
+                .with_queries(vec![CoreQuery::PerGroupCounts]),
+        )
+        .disclose(&graph, &hierarchy, &mut StdRng::seed_from_u64(noise_seed))
+        .unwrap();
+        ReleaseArtifact::seal("dblp", 4, hierarchy, release).unwrap()
+    }
+
+    #[test]
+    fn reload_replacing_a_release_never_serves_stale_cached_answers() {
+        // Regression: the memo key used to be (dataset, epoch, level,
+        // query) with no notion of release identity, so a release
+        // retired by `merge_dir` and re-registered with different bytes
+        // kept answering from the *old* release's cache entries.
+        let dir = std::env::temp_dir().join("gdp_service_reload_invalidation");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = artifact_with_noise(1);
+        let path = dir.join(ReleaseArtifact::canonical_file_name("dblp", 4));
+        old.save_atomic(&path).unwrap();
+        let store = ReleaseStore::open_dir(&dir).unwrap();
+        let service = AnswerService::new(store);
+        let q = Query::GroupMass {
+            side: Side::Left,
+            group: 0,
+        };
+        let before = service
+            .answer_typed("dblp", 4, Privilege::full(), 1, &q)
+            .unwrap();
+        // Warm the cache.
+        service.answer_typed("dblp", 4, Privilege::full(), 1, &q).unwrap();
+        assert_eq!(service.cache_stats().hits, 1);
+
+        // Operator retires the file and republishes the epoch with
+        // fresh noise; two merge_dir passes make it a real
+        // retire-then-register reload.
+        std::fs::remove_file(&path).unwrap();
+        service.store().merge_dir(&dir).unwrap();
+        let new = artifact_with_noise(2);
+        assert_ne!(
+            old.manifest().content_digest,
+            new.manifest().content_digest,
+            "republish really changed the bytes"
+        );
+        new.save_atomic(&path).unwrap();
+        service.store().merge_dir(&dir).unwrap();
+
+        let after = service
+            .answer_typed("dblp", 4, Privilege::full(), 1, &q)
+            .unwrap();
+        let expected = service.store().get("dblp", 4).unwrap().answer(1, &q).unwrap();
+        assert_eq!(after, expected, "answer must come from the new release");
+        assert_ne!(before, after, "stale cache entry was served after reload");
+        // And repeats hit the *new* entry.
+        let hits = service.cache_stats().hits;
+        service.answer_typed("dblp", 4, Privilege::full(), 1, &q).unwrap();
+        assert_eq!(service.cache_stats().hits, hits + 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalidate_release_and_flush_drop_entries() {
+        let service = service();
+        let qs: Vec<Query> = (0..4u32)
+            .map(|k| Query::SubsetCount(query(&[k])))
+            .collect();
+        for q in &qs {
+            service.answer_typed("dblp", 4, Privilege::full(), 1, q).unwrap();
+        }
+        assert_eq!(service.cache_stats().entries, 4);
+        // A different (dataset, epoch) is untouched by invalidation.
+        assert_eq!(service.invalidate_release("dblp", 5), 0);
+        assert_eq!(service.cache_stats().entries, 4);
+        assert_eq!(service.invalidate_release("dblp", 4), 4);
+        assert_eq!(service.cache_stats().entries, 0);
+        // Entries recompute (a miss), not resurrect.
+        service.answer_typed("dblp", 4, Privilege::full(), 1, &qs[0]).unwrap();
+        assert_eq!(service.cache_stats().entries, 1);
+        assert_eq!(service.flush_cache(), 1);
+        assert_eq!(service.cache_stats().entries, 0);
+        assert_eq!(service.flush_cache(), 0);
     }
 
     #[test]

@@ -50,7 +50,7 @@ fn shard_of(dataset: &str) -> usize {
 /// lock.
 #[derive(Debug)]
 enum Entry {
-    Sealed(ReleaseArtifact),
+    Sealed(Box<ReleaseArtifact>),
     Indexed(Arc<IndexedRelease>),
 }
 
@@ -205,7 +205,7 @@ impl ReleaseStore {
     /// Returns [`ServeError::DuplicateRelease`] when the key is taken.
     pub fn insert_sealed(&self, artifact: ReleaseArtifact) -> Result<()> {
         let (dataset, epoch) = (artifact.dataset().to_string(), artifact.epoch());
-        self.insert_entry(dataset, epoch, Entry::Sealed(artifact), None)
+        self.insert_entry(dataset, epoch, Entry::Sealed(Box::new(artifact)), None)
     }
 
     /// [`ReleaseStore::insert_sealed`] with the backing file recorded,
@@ -216,7 +216,7 @@ impl ReleaseStore {
         self.insert_entry(
             dataset,
             epoch,
-            Entry::Sealed(artifact),
+            Entry::Sealed(Box::new(artifact)),
             Some(source.to_path_buf()),
         )
     }
@@ -285,7 +285,7 @@ impl ReleaseStore {
                 else {
                     unreachable!("entry matched Sealed under the same lock");
                 };
-                match IndexedRelease::promote(artifact) {
+                match IndexedRelease::promote(*artifact) {
                     Ok(indexed) => {
                         let indexed = Arc::new(indexed);
                         shard.insert(
@@ -301,7 +301,7 @@ impl ReleaseStore {
                         shard.insert(
                             key,
                             Registered {
-                                entry: Entry::Sealed(artifact),
+                                entry: Entry::Sealed(Box::new(artifact)),
                                 source,
                             },
                         );
@@ -694,7 +694,7 @@ impl ReleaseStore {
             let artifact = {
                 let shard = self.read_shard(&dataset);
                 match shard.get(&(dataset.clone(), epoch)).map(|reg| &reg.entry) {
-                    Some(Entry::Sealed(a)) => a.clone(),
+                    Some(Entry::Sealed(a)) => (**a).clone(),
                     Some(Entry::Indexed(i)) => i.artifact().clone(),
                     None => continue, // removed mid-save
                 }

@@ -1,35 +1,68 @@
 //! A deployment-shaped scenario beyond the paper: the same audience
-//! receives a **fresh disclosure every week**, so the cumulative privacy
-//! loss must be governed, and consumers can **fuse** everything they
-//! have received so far at zero extra privacy cost.
+//! receives a **fresh disclosure every week** over a graph that keeps
+//! churning, so epochs must be published *incrementally* (epoch N+1
+//! from epoch N plus an edge delta, not a full recompute), the
+//! cumulative privacy loss must be governed, and consumers can
+//! **fuse** everything they have received so far at zero extra
+//! privacy cost.
 //!
-//! Demonstrates [`DisclosureSession`] (budget-enforced repetition with a
-//! sequential ledger and a tighter RDP bound) and
+//! Demonstrates [`DisclosureSession::publish`] /
+//! [`DisclosureSession::publish_next`] (the epoch-incremental path
+//! with the cross-epoch ledger stamped into every manifest — see
+//! `docs/epochs.md`), [`EdgeDelta`] churn batches, and
 //! [`group_dp::core::postprocess::fuse_total_estimates`].
 //!
 //! ```text
 //! cargo run --release --example weekly_release
 //! ```
 //!
-//! **Expected output:** a week-by-week table (spent ε, per-release and
-//! fused RER — fusion shrinks error as releases accumulate), the budget
-//! enforcer refusing week 9 with a `privacy budget exhausted` error,
-//! and a closing comparison showing the RDP ledger's cumulative loss
-//! grew like √weeks, well under the linear sequential ledger.
+//! **Expected output:** a week-by-week table (chain ε from each sealed
+//! manifest's ledger, RDP bound, per-release and fused RER — fusion
+//! shrinks error as releases accumulate), the ledger refusing week 9
+//! with a `privacy budget exhausted` error *before* that week's churn
+//! touches the graph, and a closing comparison showing the RDP
+//! ledger's cumulative loss grew like √weeks, well under the linear
+//! sequential ledger.
 
 use group_dp::core::postprocess::fuse_total_estimates;
 use group_dp::core::{
     relative_error, DisclosureConfig, DisclosureSession, SpecializationConfig, Specializer,
 };
 use group_dp::datagen::{DblpConfig, DblpGenerator};
+use group_dp::graph::{BipartiteGraph, EdgeDelta};
 use group_dp::mechanisms::{Delta, PrivacyBudget};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// A deterministic ~1% weekly churn batch against the current graph:
+/// every `stride`-th existing edge is dropped (offset by the week so
+/// weeks differ) and the same number of absent pairs are inserted.
+fn weekly_churn(graph: &BipartiteGraph, week: u64) -> EdgeDelta {
+    let churn = (graph.edge_count() as usize / 100).max(1);
+    let stride = (graph.edge_count() as usize / churn).max(1);
+    let deletes: Vec<_> = graph
+        .edges()
+        .skip(week as usize % stride)
+        .step_by(stride)
+        .take(churn)
+        .collect();
+    let mut inserts = Vec::with_capacity(churn);
+    let (lc, rc) = (graph.left_count() as u64, graph.right_count() as u64);
+    let mut probe = week * 9_973;
+    while inserts.len() < churn {
+        let pair = ((probe * 31 % lc) as u32, (probe * 17 % rc) as u32);
+        probe += 1;
+        let pair = (pair.0.into(), pair.1.into());
+        if !graph.has_edge(pair.0, pair.1) && !inserts.contains(&pair) {
+            inserts.push(pair);
+        }
+    }
+    EdgeDelta::new(inserts, deletes)
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(7_2024);
     let graph = DblpGenerator::new(DblpConfig::laptop_scale()).generate(&mut rng);
-    let truth = graph.edge_count() as f64;
     let hierarchy = Specializer::new(SpecializationConfig::paper_default(6)?)
         .specialize(&graph, &mut rng)?;
 
@@ -42,23 +75,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("weekly group-private releases (eps_g = 0.25 each, yearly cap eps = 2.0)\n");
     println!("week  ledger_eps  rdp_eps  week_rer  fused_rer");
     let mut weekly_totals: Vec<f64> = Vec::new();
-    let mut week = 0;
+    let mut week: u64 = 0;
     loop {
         week += 1;
-        let release = match session.disclose(&weekly, &mut rng) {
-            Ok(r) => r,
+        // Week 1 publishes the base epoch in full; every later week
+        // advances the chain incrementally from a churn delta — the
+        // dirty-row statistics update, not a fresh edge sweep — and
+        // the refusal (week 9) happens *before* the delta is applied.
+        let artifact = if week == 1 {
+            session.publish(&weekly, "weekly", 0, &mut rng)
+        } else {
+            let delta = weekly_churn(session.graph(), week);
+            session.publish_next(&weekly, "weekly", &delta, &mut rng)
+        };
+        let artifact = match artifact {
+            Ok(a) => a,
             Err(e) => {
                 println!("\nweek {week}: refused — {e}");
                 break;
             }
         };
+        let truth = session.graph().edge_count() as f64;
+        let release = artifact.release();
+        let ledger = artifact.manifest().ledger.as_ref().expect("ledger stamped");
         // The consumer reads the finest level each week…
         let this_week = release.level(0)?.total_associations().expect("released");
         weekly_totals.push(this_week);
         // …and fuses this week's levels, then averages across weeks
-        // (all estimates are independent and unbiased).
+        // (all estimates are independent and unbiased; the graph only
+        // drifts ~1% per week, so the cross-week average stays close).
         let (fused_week, _) = fuse_total_estimates(
-            &release,
+            release,
             &(0..release.levels().len()).collect::<Vec<_>>(),
         )?;
         let fused_all: f64 =
@@ -69,7 +116,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .unwrap_or(f64::NAN);
         println!(
             "{week:>4}  {:>10.3}  {rdp:>7.3}  {:>8.5}  {:>9.5}",
-            session.accountant().spent_epsilon(),
+            ledger.cumulative_epsilon,
             relative_error(fused_week, truth),
             relative_error(fused_all, truth),
         );
